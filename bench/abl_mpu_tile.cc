@@ -1,0 +1,58 @@
+// Ablation (ours): MPU scheduling and staging choices (DESIGN.md experiment
+// A2) — what each piece of the hybrid co-design buys:
+//   * cell-resident tiles vs per-pair extraction (the register-reuse argument),
+//   * VPU staging vs scalar staging (the hybrid-pipeline argument),
+// for both CIC and QSP.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/common/table.h"
+
+namespace mpic {
+namespace {
+
+void Run() {
+  ConsoleTable t({"Order", "Scheduling", "Staging", "Deposit (s)", "Compute (s)",
+                  "Preproc (s)"});
+  struct Config {
+    DepositVariant v;
+    const char* scheduling;
+    const char* staging;
+  };
+  const Config configs[] = {
+      {DepositVariant::kFullOpt, "cell-resident", "VPU"},
+      {DepositVariant::kMatrixOnly, "cell-resident", "scalar"},
+      {DepositVariant::kHybridNoSort, "pairwise", "VPU"},
+  };
+  for (int order : {1, 3}) {
+    for (const Config& c : configs) {
+      UniformWorkloadParams p;
+      p.nx = p.ny = p.nz = 12;
+      p.tile = 12;
+      p.ppc_x = 8;
+      p.ppc_y = p.ppc_z = 4;
+      p.order = order;
+      p.variant = c.v;
+      const BenchResult r = RunUniform(p, /*warmup=*/1, /*steps=*/2);
+      t.AddRow({std::to_string(order), c.scheduling, c.staging,
+                FormatDouble(r.report.deposition_seconds, 4),
+                FormatDouble(PhaseSec(r.report, Phase::kCompute) +
+                                 PhaseSec(r.report, Phase::kReduce),
+                             4),
+                FormatDouble(PhaseSec(r.report, Phase::kPreproc), 4)});
+    }
+  }
+  t.Print("Ablation A2: MPU scheduling x staging (PPC=128)");
+  std::printf(
+      "\nExpected: cell-resident + VPU staging wins; pairwise extraction costs\n"
+      "grow with order (per-pair tile drain); scalar staging inflates preproc.\n");
+}
+
+}  // namespace
+}  // namespace mpic
+
+int main() {
+  mpic::Run();
+  return 0;
+}

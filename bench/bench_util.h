@@ -1,0 +1,63 @@
+// Shared helpers for the paper-reproduction bench binaries.
+//
+// Each bench binary reproduces one table or figure: it runs the relevant
+// workloads under a fresh modeled machine, reads the per-phase cycle ledger,
+// and prints rows in the paper's layout. Absolute values are modeled seconds
+// on the 1.3 GHz LX2 model at simulator scale — the claims under test are the
+// *relative* numbers (speedups, crossovers, efficiency ranking).
+
+#ifndef MPIC_BENCH_BENCH_UTIL_H_
+#define MPIC_BENCH_BENCH_UTIL_H_
+
+#include <memory>
+#include <string>
+
+#include "src/core/diagnostics.h"
+#include "src/core/workloads.h"
+
+namespace mpic {
+
+struct BenchResult {
+  RunReport report;
+  int64_t particles = 0;
+  int64_t global_sorts = 0;
+};
+
+// Runs a uniform-plasma workload: `warmup` steps outside the measured window,
+// then `steps` measured steps.
+inline BenchResult RunUniform(const UniformWorkloadParams& params, int warmup,
+                              int steps) {
+  HwContext hw;
+  auto sim = MakeUniformSimulation(hw, params);
+  sim->Run(warmup);
+  const PhaseCycles before = SnapshotCycles(hw.ledger());
+  const int64_t pushed_before = sim->particles_pushed();
+  sim->Run(steps);
+  BenchResult r;
+  r.particles = sim->particles_pushed() - pushed_before;
+  r.report = MakeRunReport(hw, before, r.particles, params.order);
+  r.global_sorts = sim->engine().total_global_sorts();
+  return r;
+}
+
+inline BenchResult RunLwfa(const LwfaWorkloadParams& params, int warmup, int steps) {
+  HwContext hw;
+  auto sim = MakeLwfaSimulation(hw, params);
+  sim->Run(warmup);
+  const PhaseCycles before = SnapshotCycles(hw.ledger());
+  const int64_t pushed_before = sim->particles_pushed();
+  sim->Run(steps);
+  BenchResult r;
+  r.particles = sim->particles_pushed() - pushed_before;
+  r.report = MakeRunReport(hw, before, r.particles, 1);
+  r.global_sorts = sim->engine().total_global_sorts();
+  return r;
+}
+
+inline double PhaseSec(const RunReport& r, Phase p) {
+  return r.phase_seconds[static_cast<size_t>(p)];
+}
+
+}  // namespace mpic
+
+#endif  // MPIC_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,103 @@
+// google-benchmark microbenchmarks for the sorting substrate: host-time costs
+// of the GPMA operations and the counting sort. These validate the O(1)
+// amortized claim at the data-structure level (complementing the modeled-cycle
+// ablations) and catch host-side performance regressions.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/sort/counting_sort.h"
+#include "src/sort/gpma.h"
+
+namespace mpic {
+namespace {
+
+GpmaConfig BenchConfig() {
+  GpmaConfig cfg;
+  cfg.gap_fraction = 0.3;
+  cfg.min_gap_per_bin = 2;
+  return cfg;
+}
+
+void BM_GpmaBuild(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int cells = 512;
+  Rng rng(1);
+  std::vector<int32_t> cell_of(static_cast<size_t>(n));
+  for (auto& c : cell_of) {
+    c = static_cast<int32_t>(rng.NextBelow(cells));
+  }
+  for (auto _ : state) {
+    Gpma gpma;
+    gpma.Build(cell_of, cells, BenchConfig());
+    benchmark::DoNotOptimize(gpma.num_particles());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_GpmaBuild)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_GpmaMoveChurn(benchmark::State& state) {
+  // CFL-like churn: move a random particle to an adjacent cell.
+  const int n = static_cast<int>(state.range(0));
+  const int cells = 512;
+  Rng rng(2);
+  std::vector<int32_t> cell_of(static_cast<size_t>(n));
+  for (auto& c : cell_of) {
+    c = static_cast<int32_t>(rng.NextBelow(cells));
+  }
+  Gpma gpma;
+  gpma.Build(cell_of, cells, BenchConfig());
+  for (auto _ : state) {
+    const auto pid = static_cast<int32_t>(rng.NextBelow(static_cast<uint64_t>(n)));
+    const int cur = gpma.CellOf(pid);
+    const int next = (cur + 1) % cells;
+    gpma.Remove(pid);
+    auto res = gpma.Insert(pid, next);
+    if (!res.ok) {
+      gpma.Rebuild();
+      gpma.Insert(pid, next);
+    }
+    benchmark::DoNotOptimize(res.words_touched);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GpmaMoveChurn)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_GpmaRebuild(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int cells = 512;
+  Rng rng(3);
+  std::vector<int32_t> cell_of(static_cast<size_t>(n));
+  for (auto& c : cell_of) {
+    c = static_cast<int32_t>(rng.NextBelow(cells));
+  }
+  Gpma gpma;
+  gpma.Build(cell_of, cells, BenchConfig());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gpma.Rebuild());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_GpmaRebuild)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_CountingSort(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int cells = 4096;
+  Rng rng(4);
+  std::vector<int32_t> cell_of(static_cast<size_t>(n));
+  for (auto& c : cell_of) {
+    c = static_cast<int32_t>(rng.NextBelow(cells));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CountingSortPermutation(cell_of, cells));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_CountingSort)->Arg(1 << 12)->Arg(1 << 18);
+
+}  // namespace
+}  // namespace mpic
+
+BENCHMARK_MAIN();

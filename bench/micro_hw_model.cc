@@ -1,0 +1,85 @@
+// google-benchmark microbenchmarks for the hardware model itself: host-time
+// throughput of the cache simulation and the modeled VPU/MPU operations. The
+// model sits on every modeled memory access of every kernel, so its host cost
+// bounds overall simulator speed.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "src/hw/hw_context.h"
+
+namespace mpic {
+namespace {
+
+void BM_CacheTouchSequential(benchmark::State& state) {
+  HwContext hw;
+  std::vector<double> buf(1 << 16, 0.0);
+  hw.RegisterRegion(buf.data(), buf.size() * sizeof(double));
+  size_t i = 0;
+  for (auto _ : state) {
+    hw.TouchRead(&buf[i], 8);
+    i = (i + 1) & (buf.size() - 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheTouchSequential);
+
+void BM_CacheTouchRandomish(benchmark::State& state) {
+  HwContext hw;
+  std::vector<double> buf(1 << 16, 0.0);
+  hw.RegisterRegion(buf.data(), buf.size() * sizeof(double));
+  size_t i = 0;
+  for (auto _ : state) {
+    hw.TouchRead(&buf[i], 8);
+    i = (i + 97 * 8) & (buf.size() - 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheTouchRandomish);
+
+void BM_VpuFma(benchmark::State& state) {
+  HwContext hw;
+  Vec8 a = Vec8::Splat(1.0);
+  Vec8 b = Vec8::Splat(2.0);
+  Vec8 c = Vec8::Splat(3.0);
+  for (auto _ : state) {
+    c = hw.VFma(a, b, c);
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VpuFma);
+
+void BM_Mopa(benchmark::State& state) {
+  HwContext hw;
+  Vec8 a, b;
+  for (int i = 0; i < kVpuLanes; ++i) {
+    a[i] = i;
+    b[i] = 2 * i;
+  }
+  MpuTileReg tile;
+  for (auto _ : state) {
+    hw.Mopa(tile, a, b);
+    benchmark::DoNotOptimize(tile.c[0]);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Mopa);
+
+void BM_VGatherScattered(benchmark::State& state) {
+  HwContext hw;
+  std::vector<double> buf(1 << 14, 1.0);
+  hw.RegisterRegion(buf.data(), buf.size() * sizeof(double));
+  int64_t idx[8] = {0, 1111, 2222, 3333, 4444, 5555, 6666, 7777};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hw.VGather(buf.data(), idx, Mask8::All()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VGatherScattered);
+
+}  // namespace
+}  // namespace mpic
+
+BENCHMARK_MAIN();

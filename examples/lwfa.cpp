@@ -1,0 +1,65 @@
+// Laser-Wakefield Acceleration (the paper's realistic application workload).
+//
+// A Gaussian laser pulse (a0 ~ 4, lambda = 0.8 um) drives a wake in a cold
+// background plasma while a moving window tracks the pulse at c. Prints a
+// per-step summary — window position, particle census, field energy, and an
+// on-axis longitudinal field profile at the end (the wake structure).
+//
+//   ./lwfa [steps] [variant]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/core/diagnostics.h"
+#include "src/core/workloads.h"
+
+int main(int argc, char** argv) {
+  const int steps = argc > 1 ? std::atoi(argv[1]) : 20;
+  mpic::LwfaWorkloadParams params;
+  params.variant = (argc > 2 && std::strcmp(argv[2], "baseline") == 0)
+                       ? mpic::DepositVariant::kBaseline
+                       : mpic::DepositVariant::kFullOpt;
+  params.nx = params.ny = 8;
+  params.nz = 64;
+  params.ppc_x = params.ppc_y = params.ppc_z = 2;
+  params.tile = 8;
+  params.tile_z = 64;
+
+  mpic::HwContext hw;
+  auto sim = mpic::MakeLwfaSimulation(hw, params);
+  std::printf("lwfa: %s, grid %dx%dx%d, %lld particles, dt = %.3e s\n",
+              mpic::VariantName(params.variant), params.nx, params.ny, params.nz,
+              static_cast<long long>(sim->tiles().TotalLive()), sim->dt());
+  std::printf("%5s %14s %12s %14s %10s\n", "step", "window z0 (um)", "particles",
+              "field E (J)", "sorts");
+
+  for (int s = 0; s < steps; ++s) {
+    sim->Step();
+    if ((s + 1) % 5 == 0 || s == 0) {
+      std::printf("%5lld %14.3f %12lld %14.3e %10lld\n",
+                  static_cast<long long>(sim->step_count()),
+                  sim->fields().geom.z0 * 1e6,
+                  static_cast<long long>(sim->tiles().TotalLive()),
+                  mpic::FieldEnergy(sim->fields()),
+                  static_cast<long long>(sim->engine().total_global_sorts()));
+    }
+  }
+
+  // On-axis Ez profile: the longitudinal wake field behind the pulse.
+  std::printf("\non-axis Ez(z) after %d steps:\n", steps);
+  const auto& g = sim->fields().geom;
+  const int ci = g.nx / 2;
+  const int cj = g.ny / 2;
+  for (int k = 0; k < g.nz; k += 4) {
+    const double ez = sim->fields().ez.At(ci, cj, k);
+    std::printf("  z = %7.3f um   Ez = %+.3e V/m\n", (g.z0 + k * g.dz) * 1e6, ez);
+  }
+
+  const mpic::RunReport report = mpic::MakeRunReport(
+      hw, mpic::PhaseCycles{}, sim->particles_pushed(), 1);
+  std::printf("\nmodeled wall %.4f s, deposition %.4f s, throughput %.3e p/s\n",
+              report.wall_seconds, report.deposition_seconds,
+              report.particles_per_second);
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Lightweight runtime-check macros used across the MatrixPIC codebase.
+//
+// MPIC_CHECK(cond)  — always-on invariant check; aborts with file:line on failure.
+// MPIC_DCHECK(cond) — debug-only variant; compiles away when NDEBUG is defined.
+//
+// These are for programming errors (broken invariants), not for recoverable
+// conditions; recoverable conditions are reported through return values.
+
+#ifndef MPIC_SRC_COMMON_CHECK_H_
+#define MPIC_SRC_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define MPIC_CHECK(cond)                                                            \
+  do {                                                                              \
+    if (!(cond)) {                                                                  \
+      std::fprintf(stderr, "MPIC_CHECK failed at %s:%d: %s\n", __FILE__, __LINE__,  \
+                   #cond);                                                          \
+      std::abort();                                                                 \
+    }                                                                               \
+  } while (0)
+
+#define MPIC_CHECK_MSG(cond, msg)                                                   \
+  do {                                                                              \
+    if (!(cond)) {                                                                  \
+      std::fprintf(stderr, "MPIC_CHECK failed at %s:%d: %s (%s)\n", __FILE__,       \
+                   __LINE__, #cond, (msg));                                         \
+      std::abort();                                                                 \
+    }                                                                               \
+  } while (0)
+
+#ifdef NDEBUG
+#define MPIC_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#else
+#define MPIC_DCHECK(cond) MPIC_CHECK(cond)
+#endif
+
+#endif  // MPIC_SRC_COMMON_CHECK_H_

@@ -1,0 +1,66 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace mpic {
+
+void RunningStat::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStat::Reset() { *this = RunningStat{}; }
+
+double RunningStat::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double RelMaxError(const std::vector<double>& ref, const std::vector<double>& got) {
+  MPIC_CHECK(ref.size() == got.size());
+  double scale = 0.0;
+  for (double r : ref) {
+    scale = std::max(scale, std::fabs(r));
+  }
+  double err = 0.0;
+  for (size_t i = 0; i < ref.size(); ++i) {
+    err = std::max(err, std::fabs(ref[i] - got[i]));
+  }
+  if (scale == 0.0) {
+    return err;
+  }
+  return err / scale;
+}
+
+double Sum(const std::vector<double>& v) {
+  // Kahan summation: conservation checks compare sums across kernel variants and
+  // need better than naive accumulation error.
+  double sum = 0.0;
+  double c = 0.0;
+  for (double x : v) {
+    const double y = x - c;
+    const double t = sum + y;
+    c = (t - sum) - y;
+    sum = t;
+  }
+  return sum;
+}
+
+}  // namespace mpic

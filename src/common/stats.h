@@ -1,0 +1,44 @@
+// Small statistics helpers used by diagnostics and the bench harness.
+
+#ifndef MPIC_SRC_COMMON_STATS_H_
+#define MPIC_SRC_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace mpic {
+
+// Online mean / variance / min / max accumulator (Welford's algorithm).
+class RunningStat {
+ public:
+  void Add(double x);
+  void Reset();
+
+  size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  // Sample variance; 0 when fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Relative L-infinity error between two equally sized arrays, normalized by the
+// largest magnitude in `ref` (or absolute error when ref is all-zero).
+double RelMaxError(const std::vector<double>& ref, const std::vector<double>& got);
+
+// Sum of all elements (used in conservation checks).
+double Sum(const std::vector<double>& v);
+
+}  // namespace mpic
+
+#endif  // MPIC_SRC_COMMON_STATS_H_

@@ -1,0 +1,65 @@
+#include "src/common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace mpic {
+
+ConsoleTable::ConsoleTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void ConsoleTable::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string ConsoleTable::Render(const std::string& title) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  out << "== " << title << " ==\n";
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      out << (c == 0 ? "" : "  ");
+      out << cells[c];
+      out << std::string(widths[c] - cells[c].size(), ' ');
+    }
+    out << "\n";
+  };
+  emit_row(headers_);
+  size_t total = 0;
+  for (size_t w : widths) {
+    total += w;
+  }
+  total += 2 * (widths.empty() ? 0 : widths.size() - 1);
+  out << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+  return out.str();
+}
+
+void ConsoleTable::Print(const std::string& title) const {
+  std::fputs(Render(title).c_str(), stdout);
+  std::fflush(stdout);
+}
+
+std::string FormatDouble(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+std::string FormatSci(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*e", decimals, v);
+  return buf;
+}
+
+}  // namespace mpic

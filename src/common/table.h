@@ -1,0 +1,39 @@
+// Fixed-width console table printer. The bench harness uses this to emit rows in
+// the same layout as the paper's tables so paper-vs-measured comparison is direct.
+
+#ifndef MPIC_SRC_COMMON_TABLE_H_
+#define MPIC_SRC_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace mpic {
+
+class ConsoleTable {
+ public:
+  explicit ConsoleTable(std::vector<std::string> headers);
+
+  // Adds a row. Cells beyond the header count are dropped; missing cells print
+  // empty. Numeric formatting is the caller's job (see FormatDouble below).
+  void AddRow(std::vector<std::string> cells);
+
+  // Renders the table with a header rule, column padding, and a title line.
+  std::string Render(const std::string& title) const;
+
+  // Prints Render() to stdout.
+  void Print(const std::string& title) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats with fixed decimals, e.g. FormatDouble(3.14159, 2) == "3.14".
+std::string FormatDouble(double v, int decimals);
+
+// Engineering-style throughput formatting, e.g. 4.61e+08 -> "4.61e8".
+std::string FormatSci(double v, int decimals);
+
+}  // namespace mpic
+
+#endif  // MPIC_SRC_COMMON_TABLE_H_

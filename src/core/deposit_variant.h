@@ -1,0 +1,63 @@
+// The deposition configurations evaluated in the paper (Sec. 5.2.1), expressed
+// as a variant enum plus derived execution traits.
+//
+// Ablation set (Fig. 10):   kBaseline, kMatrixOnly, kHybridNoSort,
+//                           kHybridGlobalSort, kFullOpt.
+// VPU comparison set (T1/2): kBaseline, kBaselineIncrSort, kRhocell,
+//                           kRhocellIncrSort, kRhocellIncrSortVpu, kFullOpt.
+
+#ifndef MPIC_SRC_CORE_DEPOSIT_VARIANT_H_
+#define MPIC_SRC_CORE_DEPOSIT_VARIANT_H_
+
+namespace mpic {
+
+enum class DepositVariant {
+  kScalar,              // plain scalar loop (reference)
+  kBaseline,            // WarpX auto-vectorized kernel, unsorted
+  kBaselineIncrSort,    // baseline kernel + incremental sorting
+  kRhocell,             // compiler-vectorized rhocell, unsorted
+  kRhocellIncrSort,     // compiler-vectorized rhocell + incremental sorting
+  kRhocellIncrSortVpu,  // hand-tuned VPU rhocell + incremental sorting
+  kMatrixOnly,          // MPU kernel with scalar staging + incremental sorting
+  kHybridNoSort,        // hybrid VPU-MPU kernel, no sorting (pairwise tiles)
+  kHybridGlobalSort,    // hybrid kernel + full global sort every step
+  kFullOpt,             // MatrixPIC: hybrid kernel + incremental sort + policy
+};
+
+enum class SortMode {
+  kNone,
+  kIncremental,     // GPMA maintenance + adaptive global resort policy
+  kGlobalEachStep,  // counting sort of every tile every step
+};
+
+enum class StagingKind {
+  kScalarLoop,  // models compiler-emitted staging
+  kVpu,         // hand-vectorized staging
+  kNone,        // kernel stages internally (scalar reference)
+};
+
+enum class KernelKind {
+  kScalarReference,
+  kBaselineScatter,
+  kRhocellAutoVec,
+  kRhocellVpu,
+  kMpu,
+};
+
+struct VariantTraits {
+  SortMode sort_mode = SortMode::kNone;
+  StagingKind staging = StagingKind::kScalarLoop;
+  KernelKind kernel = KernelKind::kBaselineScatter;
+  // Kernel iterates cell-by-cell through the GPMA (requires a sort mode that
+  // keeps the GPMA valid).
+  bool sorted_iteration = false;
+  bool uses_rhocell = false;
+  bool uses_mpu = false;
+};
+
+VariantTraits TraitsOf(DepositVariant v);
+const char* VariantName(DepositVariant v);
+
+}  // namespace mpic
+
+#endif  // MPIC_SRC_CORE_DEPOSIT_VARIANT_H_

@@ -1,0 +1,394 @@
+#include "src/core/deposition_engine.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/deposit/deposit_baseline.h"
+#include "src/deposit/deposit_mpu.h"
+#include "src/deposit/deposit_rhocell.h"
+#include "src/deposit/deposit_scalar.h"
+#include "src/deposit/deposit_staging.h"
+
+namespace mpic {
+
+DepositionEngine::DepositionEngine(HwContext& hw, const EngineConfig& config)
+    : hw_(hw), config_(config), traits_(TraitsOf(config.variant)),
+      policy_(config.policy) {
+  if (traits_.uses_rhocell || traits_.uses_mpu) {
+    MPIC_CHECK_MSG(config_.order == 1 || config_.order == 3,
+                   "rhocell/MPU kernels support CIC (1) and QSP (3) only");
+  }
+}
+
+void DepositionEngine::Initialize(TileSet& tiles, FieldSet& fields) {
+  scratch_.assign(static_cast<size_t>(tiles.num_tiles()), DepositScratch{});
+  rhocells_.assign(static_cast<size_t>(tiles.num_tiles()), RhocellBuffer{});
+  for (int t = 0; t < tiles.num_tiles(); ++t) {
+    ParticleTile& tile = tiles.tile(t);
+    if (traits_.uses_rhocell) {
+      rhocells_[static_cast<size_t>(t)].Resize(std::max(1, tile.num_cells()),
+                                               config_.order);
+    }
+  }
+  // The paper's baselines never sort; only sorting variants pay for (and
+  // benefit from) the initial GlobalSortParticlesByCell.
+  if (traits_.sort_mode != SortMode::kNone) {
+    GlobalSort(tiles);
+  }
+  rank_stats_ = RankSortStats{};
+  RegisterRegions(tiles, fields);
+}
+
+void DepositionEngine::GlobalSort(TileSet& tiles) {
+  PhaseScope phase(hw_.ledger(), Phase::kSort);
+  int64_t moved = 0;
+  for (int t = 0; t < tiles.num_tiles(); ++t) {
+    moved += tiles.tile(t).GlobalSortTile(tiles.geom(), config_.gpma);
+  }
+  // Counting sort: streaming writes of the seven SoA components plus two index
+  // passes, and — the expensive part — the permutation gather, whose reads are
+  // random per particle.
+  hw_.ChargeBulk(0.0, static_cast<double>(moved) * (7.0 * 8.0 * 2.0 + 4.0 * 2.0));
+  hw_.ChargeCycles(static_cast<double>(moved) * 8.0);
+  ++total_global_sorts_;
+  rank_stats_.steps_since_sort = 0;
+  rank_stats_.local_rebuilds = 0;
+  rank_stats_.baseline_throughput = 0.0;  // re-baselined on the next step
+}
+
+void DepositionEngine::NotifyParticleAdded(TileSet& tiles, int tile_index,
+                                           int32_t pid) {
+  if (traits_.sort_mode == SortMode::kNone) {
+    return;
+  }
+  PhaseScope phase(hw_.ledger(), Phase::kSort);
+  ParticleTile& tile = tiles.tile(tile_index);
+  const int cell = tile.CellOfParticle(tiles.geom(), pid);
+  auto res = tile.gpma().Insert(pid, cell);
+  hw_.ChargeCycles(static_cast<double>(res.words_touched));
+  if (!res.ok) {
+    const int64_t words = tile.gpma().Rebuild();
+    auto retry = tile.gpma().Insert(pid, cell);
+    MPIC_CHECK(retry.ok);
+    hw_.ChargeCycles(static_cast<double>(words) * 0.25);
+    tile.was_rebuilt_this_step = true;
+    ++rank_stats_.local_rebuilds;
+  }
+}
+
+void DepositionEngine::RemoveParticle(TileSet& tiles, int tile_index, int32_t pid) {
+  ParticleTile& tile = tiles.tile(tile_index);
+  if (traits_.sort_mode != SortMode::kNone && tile.gpma().CellOf(pid) >= 0) {
+    PhaseScope phase(hw_.ledger(), Phase::kSort);
+    auto res = tile.gpma().Remove(pid);
+    hw_.ChargeCycles(static_cast<double>(res.words_touched));
+  }
+  tile.RemoveParticle(pid);
+}
+
+void DepositionEngine::IncrementalSortPhase(TileSet& tiles, EngineStepStats* stats) {
+  PhaseScope phase(hw_.ledger(), Phase::kSort);
+  const GridGeometry& geom = tiles.geom();
+  movers_.clear();
+
+  for (int t = 0; t < tiles.num_tiles(); ++t) {
+    ParticleTile& tile = tiles.tile(t);
+    tile.was_rebuilt_this_step = false;
+    Gpma& gpma = tile.gpma();
+    const int32_t n_slots = tile.num_slots();
+    // VPU scan: recompute the cell of each live particle and compare with its
+    // GPMA bin (Algorithm 1, Phase 1). ~3 vector ops per 8 slots plus the
+    // position loads (hot from the preceding push).
+    hw_.ChargeCycles(static_cast<double>((n_slots + kVpuLanes - 1) / kVpuLanes) *
+                     3.0 / hw_.cfg().vpu_pipes);
+
+    struct PendingMove {
+      int32_t pid;
+      int32_t new_cell;
+    };
+    std::vector<PendingMove> pending;
+    for (int32_t pid = 0; pid < n_slots; ++pid) {
+      if (!tile.IsLive(pid)) {
+        continue;
+      }
+      const auto i = static_cast<size_t>(pid);
+      const ParticleSoA& soa = tile.soa();
+      const int ix = geom.CellX(soa.x[i]);
+      const int iy = geom.CellY(soa.y[i]);
+      const int iz = geom.CellZ(soa.z[i]);
+      if (!tile.ContainsCell(ix, iy, iz)) {
+        // Leaves the tile: remove here, queue for its destination tile.
+        auto res = gpma.Remove(pid);
+        hw_.ChargeCycles(static_cast<double>(res.words_touched));
+        movers_.push_back({tile.soa().Get(pid), tiles.TileOfCell(ix, iy, iz)});
+        tile.RemoveParticle(pid);
+        ++stats->crossed_tiles;
+        continue;
+      }
+      const int cell = tile.LocalCellId(ix, iy, iz);
+      if (gpma.CellOf(pid) != cell) {
+        pending.push_back({pid, static_cast<int32_t>(cell)});
+      }
+    }
+    // ApplyPendingMoves: deletions first, then insertions (gaps freed by the
+    // leavers become available to the arrivers).
+    for (const PendingMove& m : pending) {
+      auto res = gpma.Remove(m.pid);
+      hw_.ChargeCycles(static_cast<double>(res.words_touched));
+    }
+    for (const PendingMove& m : pending) {
+      auto res = gpma.Insert(m.pid, m.new_cell);
+      hw_.ChargeCycles(static_cast<double>(res.words_touched));
+      if (!res.ok) {
+        const int64_t words = gpma.Rebuild();
+        hw_.ChargeCycles(static_cast<double>(words) * 0.25);
+        tile.was_rebuilt_this_step = true;
+        ++rank_stats_.local_rebuilds;
+        ++stats->gpma_rebuilds;
+        auto retry = gpma.Insert(m.pid, m.new_cell);
+        MPIC_CHECK(retry.ok);
+        hw_.ChargeCycles(static_cast<double>(retry.words_touched));
+      }
+      ++stats->moved_particles;
+    }
+  }
+
+  // Deliver cross-tile movers.
+  for (const Mover& m : movers_) {
+    ParticleTile& dest = tiles.tile(m.dest_tile);
+    const int32_t pid = dest.AddParticle(m.p);
+    const int cell = dest.CellOfParticle(geom, pid);
+    auto res = dest.gpma().Insert(pid, cell);
+    hw_.ChargeCycles(static_cast<double>(res.words_touched) + 4.0);
+    if (!res.ok) {
+      const int64_t words = dest.gpma().Rebuild();
+      hw_.ChargeCycles(static_cast<double>(words) * 0.25);
+      dest.was_rebuilt_this_step = true;
+      ++rank_stats_.local_rebuilds;
+      ++stats->gpma_rebuilds;
+      auto retry = dest.gpma().Insert(pid, cell);
+      MPIC_CHECK(retry.ok);
+    }
+  }
+  movers_.clear();
+}
+
+void DepositionEngine::RedistributeOnly(TileSet& tiles, EngineStepStats* stats) {
+  // Unsorted variants still need particles in their owning tiles (WarpX's
+  // Redistribute). Charged outside the deposition kernel phases, mirroring the
+  // paper's accounting where the baseline has no "Sort" column.
+  PhaseScope phase(hw_.ledger(), Phase::kOther);
+  const GridGeometry& geom = tiles.geom();
+  movers_.clear();
+  for (int t = 0; t < tiles.num_tiles(); ++t) {
+    ParticleTile& tile = tiles.tile(t);
+    const int32_t n_slots = tile.num_slots();
+    hw_.ChargeCycles(static_cast<double>((n_slots + kVpuLanes - 1) / kVpuLanes) *
+                     3.0 / hw_.cfg().vpu_pipes);
+    for (int32_t pid = 0; pid < n_slots; ++pid) {
+      if (!tile.IsLive(pid)) {
+        continue;
+      }
+      const auto i = static_cast<size_t>(pid);
+      const ParticleSoA& soa = tile.soa();
+      const int ix = geom.CellX(soa.x[i]);
+      const int iy = geom.CellY(soa.y[i]);
+      const int iz = geom.CellZ(soa.z[i]);
+      if (!tile.ContainsCell(ix, iy, iz)) {
+        movers_.push_back({tile.soa().Get(pid), tiles.TileOfCell(ix, iy, iz)});
+        tile.RemoveParticle(pid);
+        hw_.ChargeCycles(8.0);
+        ++stats->crossed_tiles;
+      }
+    }
+  }
+  for (const Mover& m : movers_) {
+    tiles.tile(m.dest_tile).AddParticle(m.p);
+    hw_.ChargeCycles(8.0);
+  }
+  movers_.clear();
+}
+
+void DepositionEngine::RegisterRegions(TileSet& tiles, FieldSet& fields) {
+  auto reg_field = [this](const FieldArray& f) {
+    hw_.RegisterRegion(f.data(), f.size() * sizeof(double));
+  };
+  reg_field(fields.ex);
+  reg_field(fields.ey);
+  reg_field(fields.ez);
+  reg_field(fields.bx);
+  reg_field(fields.by);
+  reg_field(fields.bz);
+  reg_field(fields.jx);
+  reg_field(fields.jy);
+  reg_field(fields.jz);
+  for (int t = 0; t < tiles.num_tiles(); ++t) {
+    RegisterStagingRegions(hw_, tiles.tile(t), scratch_[static_cast<size_t>(t)]);
+    RhocellBuffer& rc = rhocells_[static_cast<size_t>(t)];
+    if (rc.num_cells() > 0) {
+      hw_.RegisterRegion(rc.jx().data(), rc.jx().size() * sizeof(double));
+      hw_.RegisterRegion(rc.jy().data(), rc.jy().size() * sizeof(double));
+      hw_.RegisterRegion(rc.jz().data(), rc.jz().size() * sizeof(double));
+    }
+  }
+}
+
+void DepositionEngine::UpdateRankStats(TileSet& tiles, const EngineStepStats& stats,
+                                       double step_cycles, int64_t live) {
+  (void)stats;
+  ++rank_stats_.steps_since_sort;
+  int64_t capacity = 0;
+  int64_t empty = 0;
+  for (int t = 0; t < tiles.num_tiles(); ++t) {
+    capacity += tiles.tile(t).gpma().capacity();
+    empty += tiles.tile(t).gpma().num_empty_slots();
+  }
+  rank_stats_.empty_slot_ratio =
+      capacity == 0 ? 0.0 : static_cast<double>(empty) / static_cast<double>(capacity);
+  const double secs = hw_.cfg().CyclesToSeconds(step_cycles);
+  rank_stats_.step_throughput = secs > 0.0 ? static_cast<double>(live) / secs : 0.0;
+  if (rank_stats_.baseline_throughput == 0.0) {
+    rank_stats_.baseline_throughput = rank_stats_.step_throughput;
+  }
+}
+
+template <int Order>
+void DepositionEngine::StepImpl(TileSet& tiles, FieldSet& fields,
+                                EngineStepStats* stats) {
+  DepositParams params;
+  params.geom = tiles.geom();
+  params.charge = config_.charge;
+
+  for (int t = 0; t < tiles.num_tiles(); ++t) {
+    ParticleTile& tile = tiles.tile(t);
+    if (tile.num_live() == 0) {
+      continue;
+    }
+    DepositScratch& scratch = scratch_[static_cast<size_t>(t)];
+    RhocellBuffer& rhocell = rhocells_[static_cast<size_t>(t)];
+
+    switch (traits_.staging) {
+      case StagingKind::kScalarLoop:
+        StageTileScalar<Order>(hw_, tile, params, scratch);
+        break;
+      case StagingKind::kVpu:
+        StageTileVpu<Order>(hw_, tile, params, scratch);
+        break;
+      case StagingKind::kNone:
+        break;
+    }
+    // Keep the model's address space current: scratch/SoA vectors may have
+    // (re)allocated since the last registration (cheap no-op otherwise).
+    RegisterStagingRegions(hw_, tile, scratch);
+
+    switch (traits_.kernel) {
+      case KernelKind::kScalarReference:
+        DepositScalarTile<Order>(hw_, tile, params, fields);
+        break;
+      case KernelKind::kBaselineScatter:
+        DepositBaselineTile<Order>(hw_, tile, params, scratch, fields,
+                                   traits_.sorted_iteration);
+        break;
+      case KernelKind::kRhocellAutoVec:
+        if constexpr (Order == 1 || Order == 3) {
+          DepositRhocellAutoVec<Order>(hw_, tile, params, scratch, rhocell,
+                                       traits_.sorted_iteration);
+        }
+        break;
+      case KernelKind::kRhocellVpu:
+        if constexpr (Order == 1 || Order == 3) {
+          DepositRhocellVpu<Order>(hw_, tile, params, scratch, rhocell,
+                                   traits_.sorted_iteration);
+        }
+        break;
+      case KernelKind::kMpu:
+        if constexpr (Order == 1 || Order == 3) {
+          DepositMpu<Order>(hw_, tile, params, scratch, rhocell,
+                            traits_.sorted_iteration
+                                ? MpuScheduling::kCellResident
+                                : MpuScheduling::kPairwise,
+                            config_.sparse_fallback_ppc);
+        }
+        break;
+    }
+
+    if (traits_.uses_rhocell) {
+      if constexpr (Order == 1 || Order == 3) {
+        ReduceRhocellToGrid<Order>(hw_, tile, rhocell, fields);
+      }
+    }
+  }
+  (void)stats;
+}
+
+EngineStepStats DepositionEngine::DepositStep(TileSet& tiles, FieldSet& fields) {
+  EngineStepStats stats;
+  const double cycles_before = hw_.ledger().TotalCycles();
+
+  // Phase 1: sorting / redistribution.
+  switch (traits_.sort_mode) {
+    case SortMode::kNone:
+      RedistributeOnly(tiles, &stats);
+      break;
+    case SortMode::kIncremental:
+      IncrementalSortPhase(tiles, &stats);
+      break;
+    case SortMode::kGlobalEachStep: {
+      // Tile ownership first, then the full per-tile counting sort.
+      RedistributeOnly(tiles, &stats);
+      PhaseScope phase(hw_.ledger(), Phase::kSort);
+      int64_t moved = 0;
+      for (int t = 0; t < tiles.num_tiles(); ++t) {
+        moved += tiles.tile(t).GlobalSortTile(tiles.geom(), config_.gpma);
+      }
+      hw_.ChargeBulk(0.0,
+                     static_cast<double>(moved) * (7.0 * 8.0 * 2.0 + 4.0 * 2.0));
+      hw_.ChargeCycles(static_cast<double>(moved) * 8.0);
+      RegisterRegions(tiles, fields);
+      stats.global_sorted = true;
+      break;
+    }
+  }
+
+  // Phases 2-3: staging, kernel, reduction.
+  switch (config_.order) {
+    case 1:
+      StepImpl<1>(tiles, fields, &stats);
+      break;
+    case 2:
+      StepImpl<2>(tiles, fields, &stats);
+      break;
+    case 3:
+      StepImpl<3>(tiles, fields, &stats);
+      break;
+    default:
+      MPIC_CHECK_MSG(false, "unsupported shape order");
+  }
+
+  // Fold periodic guard contributions into the interior.
+  {
+    PhaseScope phase(hw_.ledger(), Phase::kReduce);
+    fields.jx.FoldGuardsPeriodic();
+    fields.jy.FoldGuardsPeriodic();
+    fields.jz.FoldGuardsPeriodic();
+    const double guard_nodes =
+        static_cast<double>(fields.jx.size()) - static_cast<double>(fields.geom.NumCells());
+    hw_.ChargeBulk(guard_nodes * 3.0, guard_nodes * 8.0 * 3.0 * 2.0);
+  }
+
+  const double step_cycles = hw_.ledger().TotalCycles() - cycles_before;
+  UpdateRankStats(tiles, stats, step_cycles, tiles.TotalLive());
+
+  // Global re-sorting policy (Sec. 4.4).
+  if (traits_.sort_mode == SortMode::kIncremental) {
+    stats.decision = policy_.Evaluate(rank_stats_);
+    if (ResortPolicy::ShouldSort(stats.decision)) {
+      GlobalSort(tiles);
+      RegisterRegions(tiles, fields);
+      stats.global_sorted = true;
+    }
+  }
+  return stats;
+}
+
+}  // namespace mpic

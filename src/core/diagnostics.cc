@@ -1,0 +1,102 @@
+#include "src/core/diagnostics.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "src/deposit/deposit_scalar.h"
+#include "src/particles/species.h"
+
+namespace mpic {
+
+double FieldEnergy(const FieldSet& fields) {
+  const GridGeometry& g = fields.geom;
+  const double dv = g.dx * g.dy * g.dz;
+  double e_energy = 0.0;
+  double b_energy = 0.0;
+  for (int k = 0; k < g.nz; ++k) {
+    for (int j = 0; j < g.ny; ++j) {
+      for (int i = 0; i < g.nx; ++i) {
+        const double ex = fields.ex.At(i, j, k);
+        const double ey = fields.ey.At(i, j, k);
+        const double ez = fields.ez.At(i, j, k);
+        const double bx = fields.bx.At(i, j, k);
+        const double by = fields.by.At(i, j, k);
+        const double bz = fields.bz.At(i, j, k);
+        e_energy += ex * ex + ey * ey + ez * ez;
+        b_energy += bx * bx + by * by + bz * bz;
+      }
+    }
+  }
+  return 0.5 * kEpsilon0 * e_energy * dv + 0.5 / kMu0 * b_energy * dv;
+}
+
+double KineticEnergy(const TileSet& tiles, const Species& species) {
+  const double mc2 = species.mass * kSpeedOfLight * kSpeedOfLight;
+  const double inv_c2 = 1.0 / (kSpeedOfLight * kSpeedOfLight);
+  double energy = 0.0;
+  for (int t = 0; t < tiles.num_tiles(); ++t) {
+    const ParticleTile& tile = tiles.tile(t);
+    const ParticleSoA& soa = tile.soa();
+    for (int32_t pid = 0; pid < tile.num_slots(); ++pid) {
+      if (!tile.IsLive(pid)) {
+        continue;
+      }
+      const auto i = static_cast<size_t>(pid);
+      const double u2 =
+          soa.ux[i] * soa.ux[i] + soa.uy[i] * soa.uy[i] + soa.uz[i] * soa.uz[i];
+      const double gamma = std::sqrt(1.0 + u2 * inv_c2);
+      energy += soa.w[i] * (gamma - 1.0) * mc2;
+    }
+  }
+  return energy;
+}
+
+PhaseCycles SnapshotCycles(const CostLedger& ledger) {
+  PhaseCycles c{};
+  for (int p = 0; p < kNumPhases; ++p) {
+    c[static_cast<size_t>(p)] = ledger.PhaseCycles(static_cast<Phase>(p));
+  }
+  return c;
+}
+
+RunReport MakeRunReport(const HwContext& hw, const PhaseCycles& before,
+                        int64_t particle_steps, int order) {
+  RunReport r;
+  const PhaseCycles now = SnapshotCycles(hw.ledger());
+  double total_cycles = 0.0;
+  for (int p = 0; p < kNumPhases; ++p) {
+    const double delta = now[static_cast<size_t>(p)] - before[static_cast<size_t>(p)];
+    r.phase_seconds[static_cast<size_t>(p)] = hw.cfg().CyclesToSeconds(delta);
+    total_cycles += delta;
+  }
+  r.wall_seconds = hw.cfg().CyclesToSeconds(total_cycles);
+  r.deposition_seconds = r.phase_seconds[static_cast<size_t>(Phase::kPreproc)] +
+                         r.phase_seconds[static_cast<size_t>(Phase::kCompute)] +
+                         r.phase_seconds[static_cast<size_t>(Phase::kSort)] +
+                         r.phase_seconds[static_cast<size_t>(Phase::kReduce)];
+  r.particle_steps = particle_steps;
+  if (r.deposition_seconds > 0.0) {
+    r.particles_per_second =
+        static_cast<double>(particle_steps) / r.deposition_seconds;
+  }
+  const double dep_cycles = r.deposition_seconds * hw.cfg().freq_ghz * 1e9;
+  if (dep_cycles > 0.0) {
+    const double useful_flops =
+        CanonicalFlopsPerParticle(order) * static_cast<double>(particle_steps);
+    r.peak_efficiency = useful_flops / (dep_cycles * hw.cfg().PeakFlopsPerCycle());
+  }
+  return r;
+}
+
+std::string RunReport::ToString() const {
+  std::ostringstream out;
+  out << "wall=" << wall_seconds << "s dep=" << deposition_seconds << "s";
+  for (int p = 0; p < kNumPhases; ++p) {
+    out << " " << PhaseName(static_cast<Phase>(p)) << "="
+        << phase_seconds[static_cast<size_t>(p)];
+  }
+  out << " pps=" << particles_per_second << " eff=" << peak_efficiency;
+  return out.str();
+}
+
+}  // namespace mpic

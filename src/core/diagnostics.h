@@ -1,0 +1,54 @@
+// Diagnostics: energies, per-phase timing reports, throughput and
+// peak-efficiency accounting (paper Sec. 5.2.2).
+
+#ifndef MPIC_SRC_CORE_DIAGNOSTICS_H_
+#define MPIC_SRC_CORE_DIAGNOSTICS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "src/core/simulation.h"
+#include "src/grid/field_set.h"
+#include "src/hw/cost_ledger.h"
+#include "src/hw/hw_context.h"
+#include "src/particles/tile_set.h"
+
+namespace mpic {
+
+// Total electromagnetic field energy over the unique interior nodes [J].
+double FieldEnergy(const FieldSet& fields);
+
+// Total particle kinetic energy sum(w * (gamma-1) m c^2) [J].
+double KineticEnergy(const TileSet& tiles, const Species& species);
+
+// Snapshot of per-phase ledger cycles, used to diff across a run.
+using PhaseCycles = std::array<double, kNumPhases>;
+PhaseCycles SnapshotCycles(const CostLedger& ledger);
+
+// Timing report for a run segment, in modeled seconds at the machine clock.
+struct RunReport {
+  double wall_seconds = 0.0;
+  PhaseCycles phase_seconds{};
+  // preproc + compute + sort + reduce: the paper's "complete deposition
+  // kernel time".
+  double deposition_seconds = 0.0;
+  int64_t particle_steps = 0;
+  // Kernel throughput N_particles / T_deposition (paper Sec. 5.2.2).
+  double particles_per_second = 0.0;
+  // Fraction of the modeled machine's theoretical peak achieved on the
+  // canonical effective work.
+  double peak_efficiency = 0.0;
+
+  std::string ToString() const;
+};
+
+// Builds a report from ledger deltas. `before` is the snapshot taken at the
+// segment start; particle_steps the number of particle-push events in the
+// segment; order the deposition order (for the canonical FLOP count).
+RunReport MakeRunReport(const HwContext& hw, const PhaseCycles& before,
+                        int64_t particle_steps, int order);
+
+}  // namespace mpic
+
+#endif  // MPIC_SRC_CORE_DIAGNOSTICS_H_

@@ -1,0 +1,186 @@
+#include "src/core/simulation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/push/boris_pusher.h"
+#include "src/push/field_gather.h"
+
+namespace mpic {
+
+Simulation::Simulation(HwContext& hw, const SimulationConfig& config)
+    : hw_(hw),
+      config_(config),
+      fields_(config.geom, config.guard_cells),
+      tiles_(config.geom, config.tile_x, config.tile_y, config.tile_z),
+      engine_(hw,
+              [&config] {
+                EngineConfig ec = config.engine;
+                ec.charge = config.species.charge;
+                return ec;
+              }()),
+      solver_(config.solver, config.geom) {
+  MPIC_CHECK(config.guard_cells >= 2);
+  const GridGeometry& g = config.geom;
+  const double min_d = std::min({g.dx, g.dy, g.dz});
+  dt_ = config.cfl * solver_.StableCourant() * min_d / kSpeedOfLight;
+  if (config.laser_enabled) {
+    laser_.emplace(config.laser);
+  }
+  if (config.moving_window) {
+    window_.emplace(config.window_velocity, g.dz);
+  }
+}
+
+int64_t Simulation::SeedUniformPlasma(const UniformPlasmaConfig& cfg) {
+  return InjectUniformPlasma(tiles_, cfg);
+}
+
+int64_t Simulation::SeedProfiledPlasma(const ProfiledPlasmaConfig& cfg) {
+  return InjectProfiledPlasma(tiles_, cfg);
+}
+
+void Simulation::Initialize() {
+  gather_scratch_.assign(static_cast<size_t>(tiles_.num_tiles()), GatherScratch{});
+  engine_.Initialize(tiles_, fields_);
+  fields_.ex.FillGuardsPeriodic();
+  fields_.ey.FillGuardsPeriodic();
+  fields_.ez.FillGuardsPeriodic();
+  fields_.bx.FillGuardsPeriodic();
+  fields_.by.FillGuardsPeriodic();
+  fields_.bz.FillGuardsPeriodic();
+}
+
+template <int Order>
+void Simulation::GatherAndPush() {
+  PushParams pp;
+  pp.dt = dt_;
+  pp.charge = config_.species.charge;
+  pp.mass = config_.species.mass;
+  for (int t = 0; t < tiles_.num_tiles(); ++t) {
+    ParticleTile& tile = tiles_.tile(t);
+    if (tile.num_live() == 0) {
+      continue;
+    }
+    GatherScratch& gs = gather_scratch_[static_cast<size_t>(t)];
+    GatherFieldsTile<Order>(hw_, tile, fields_, gs);
+    PushTileBoris(hw_, tile, gs, pp);
+    particles_pushed_ += tile.num_live();
+  }
+}
+
+void Simulation::ApplyParticleBoundaries() {
+  PhaseScope phase(hw_.ledger(), Phase::kOther);
+  const GridGeometry& g = tiles_.geom();
+  const bool drop_behind_window = config_.moving_window;
+  for (int t = 0; t < tiles_.num_tiles(); ++t) {
+    ParticleTile& tile = tiles_.tile(t);
+    ParticleSoA& soa = tile.soa();
+    const int32_t n = tile.num_slots();
+    hw_.ChargeCycles(static_cast<double>((n + kVpuLanes - 1) / kVpuLanes) * 6.0 /
+                     hw_.cfg().vpu_pipes);
+    for (int32_t pid = 0; pid < n; ++pid) {
+      if (!tile.IsLive(pid)) {
+        continue;
+      }
+      const auto i = static_cast<size_t>(pid);
+      soa.x[i] = g.WrapX(soa.x[i]);
+      soa.y[i] = g.WrapY(soa.y[i]);
+      if (drop_behind_window) {
+        if (soa.z[i] < g.z0 || soa.z[i] >= g.z0 + g.LengthZ()) {
+          engine_.RemoveParticle(tiles_, t, pid);
+        }
+      } else {
+        soa.z[i] = g.WrapZ(soa.z[i]);
+      }
+    }
+  }
+}
+
+void Simulation::AdvanceWindow() {
+  if (!window_.has_value()) {
+    return;
+  }
+  const int shifts = window_->StepsToShift(dt_);
+  for (int s = 0; s < shifts; ++s) {
+    ShiftWindowZ(hw_, fields_);
+    GridGeometry g = tiles_.geom();
+    g.z0 = fields_.geom.z0;
+    tiles_.SetGeometry(g);
+    config_.geom = g;
+    // Drop particles that fell behind the new window tail.
+    {
+      PhaseScope phase(hw_.ledger(), Phase::kOther);
+      for (int t = 0; t < tiles_.num_tiles(); ++t) {
+        ParticleTile& tile = tiles_.tile(t);
+        const int32_t n = tile.num_slots();
+        for (int32_t pid = 0; pid < n; ++pid) {
+          if (tile.IsLive(pid) &&
+              tile.soa().z[static_cast<size_t>(pid)] < g.z0) {
+            engine_.RemoveParticle(tiles_, t, pid);
+          }
+        }
+      }
+    }
+    // Refill the freshly exposed head slab.
+    if (config_.window_injection.has_value()) {
+      ProfiledPlasmaConfig inj = *config_.window_injection;
+      inj.z_cell_lo = g.nz - 1;
+      inj.z_cell_hi = g.nz;
+      inj.seed = injection_seed_++;
+      std::vector<TileSet::Handle> handles;
+      InjectProfiledPlasma(tiles_, inj, &handles);
+      for (const auto& h : handles) {
+        engine_.NotifyParticleAdded(tiles_, h.tile, h.pid);
+      }
+    }
+  }
+}
+
+void Simulation::Step() {
+  // Zero current accumulators.
+  {
+    PhaseScope phase(hw_.ledger(), Phase::kOther);
+    fields_.ZeroCurrents();
+    hw_.ChargeBulk(0.0, static_cast<double>(fields_.jx.size()) * 8.0 * 3.0);
+  }
+
+  switch (config_.engine.order) {
+    case 1:
+      GatherAndPush<1>();
+      break;
+    case 2:
+      GatherAndPush<2>();
+      break;
+    case 3:
+      GatherAndPush<3>();
+      break;
+    default:
+      MPIC_CHECK_MSG(false, "unsupported shape order");
+  }
+
+  ApplyParticleBoundaries();
+
+  last_step_stats_ = engine_.DepositStep(tiles_, fields_);
+
+  if (laser_.has_value()) {
+    laser_->Drive(hw_, fields_, time_);
+  }
+  AdvanceWindow();
+
+  solver_.UpdateB(hw_, fields_, 0.5 * dt_);
+  solver_.UpdateE(hw_, fields_, dt_);
+  solver_.UpdateB(hw_, fields_, 0.5 * dt_);
+
+  time_ += dt_;
+  ++step_count_;
+}
+
+void Simulation::Run(int steps) {
+  for (int s = 0; s < steps; ++s) {
+    Step();
+  }
+}
+
+}  // namespace mpic

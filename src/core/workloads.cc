@@ -1,0 +1,121 @@
+#include "src/core/workloads.h"
+
+#include <cmath>
+
+#include "src/common/rng.h"
+
+namespace mpic {
+
+void ScrambleParticleOrder(TileSet& tiles, uint64_t seed) {
+  Rng rng(seed);
+  for (int t = 0; t < tiles.num_tiles(); ++t) {
+    ParticleTile& tile = tiles.tile(t);
+    ParticleSoA& soa = tile.soa();
+    const int32_t n = tile.num_slots();
+    // Fisher-Yates over the slots; workload builders scramble before any
+    // removal, so every slot is live.
+    for (int32_t i = n - 1; i > 0; --i) {
+      const auto j = static_cast<int32_t>(rng.NextBelow(static_cast<uint64_t>(i) + 1));
+      if (i != j) {
+        const Particle a = soa.Get(i);
+        soa.Set(i, soa.Get(j));
+        soa.Set(j, a);
+      }
+    }
+  }
+}
+
+SimulationConfig MakeUniformConfig(const UniformWorkloadParams& p) {
+  SimulationConfig cfg;
+  cfg.geom.nx = p.nx;
+  cfg.geom.ny = p.ny;
+  cfg.geom.nz = p.nz;
+  // Cell size chosen so omega_p * dt ~ 0.17 at CFL 0.95 for the default
+  // density (plasma oscillations resolved; benches run a handful of steps).
+  cfg.geom.dx = cfg.geom.dy = cfg.geom.dz = 3.0e-7;
+  cfg.geom.x0 = cfg.geom.y0 = cfg.geom.z0 = 0.0;
+  cfg.tile_x = cfg.tile_y = cfg.tile_z = p.tile;
+  cfg.engine.variant = p.variant;
+  cfg.engine.order = p.order;
+  cfg.cfl = 0.95;
+  cfg.solver = SolverKind::kCkc;
+  return cfg;
+}
+
+std::unique_ptr<Simulation> MakeUniformSimulation(HwContext& hw,
+                                                  const UniformWorkloadParams& p) {
+  auto sim = std::make_unique<Simulation>(hw, MakeUniformConfig(p));
+  UniformPlasmaConfig plasma;
+  plasma.ppc_x = p.ppc_x;
+  plasma.ppc_y = p.ppc_y;
+  plasma.ppc_z = p.ppc_z;
+  plasma.density = p.density;
+  plasma.u_th = p.u_th;
+  plasma.seed = p.seed;
+  sim->SeedUniformPlasma(plasma);
+  ScrambleParticleOrder(sim->tiles(), p.seed ^ 0xABCD);
+  sim->Initialize();
+  return sim;
+}
+
+SimulationConfig MakeLwfaConfig(const LwfaWorkloadParams& p) {
+  SimulationConfig cfg;
+  cfg.geom.nx = p.nx;
+  cfg.geom.ny = p.ny;
+  cfg.geom.nz = p.nz;
+  // Longitudinal resolution: ~16 cells per 0.8 um laser wavelength; transverse
+  // cells 4x coarser (standard LWFA gridding).
+  cfg.geom.dz = 0.8e-6 / 16.0;
+  cfg.geom.dx = cfg.geom.dy = 4.0 * cfg.geom.dz;
+  cfg.geom.x0 = cfg.geom.y0 = 0.0;
+  cfg.geom.z0 = 0.0;
+  cfg.tile_x = cfg.tile_y = p.tile;
+  cfg.tile_z = p.tile_z;
+  cfg.engine.variant = p.variant;
+  cfg.engine.order = 1;  // paper: LWFA uses the CIC scheme
+  cfg.cfl = 0.98;
+  cfg.solver = SolverKind::kCkc;
+
+  cfg.laser_enabled = true;
+  cfg.laser.a0 = p.a0;
+  cfg.laser.wavelength = 0.8e-6;
+  cfg.laser.waist = 0.25 * p.nx * cfg.geom.dx;
+  cfg.laser.duration = 8.0e-15;
+  cfg.laser.t_peak = 2.5e-14;
+  cfg.laser.antenna_cell_z = 2;
+
+  cfg.moving_window = true;
+  cfg.window_velocity = kSpeedOfLight;
+
+  ProfiledPlasmaConfig inj;
+  inj.ppc_x = p.ppc_x;
+  inj.ppc_y = p.ppc_y;
+  inj.ppc_z = p.ppc_z;
+  const double density = p.density;
+  const double ramp_end = 10.0 * cfg.geom.dz;
+  inj.profile = [density, ramp_end](double z) {
+    if (z < ramp_end) {
+      return density * std::max(0.0, z / ramp_end);
+    }
+    return density;
+  };
+  inj.u_th = 0.0;
+  inj.seed = p.seed;
+  cfg.window_injection = inj;
+  return cfg;
+}
+
+std::unique_ptr<Simulation> MakeLwfaSimulation(HwContext& hw,
+                                               const LwfaWorkloadParams& p) {
+  SimulationConfig cfg = MakeLwfaConfig(p);
+  auto sim = std::make_unique<Simulation>(hw, cfg);
+  ProfiledPlasmaConfig seed_cfg = *cfg.window_injection;
+  seed_cfg.z_cell_lo = 0;
+  seed_cfg.z_cell_hi = cfg.geom.nz;
+  sim->SeedProfiledPlasma(seed_cfg);
+  ScrambleParticleOrder(sim->tiles(), p.seed ^ 0xABCD);
+  sim->Initialize();
+  return sim;
+}
+
+}  // namespace mpic

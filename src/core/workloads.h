@@ -1,0 +1,63 @@
+// The paper's two evaluation workloads (Table 4), scaled to simulator size.
+//
+// Uniform plasma: homogeneous Maxwellian electron plasma in a fully periodic
+// box — the controlled kernel-efficiency workload (Figures 1, 8, 10; Tables
+// 1-3). LWFA: a Gaussian laser driving a wake in a cold background plasma with
+// a moving window along z — the realistic application workload (Figure 9).
+//
+// Grid sizes default to simulator scale (DESIGN.md Sec. 2); the PPC sweep and
+// all algorithmic parameters match the paper.
+
+#ifndef MPIC_SRC_CORE_WORKLOADS_H_
+#define MPIC_SRC_CORE_WORKLOADS_H_
+
+#include <memory>
+
+#include "src/core/simulation.h"
+
+namespace mpic {
+
+struct UniformWorkloadParams {
+  int nx = 16, ny = 8, nz = 8;
+  // Particles per cell per dimension; paper sweeps [1,1,1] .. [8,4,4].
+  int ppc_x = 4, ppc_y = 4, ppc_z = 4;
+  int order = 1;  // 1 (CIC) or 3 (QSP)
+  DepositVariant variant = DepositVariant::kFullOpt;
+  double density = 1e25;  // m^-3
+  double u_th = 0.01;     // thermal proper velocity / c
+  int tile = 8;           // particles.tile_size (cubic)
+  uint64_t seed = 42;
+};
+
+SimulationConfig MakeUniformConfig(const UniformWorkloadParams& p);
+
+// Creates, seeds, and initializes a uniform-plasma simulation.
+std::unique_ptr<Simulation> MakeUniformSimulation(HwContext& hw,
+                                                  const UniformWorkloadParams& p);
+
+struct LwfaWorkloadParams {
+  int nx = 16, ny = 16, nz = 64;
+  int ppc_x = 2, ppc_y = 2, ppc_z = 2;
+  DepositVariant variant = DepositVariant::kFullOpt;
+  double density = 2e23;  // background plasma density, m^-3
+  double a0 = 4.0;
+  int tile = 8;
+  int tile_z = 16;  // paper uses elongated tiles (8 x 8 x 64) for LWFA
+  uint64_t seed = 42;
+};
+
+SimulationConfig MakeLwfaConfig(const LwfaWorkloadParams& p);
+std::unique_ptr<Simulation> MakeLwfaSimulation(HwContext& hw,
+                                               const LwfaWorkloadParams& p);
+
+// Randomly permutes the particle order within every tile. Workload builders
+// apply this after seeding so that the *memory order* of particles represents
+// the steady-state disorder of a long-running simulation rather than the
+// perfectly cell-ordered injection lattice; sorting variants then re-establish
+// order through their initial global sort, while the never-sorting baselines
+// run unsorted — exactly the contrast the paper measures.
+void ScrambleParticleOrder(TileSet& tiles, uint64_t seed);
+
+}  // namespace mpic
+
+#endif  // MPIC_SRC_CORE_WORKLOADS_H_

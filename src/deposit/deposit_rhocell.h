@@ -1,0 +1,57 @@
+// Rhocell deposition kernels (paper Sec. 3.4 and baselines of Sec. 6.3).
+//
+//   DepositRhocellAutoVec — reproduction of the compiler-vectorized rhocell
+//     kernel of Vincenti et al.: the 8-node (CIC) / 64-node (QSP) inner loop
+//     vectorizes because the cell block is contiguous, but the per-particle
+//     setup stays scalar and particles arrive in whatever order the tile holds.
+//   DepositRhocellVpu — the hand-tuned strongest VPU baseline: batched staged
+//     gathers, register-built weight vectors, vector FMAs into the cell block.
+//
+// Both accumulate into a RhocellBuffer; ReduceRhocellToGrid then performs the
+// single O(num_cells) scatter-add onto the global J arrays (Equation 5).
+//
+// Only odd orders (1 and 3) are supported: even-order (TSC) shapes are centered
+// on the nearest *node*, so particles of one cell straddle two blocks and the
+// rhocell invariant "one block per cell" does not hold — the same reason the
+// paper evaluates CIC and QSP.
+
+#ifndef MPIC_SRC_DEPOSIT_DEPOSIT_RHOCELL_H_
+#define MPIC_SRC_DEPOSIT_DEPOSIT_RHOCELL_H_
+
+#include "src/deposit/deposit_params.h"
+#include "src/deposit/rhocell.h"
+#include "src/grid/field_set.h"
+#include "src/hw/hw_context.h"
+#include "src/particles/particle_tile.h"
+
+namespace mpic {
+
+template <int Order>
+void DepositRhocellAutoVec(HwContext& hw, const ParticleTile& tile,
+                           const DepositParams& params, const DepositScratch& scratch,
+                           RhocellBuffer& rhocell, bool sorted);
+
+template <int Order>
+void DepositRhocellVpu(HwContext& hw, const ParticleTile& tile,
+                       const DepositParams& params, const DepositScratch& scratch,
+                       RhocellBuffer& rhocell, bool sorted);
+
+// Scatter-adds every cell block onto fields.jx/jy/jz and zeroes the buffer.
+// Charged to Phase::kReduce. Works for any tile; node indices are global.
+template <int Order>
+void ReduceRhocellToGrid(HwContext& hw, const ParticleTile& tile,
+                         RhocellBuffer& rhocell, FieldSet& fields);
+
+// Tile-local cell id of a staged particle, derived from its start node indices
+// (start = cell for order 1, cell-1 for order 3).
+template <int Order>
+inline int StagedCellOf(const ParticleTile& tile, const DepositScratch& scratch,
+                        size_t i) {
+  constexpr int kOff = Order == 3 ? 1 : 0;
+  return tile.LocalCellId(scratch.ix[i] + kOff, scratch.iy[i] + kOff,
+                          scratch.iz[i] + kOff);
+}
+
+}  // namespace mpic
+
+#endif  // MPIC_SRC_DEPOSIT_DEPOSIT_RHOCELL_H_

@@ -1,0 +1,94 @@
+#include "src/deposit/deposit_scalar.h"
+
+#include <cmath>
+
+#include "src/particles/species.h"
+#include "src/shape/shape_function.h"
+
+namespace mpic {
+
+template <int Order>
+void DepositScalarTile(HwContext& hw, const ParticleTile& tile,
+                       const DepositParams& params, FieldSet& fields) {
+  PhaseScope phase(hw.ledger(), Phase::kCompute);
+  constexpr int kSupport = Order + 1;
+  const ParticleSoA& soa = tile.soa();
+  const GridGeometry& g = params.geom;
+  const double inv_c2 = 1.0 / (kSpeedOfLight * kSpeedOfLight);
+  const double inv_vol = params.InvCellVolume();
+
+  for (size_t i = 0; i < soa.size(); ++i) {
+    if (!tile.IsLive(static_cast<int32_t>(i))) {
+      hw.ScalarOps(1);
+      continue;
+    }
+    hw.TouchRead(&soa.x[i], sizeof(double));
+    hw.TouchRead(&soa.y[i], sizeof(double));
+    hw.TouchRead(&soa.z[i], sizeof(double));
+    hw.TouchRead(&soa.ux[i], sizeof(double));
+    hw.TouchRead(&soa.uy[i], sizeof(double));
+    hw.TouchRead(&soa.uz[i], sizeof(double));
+    hw.TouchRead(&soa.w[i], sizeof(double));
+
+    const double gx = (soa.x[i] - g.x0) / g.dx;
+    const double gy = (soa.y[i] - g.y0) / g.dy;
+    const double gz = (soa.z[i] - g.z0) / g.dz;
+    int sx0, sy0, sz0;
+    double wx[4], wy[4], wz[4];
+    ShapeFunction<Order>::Weights(gx, &sx0, wx);
+    ShapeFunction<Order>::Weights(gy, &sy0, wy);
+    ShapeFunction<Order>::Weights(gz, &sz0, wz);
+
+    const double ux = soa.ux[i];
+    const double uy = soa.uy[i];
+    const double uz = soa.uz[i];
+    const double gamma = std::sqrt(1.0 + (ux * ux + uy * uy + uz * uz) * inv_c2);
+    const double inv_gamma = 1.0 / gamma;
+    const double qw = params.charge * soa.w[i] * inv_vol;
+    const double wqx = qw * ux * inv_gamma;
+    const double wqy = qw * uy * inv_gamma;
+    const double wqz = qw * uz * inv_gamma;
+    // Index + shape + velocity arithmetic.
+    hw.ScalarOps(12 + (Order == 1 ? 3 : (Order == 2 ? 15 : 27)) + 17);
+
+    for (int c = 0; c < kSupport; ++c) {
+      for (int b = 0; b < kSupport; ++b) {
+        const double wyz = wy[b] * wz[c];
+        hw.ScalarOps(1);
+        for (int a = 0; a < kSupport; ++a) {
+          const double s3 = wx[a] * wyz;
+          const int64_t node = fields.jx.Index(sx0 + a, sy0 + b, sz0 + c);
+          hw.ScalarOps(1 + 6);  // weight product + 3 x (mul+add)
+          hw.AccumScalar(&fields.jx.data()[node], wqx * s3);
+          hw.AccumScalar(&fields.jy.data()[node], wqy * s3);
+          hw.AccumScalar(&fields.jz.data()[node], wqz * s3);
+        }
+      }
+    }
+  }
+}
+
+double CanonicalFlopsPerParticle(int order) {
+  // Index/fraction math: (sub, mul, floor, sub) x 3 axes.
+  const double index_flops = 12;
+  // 1D shape weights per axis.
+  const double shape_flops = order == 1 ? 3 : (order == 2 ? 15 : 27);
+  // gamma and velocity: u^2 (5), *inv_c2 (1), +1 (1), sqrt (1), q*w*inv_vol/gamma
+  // (3), v components folded into wq (3), extra divides (3).
+  const double velocity_flops = 17;
+  // Per node: yz product hoisted per (b,c) pair, xyz product, then mul+add per
+  // component.
+  const int s = order + 1;
+  const double node_flops = static_cast<double>(s) * s * 1.0 +  // wyz products
+                            static_cast<double>(s) * s * s * (1.0 + 6.0);
+  return index_flops + shape_flops + velocity_flops + node_flops;
+}
+
+template void DepositScalarTile<1>(HwContext&, const ParticleTile&,
+                                   const DepositParams&, FieldSet&);
+template void DepositScalarTile<2>(HwContext&, const ParticleTile&,
+                                   const DepositParams&, FieldSet&);
+template void DepositScalarTile<3>(HwContext&, const ParticleTile&,
+                                   const DepositParams&, FieldSet&);
+
+}  // namespace mpic

@@ -1,0 +1,41 @@
+// Stage 1 of the deposition pipeline (Algorithm 2): compute per-particle cell
+// indices, 1D shape terms and effective current factors into DepositScratch.
+//
+// Two cost profiles exist for the same arithmetic:
+//   * StageTileScalar — models what compilers actually emit for the irregular
+//     staging loop in the baseline and auto-vectorized rhocell kernels
+//     (scalar loads, scalar math).
+//   * StageTileVpu    — the hand-vectorized staging used by the strongest VPU
+//     baseline and by MatrixPIC (8 particles per iteration, contiguous vector
+//     loads in SoA slot order).
+//
+// Both produce numerically identical staging values; tests assert this.
+
+#ifndef MPIC_SRC_DEPOSIT_DEPOSIT_STAGING_H_
+#define MPIC_SRC_DEPOSIT_DEPOSIT_STAGING_H_
+
+#include "src/deposit/deposit_params.h"
+#include "src/hw/hw_context.h"
+#include "src/particles/particle_tile.h"
+
+namespace mpic {
+
+// Stages every SoA slot of the tile (dead slots produce unused values). Charged
+// to Phase::kPreproc.
+template <int Order>
+void StageTileScalar(HwContext& hw, const ParticleTile& tile,
+                     const DepositParams& params, DepositScratch& scratch);
+
+template <int Order>
+void StageTileVpu(HwContext& hw, const ParticleTile& tile,
+                  const DepositParams& params, DepositScratch& scratch);
+
+// Registers the tile's SoA arrays and the scratch arrays with the hardware
+// model's address space. Call once per (tile, scratch) pairing after the last
+// reallocation.
+void RegisterStagingRegions(HwContext& hw, const ParticleTile& tile,
+                            const DepositScratch& scratch);
+
+}  // namespace mpic
+
+#endif  // MPIC_SRC_DEPOSIT_DEPOSIT_STAGING_H_

@@ -1,0 +1,191 @@
+#include "src/deposit/esirkepov.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/shape/shape_function.h"
+
+namespace mpic {
+namespace {
+
+// Evaluates old/new 1D shape weights on a common index window wide enough for
+// both supports (Order+2 points suffices under the CFL bound of one cell).
+template <int Order>
+struct AxisPair {
+  static constexpr int kWindow = Order + 2;
+  int base = 0;               // lowest node index of the window
+  double s0[Order + 2] = {};  // weights at the old position
+  double s1[Order + 2] = {};  // weights at the new position
+  double ds[Order + 2] = {};  // s1 - s0
+
+  void Eval(double g_old, double g_new) {
+    int start0, start1;
+    double w0[4], w1[4];
+    ShapeFunction<Order>::Weights(g_old, &start0, w0);
+    ShapeFunction<Order>::Weights(g_new, &start1, w1);
+    MPIC_DCHECK(std::abs(start1 - start0) <= 1);
+    base = std::min(start0, start1);
+    for (int t = 0; t < kWindow; ++t) {
+      s0[t] = 0.0;
+      s1[t] = 0.0;
+    }
+    for (int t = 0; t <= Order; ++t) {
+      s0[start0 - base + t] = w0[t];
+      s1[start1 - base + t] = w1[t];
+    }
+    for (int t = 0; t < kWindow; ++t) {
+      ds[t] = s1[t] - s0[t];
+    }
+  }
+};
+
+}  // namespace
+
+template <int Order>
+void DepositEsirkepov(HwContext& hw, const ParticleTile& tile,
+                      const std::vector<double>& x_old,
+                      const std::vector<double>& y_old,
+                      const std::vector<double>& z_old,
+                      const EsirkepovParams& params, FieldSet& fields) {
+  PhaseScope phase(hw.ledger(), Phase::kCompute);
+  constexpr int kW = Order + 2;
+  const GridGeometry& g = params.geom;
+  const double inv_vol = 1.0 / (g.dx * g.dy * g.dz);
+  const ParticleSoA& soa = tile.soa();
+
+  for (size_t i = 0; i < soa.size(); ++i) {
+    if (!tile.IsLive(static_cast<int32_t>(i))) {
+      hw.ScalarOps(1);
+      continue;
+    }
+    hw.TouchRead(&soa.x[i], sizeof(double) * 1);
+    hw.TouchRead(&soa.y[i], sizeof(double) * 1);
+    hw.TouchRead(&soa.z[i], sizeof(double) * 1);
+    hw.TouchRead(&x_old[i], sizeof(double) * 1);
+    hw.TouchRead(&y_old[i], sizeof(double) * 1);
+    hw.TouchRead(&z_old[i], sizeof(double) * 1);
+    hw.TouchRead(&soa.w[i], sizeof(double) * 1);
+
+    AxisPair<Order> ax, ay, az;
+    ax.Eval(g.GridX(x_old[i]), g.GridX(soa.x[i]));
+    ay.Eval(g.GridY(y_old[i]), g.GridY(soa.y[i]));
+    az.Eval(g.GridZ(z_old[i]), g.GridZ(soa.z[i]));
+    hw.ScalarOps(6 * (Order == 1 ? 4 : (Order == 2 ? 8 : 12)) + 3 * kW);
+
+    const double qw = params.charge * soa.w[i] * inv_vol;
+    const double fx = qw * g.dx / params.dt;
+    const double fy = qw * g.dy / params.dt;
+    const double fz = qw * g.dz / params.dt;
+    hw.ScalarOps(6);
+
+    // Esirkepov decomposition weights (Esirkepov 2001, Eq. 38): per axis the
+    // transverse factor mixes old shapes and shape differences.
+    for (int c = 0; c < kW; ++c) {
+      for (int b = 0; b < kW; ++b) {
+        // Jx: cumulative sum of Wx over the x window.
+        const double ty = ay.s0[b] * az.s0[c] + 0.5 * ay.ds[b] * az.s0[c] +
+                          0.5 * ay.s0[b] * az.ds[c] +
+                          (1.0 / 3.0) * ay.ds[b] * az.ds[c];
+        double accx = 0.0;
+        for (int a = 0; a < kW - 1; ++a) {
+          accx -= ax.ds[a] * ty;
+          const int64_t node =
+              fields.jx.Index(ax.base + a, ay.base + b, az.base + c);
+          hw.ScalarOps(4);
+          hw.AccumScalar(&fields.jx.data()[node], fx * accx);
+        }
+      }
+    }
+    // Jy and Jz mirror the Jx structure with permuted axes.
+    for (int c = 0; c < kW; ++c) {
+      for (int a = 0; a < kW; ++a) {
+        const double tx = ax.s0[a] * az.s0[c] + 0.5 * ax.ds[a] * az.s0[c] +
+                          0.5 * ax.s0[a] * az.ds[c] +
+                          (1.0 / 3.0) * ax.ds[a] * az.ds[c];
+        double accy = 0.0;
+        for (int b = 0; b < kW - 1; ++b) {
+          accy -= ay.ds[b] * tx;
+          const int64_t node =
+              fields.jy.Index(ax.base + a, ay.base + b, az.base + c);
+          hw.ScalarOps(4);
+          hw.AccumScalar(&fields.jy.data()[node], fy * accy);
+        }
+      }
+    }
+    for (int b = 0; b < kW; ++b) {
+      for (int a = 0; a < kW; ++a) {
+        const double txy = ax.s0[a] * ay.s0[b] + 0.5 * ax.ds[a] * ay.s0[b] +
+                           0.5 * ax.s0[a] * ay.ds[b] +
+                           (1.0 / 3.0) * ax.ds[a] * ay.ds[b];
+        double accz = 0.0;
+        for (int c = 0; c < kW - 1; ++c) {
+          accz -= az.ds[c] * txy;
+          const int64_t node =
+              fields.jz.Index(ax.base + a, ay.base + b, az.base + c);
+          hw.ScalarOps(4);
+          hw.AccumScalar(&fields.jz.data()[node], fz * accz);
+        }
+      }
+    }
+  }
+}
+
+template <int Order>
+void DepositCharge(HwContext& hw, const ParticleTile& tile,
+                   const DepositParams& params, FieldArray& rho) {
+  PhaseScope phase(hw.ledger(), Phase::kCompute);
+  constexpr int kSupport = Order + 1;
+  const GridGeometry& g = params.geom;
+  const double inv_vol = params.InvCellVolume();
+  const ParticleSoA& soa = tile.soa();
+  for (size_t i = 0; i < soa.size(); ++i) {
+    if (!tile.IsLive(static_cast<int32_t>(i))) {
+      hw.ScalarOps(1);
+      continue;
+    }
+    hw.TouchRead(&soa.x[i], sizeof(double) * 3);
+    hw.TouchRead(&soa.w[i], sizeof(double));
+    int sx0, sy0, sz0;
+    double wx[4], wy[4], wz[4];
+    ShapeFunction<Order>::Weights(g.GridX(soa.x[i]), &sx0, wx);
+    ShapeFunction<Order>::Weights(g.GridY(soa.y[i]), &sy0, wy);
+    ShapeFunction<Order>::Weights(g.GridZ(soa.z[i]), &sz0, wz);
+    const double qw = params.charge * soa.w[i] * inv_vol;
+    hw.ScalarOps(20);
+    for (int c = 0; c < kSupport; ++c) {
+      for (int b = 0; b < kSupport; ++b) {
+        const double wyz = wy[b] * wz[c];
+        for (int a = 0; a < kSupport; ++a) {
+          const int64_t node = rho.Index(sx0 + a, sy0 + b, sz0 + c);
+          hw.ScalarOps(2);
+          hw.AccumScalar(&rho.data()[node], qw * wx[a] * wyz);
+        }
+      }
+    }
+  }
+}
+
+template void DepositEsirkepov<1>(HwContext&, const ParticleTile&,
+                                  const std::vector<double>&,
+                                  const std::vector<double>&,
+                                  const std::vector<double>&,
+                                  const EsirkepovParams&, FieldSet&);
+template void DepositEsirkepov<2>(HwContext&, const ParticleTile&,
+                                  const std::vector<double>&,
+                                  const std::vector<double>&,
+                                  const std::vector<double>&,
+                                  const EsirkepovParams&, FieldSet&);
+template void DepositEsirkepov<3>(HwContext&, const ParticleTile&,
+                                  const std::vector<double>&,
+                                  const std::vector<double>&,
+                                  const std::vector<double>&,
+                                  const EsirkepovParams&, FieldSet&);
+template void DepositCharge<1>(HwContext&, const ParticleTile&, const DepositParams&,
+                               FieldArray&);
+template void DepositCharge<2>(HwContext&, const ParticleTile&, const DepositParams&,
+                               FieldArray&);
+template void DepositCharge<3>(HwContext&, const ParticleTile&, const DepositParams&,
+                               FieldArray&);
+
+}  // namespace mpic

@@ -1,0 +1,55 @@
+// Charge-conserving current deposition after Esirkepov (CPC 135, 2001) — the
+// extension the paper lists as future work (Sec. 7).
+//
+// Direct deposition (the kernels in deposit_*.cc) does not satisfy the
+// discrete continuity equation, so PIC codes using it must periodically clean
+// divergence errors. Esirkepov's scheme computes J from the *motion* of each
+// particle between two positions such that
+//
+//     (rho_new - rho_old)/dt + div J = 0
+//
+// holds exactly on the staggered (Yee) mesh, for any shape order. The J
+// components land at their Yee locations (Jx at i+1/2 etc.); rho is nodal.
+//
+// The implementation is the scalar canonical form (charged like the baseline);
+// mapping it onto the MPU is an open research direction noted in DESIGN.md.
+
+#ifndef MPIC_SRC_DEPOSIT_ESIRKEPOV_H_
+#define MPIC_SRC_DEPOSIT_ESIRKEPOV_H_
+
+#include <vector>
+
+#include "src/deposit/deposit_params.h"
+#include "src/grid/field_set.h"
+#include "src/hw/hw_context.h"
+#include "src/particles/particle_tile.h"
+
+namespace mpic {
+
+struct EsirkepovParams {
+  GridGeometry geom;
+  double charge = 0.0;
+  double dt = 0.0;
+};
+
+// Deposits the current of every live particle moving from its old position
+// (x_old/y_old/z_old, indexed by pid) to its current SoA position. The
+// displacement must satisfy the CFL bound (|delta| < one cell per axis).
+// Accumulates into fields.jx/jy/jz at Yee-staggered locations. Charged to
+// Phase::kCompute.
+template <int Order>
+void DepositEsirkepov(HwContext& hw, const ParticleTile& tile,
+                      const std::vector<double>& x_old,
+                      const std::vector<double>& y_old,
+                      const std::vector<double>& z_old,
+                      const EsirkepovParams& params, FieldSet& fields);
+
+// Nodal charge density deposition (rho += q*w*S/dV), used by the continuity
+// tests and by diagnostics.
+template <int Order>
+void DepositCharge(HwContext& hw, const ParticleTile& tile,
+                   const DepositParams& params, FieldArray& rho);
+
+}  // namespace mpic
+
+#endif  // MPIC_SRC_DEPOSIT_ESIRKEPOV_H_

@@ -1,0 +1,65 @@
+// Iteration helpers shared by the deposition kernels.
+//
+// ForEachParticle visits every live particle of a tile either in SoA slot order
+// (the unsorted baselines) or cell-by-cell through the GPMA bins (the sorted
+// kernels), charging the modeled cost of the traversal itself (live-flag tests
+// resp. GPMA index loads).
+
+#ifndef MPIC_SRC_DEPOSIT_PARTICLE_ITERATION_H_
+#define MPIC_SRC_DEPOSIT_PARTICLE_ITERATION_H_
+
+#include <cstdint>
+
+#include "src/hw/hw_context.h"
+#include "src/particles/particle_tile.h"
+
+namespace mpic {
+
+// fn(pid) is invoked for each live particle.
+template <typename Fn>
+void ForEachParticle(HwContext& hw, const ParticleTile& tile, bool sorted, Fn&& fn) {
+  if (!sorted) {
+    const int32_t n = tile.num_slots();
+    for (int32_t pid = 0; pid < n; ++pid) {
+      hw.ScalarOps(1);  // live-flag test
+      if (tile.IsLive(pid)) {
+        fn(pid);
+      }
+    }
+    return;
+  }
+  const Gpma& gpma = tile.gpma();
+  const auto& index = gpma.local_index();
+  for (int cell = 0; cell < gpma.num_cells(); ++cell) {
+    const int64_t off = gpma.BinOffset(cell);
+    const int32_t len = gpma.BinLen(cell);
+    if (len > 0) {
+      // The bin's index words stream in contiguously.
+      hw.TouchRead(&index[static_cast<size_t>(off)], sizeof(int32_t) * len);
+    }
+    for (int32_t s = 0; s < len; ++s) {
+      fn(index[static_cast<size_t>(off + s)]);
+    }
+  }
+}
+
+// fn(cell, pids, count) is invoked once per non-empty cell with the bin's pid
+// list (sorted kernels only).
+template <typename Fn>
+void ForEachCellBin(HwContext& hw, const ParticleTile& tile, Fn&& fn) {
+  const Gpma& gpma = tile.gpma();
+  const auto& index = gpma.local_index();
+  for (int cell = 0; cell < gpma.num_cells(); ++cell) {
+    const int64_t off = gpma.BinOffset(cell);
+    const int32_t len = gpma.BinLen(cell);
+    if (len == 0) {
+      continue;
+    }
+    hw.TouchRead(&index[static_cast<size_t>(off)], sizeof(int32_t) * len);
+    fn(cell, &index[static_cast<size_t>(off)], len);
+  }
+}
+
+}  // namespace mpic
+
+#endif  // MPIC_SRC_DEPOSIT_PARTICLE_ITERATION_H_

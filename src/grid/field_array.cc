@@ -1,0 +1,83 @@
+#include "src/grid/field_array.h"
+
+#include <algorithm>
+
+namespace mpic {
+
+FieldArray::FieldArray(int nx, int ny, int nz, int ng)
+    : nx_(nx),
+      ny_(ny),
+      nz_(nz),
+      ng_(ng),
+      sx_(nx + 1 + 2 * ng),
+      sy_(ny + 1 + 2 * ng),
+      sz_(nz + 1 + 2 * ng) {
+  MPIC_CHECK(nx > 0 && ny > 0 && nz > 0 && ng >= 0);
+  data_.assign(static_cast<size_t>(sx_) * sy_ * sz_, 0.0);
+}
+
+void FieldArray::Fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+int FieldArray::WrapInterior(int i, int n) const {
+  // Maps node index i (possibly in guards, possibly == n) onto [0, n-1],
+  // identifying node n with node 0 under periodicity.
+  int w = i % n;
+  if (w < 0) {
+    w += n;
+  }
+  return w;
+}
+
+void FieldArray::FoldGuardsPeriodic() {
+  for (int k = -ng_; k <= nz_ + ng_; ++k) {
+    for (int j = -ng_; j <= ny_ + ng_; ++j) {
+      for (int i = -ng_; i <= nx_ + ng_; ++i) {
+        const bool interior_unique =
+            i >= 0 && i < nx_ && j >= 0 && j < ny_ && k >= 0 && k < nz_;
+        if (interior_unique) {
+          continue;
+        }
+        const double v = At(i, j, k);
+        if (v != 0.0) {
+          At(WrapInterior(i, nx_), WrapInterior(j, ny_), WrapInterior(k, nz_)) += v;
+          At(i, j, k) = 0.0;
+        }
+      }
+    }
+  }
+  // Re-establish the duplicated boundary nodes (node n == node 0).
+  FillGuardsPeriodic();
+}
+
+void FieldArray::FillGuardsPeriodic() {
+  for (int k = -ng_; k <= nz_ + ng_; ++k) {
+    for (int j = -ng_; j <= ny_ + ng_; ++j) {
+      for (int i = -ng_; i <= nx_ + ng_; ++i) {
+        const bool interior_unique =
+            i >= 0 && i < nx_ && j >= 0 && j < ny_ && k >= 0 && k < nz_;
+        if (interior_unique) {
+          continue;
+        }
+        At(i, j, k) = At(WrapInterior(i, nx_), WrapInterior(j, ny_), WrapInterior(k, nz_));
+      }
+    }
+  }
+}
+
+double FieldArray::InteriorSumUnique() const {
+  double sum = 0.0;
+  double c = 0.0;
+  for (int k = 0; k < nz_; ++k) {
+    for (int j = 0; j < ny_; ++j) {
+      for (int i = 0; i < nx_; ++i) {
+        const double y = At(i, j, k) - c;
+        const double t = sum + y;
+        c = (t - sum) - y;
+        sum = t;
+      }
+    }
+  }
+  return sum;
+}
+
+}  // namespace mpic

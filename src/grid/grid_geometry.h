@@ -1,0 +1,60 @@
+// Geometry of the structured 3D simulation grid: cell counts, spacing, origin,
+// and position<->cell mapping. Shared by fields, particles, and kernels.
+
+#ifndef MPIC_SRC_GRID_GRID_GEOMETRY_H_
+#define MPIC_SRC_GRID_GRID_GEOMETRY_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace mpic {
+
+struct GridGeometry {
+  int nx = 0, ny = 0, nz = 0;          // cells per axis
+  double dx = 1.0, dy = 1.0, dz = 1.0;  // cell size [m]
+  double x0 = 0.0, y0 = 0.0, z0 = 0.0;  // position of cell (0,0,0) low corner
+
+  int64_t NumCells() const {
+    return static_cast<int64_t>(nx) * ny * nz;
+  }
+  double LengthX() const { return nx * dx; }
+  double LengthY() const { return ny * dy; }
+  double LengthZ() const { return nz * dz; }
+
+  // Position in grid units (cells) along each axis; cell index = floor of this.
+  double GridX(double x) const { return (x - x0) / dx; }
+  double GridY(double y) const { return (y - y0) / dy; }
+  double GridZ(double z) const { return (z - z0) / dz; }
+
+  int CellX(double x) const { return static_cast<int>(std::floor(GridX(x))); }
+  int CellY(double y) const { return static_cast<int>(std::floor(GridY(y))); }
+  int CellZ(double z) const { return static_cast<int>(std::floor(GridZ(z))); }
+
+  // Linear cell id (x fastest), valid for in-domain cells.
+  int64_t CellId(int ix, int iy, int iz) const {
+    return ix + static_cast<int64_t>(nx) * (iy + static_cast<int64_t>(ny) * iz);
+  }
+
+  bool InDomain(double x, double y, double z) const {
+    return x >= x0 && x < x0 + LengthX() && y >= y0 && y < y0 + LengthY() &&
+           z >= z0 && z < z0 + LengthZ();
+  }
+
+  // Wraps a position into the periodic domain along each axis.
+  double WrapX(double x) const { return Wrap(x, x0, LengthX()); }
+  double WrapY(double y) const { return Wrap(y, y0, LengthY()); }
+  double WrapZ(double z) const { return Wrap(z, z0, LengthZ()); }
+
+ private:
+  static double Wrap(double v, double lo, double len) {
+    double t = std::fmod(v - lo, len);
+    if (t < 0.0) {
+      t += len;
+    }
+    return lo + t;
+  }
+};
+
+}  // namespace mpic
+
+#endif  // MPIC_SRC_GRID_GRID_GEOMETRY_H_

@@ -1,0 +1,130 @@
+#include "src/hw/cache_model.h"
+
+#include "src/common/check.h"
+
+namespace mpic {
+
+CacheLevel::CacheLevel(const CacheLevelConfig& cfg, int line_bytes)
+    : ways_(cfg.ways),
+      num_sets_(static_cast<int>(cfg.size_bytes / (static_cast<size_t>(cfg.ways) *
+                                                   static_cast<size_t>(line_bytes)))) {
+  MPIC_CHECK(ways_ > 0);
+  MPIC_CHECK(num_sets_ > 0);
+  // Power-of-two set count lets us mask instead of mod.
+  MPIC_CHECK((num_sets_ & (num_sets_ - 1)) == 0);
+  tags_.assign(static_cast<size_t>(num_sets_) * ways_, kInvalidTag);
+  lru_.assign(tags_.size(), 0);
+  clock_.assign(static_cast<size_t>(num_sets_), 0);
+}
+
+bool CacheLevel::Access(uint64_t line_addr) {
+  // The stored "tag" is the full line address; comparing it is equivalent to a
+  // tag match within the indexed set.
+  const int set = static_cast<int>(line_addr & static_cast<uint64_t>(num_sets_ - 1));
+  uint64_t* tags = &tags_[static_cast<size_t>(set) * ways_];
+  for (int w = 0; w < ways_; ++w) {
+    if (tags[w] == line_addr) {
+      lru_[static_cast<size_t>(set) * ways_ + w] = ++clock_[set];
+      return true;
+    }
+  }
+  return false;
+}
+
+void CacheLevel::Fill(uint64_t line_addr) {
+  const int set = static_cast<int>(line_addr & static_cast<uint64_t>(num_sets_ - 1));
+  uint64_t* tags = &tags_[static_cast<size_t>(set) * ways_];
+  uint32_t* lru = &lru_[static_cast<size_t>(set) * ways_];
+  int victim = 0;
+  uint32_t best = ~uint32_t{0};
+  for (int w = 0; w < ways_; ++w) {
+    if (tags[w] == kInvalidTag) {
+      victim = w;
+      break;
+    }
+    if (lru[w] < best) {
+      best = lru[w];
+      victim = w;
+    }
+  }
+  tags[victim] = line_addr;
+  lru[victim] = ++clock_[set];
+}
+
+void CacheLevel::Reset() {
+  std::fill(tags_.begin(), tags_.end(), kInvalidTag);
+  std::fill(lru_.begin(), lru_.end(), 0u);
+  std::fill(clock_.begin(), clock_.end(), 0u);
+}
+
+CacheModel::CacheModel(const MachineConfig& cfg)
+    : l1_(cfg.l1, kCacheLineBytes),
+      l2_(cfg.l2, kCacheLineBytes),
+      l2_penalty_(cfg.l2.hit_penalty_cycles),
+      dram_penalty_(cfg.dram_penalty_cycles),
+      prefetch_factor_(cfg.prefetch_factor) {
+  stream_next_.assign(static_cast<size_t>(cfg.prefetch_streams), ~uint64_t{0});
+  stream_lru_.assign(static_cast<size_t>(cfg.prefetch_streams), 0);
+}
+
+bool CacheModel::PrefetchHit(uint64_t line) {
+  ++stream_clock_;
+  size_t victim = 0;
+  uint64_t oldest = ~uint64_t{0};
+  for (size_t i = 0; i < stream_next_.size(); ++i) {
+    if (stream_next_[i] == line) {
+      // Predicted: advance the stream.
+      stream_next_[i] = line + 1;
+      stream_lru_[i] = stream_clock_;
+      return true;
+    }
+    if (stream_lru_[i] < oldest) {
+      oldest = stream_lru_[i];
+      victim = i;
+    }
+  }
+  // New (or broken) stream: start tracking from here.
+  stream_next_[victim] = line + 1;
+  stream_lru_[victim] = stream_clock_;
+  return false;
+}
+
+double CacheModel::Touch(uint64_t addr, CostLedger& ledger) {
+  const uint64_t line = addr / kCacheLineBytes;
+  auto& c = ledger.counters();
+  if (l1_.Access(line)) {
+    ++c.l1_hits;
+    return 0.0;
+  }
+  ++c.l1_misses;
+  const double discount = PrefetchHit(line) ? prefetch_factor_ : 1.0;
+  if (l2_.Access(line)) {
+    ++c.l2_hits;
+    l1_.Fill(line);
+    return l2_penalty_ * discount;
+  }
+  ++c.l2_misses;
+  l2_.Fill(line);
+  l1_.Fill(line);
+  return dram_penalty_ * discount;
+}
+
+double CacheModel::TouchRange(uint64_t addr, uint64_t bytes, CostLedger& ledger) {
+  if (bytes == 0) {
+    return 0.0;
+  }
+  const uint64_t first = addr / kCacheLineBytes;
+  const uint64_t last = (addr + bytes - 1) / kCacheLineBytes;
+  double penalty = 0.0;
+  for (uint64_t line = first; line <= last; ++line) {
+    penalty += Touch(line * kCacheLineBytes, ledger);
+  }
+  return penalty;
+}
+
+void CacheModel::Reset() {
+  l1_.Reset();
+  l2_.Reset();
+}
+
+}  // namespace mpic

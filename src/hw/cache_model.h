@@ -1,0 +1,73 @@
+// Two-level set-associative cache model with LRU replacement.
+//
+// The model works on *logical* addresses supplied by the MemMap (stable across
+// runs, independent of the host heap), at cache-line granularity. It returns the
+// extra cycles an access costs and records hit/miss events in the ledger.
+
+#ifndef MPIC_SRC_HW_CACHE_MODEL_H_
+#define MPIC_SRC_HW_CACHE_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/hw/cost_ledger.h"
+#include "src/hw/machine_config.h"
+
+namespace mpic {
+
+// One inclusive cache level.
+class CacheLevel {
+ public:
+  CacheLevel(const CacheLevelConfig& cfg, int line_bytes);
+
+  // Looks up (and on hit, refreshes LRU for) the line containing addr.
+  bool Access(uint64_t line_addr);
+  // Installs the line, evicting LRU if needed.
+  void Fill(uint64_t line_addr);
+  void Reset();
+
+  int num_sets() const { return num_sets_; }
+
+ private:
+  int ways_;
+  int num_sets_;
+  // tags_[set * ways_ + way]; kInvalidTag marks an empty way.
+  std::vector<uint64_t> tags_;
+  // lru_[set * ways_ + way]: larger = more recently used.
+  std::vector<uint32_t> lru_;
+  std::vector<uint32_t> clock_;  // per-set LRU clock
+
+  static constexpr uint64_t kInvalidTag = ~uint64_t{0};
+};
+
+class CacheModel {
+ public:
+  explicit CacheModel(const MachineConfig& cfg);
+
+  // Models one access to the line containing `addr`. Returns the extra penalty
+  // cycles (0 for an L1 hit; discounted by the stride prefetcher when the line
+  // continues a tracked sequential stream) and records events in `ledger`.
+  double Touch(uint64_t addr, CostLedger& ledger);
+
+  // Models an access spanning [addr, addr+bytes): touches every line in range.
+  double TouchRange(uint64_t addr, uint64_t bytes, CostLedger& ledger);
+
+  void Reset();
+
+ private:
+  bool PrefetchHit(uint64_t line);
+
+  CacheLevel l1_;
+  CacheLevel l2_;
+  double l2_penalty_;
+  double dram_penalty_;
+  double prefetch_factor_;
+  // Next-line stride prefetcher state (LRU-replaced stream trackers).
+  std::vector<uint64_t> stream_next_;
+  std::vector<uint64_t> stream_lru_;
+  uint64_t stream_clock_ = 0;
+};
+
+}  // namespace mpic
+
+#endif  // MPIC_SRC_HW_CACHE_MODEL_H_

@@ -1,0 +1,62 @@
+#include "src/hw/cost_ledger.h"
+
+#include <sstream>
+
+namespace mpic {
+
+const char* PhaseName(Phase p) {
+  switch (p) {
+    case Phase::kPreproc:
+      return "preproc";
+    case Phase::kCompute:
+      return "compute";
+    case Phase::kSort:
+      return "sort";
+    case Phase::kReduce:
+      return "reduce";
+    case Phase::kGather:
+      return "gather";
+    case Phase::kPush:
+      return "push";
+    case Phase::kSolver:
+      return "solver";
+    case Phase::kOther:
+      return "other";
+  }
+  return "?";
+}
+
+void CostLedger::Reset() {
+  cycles_.fill(0.0);
+  counters_ = LedgerCounters{};
+  phase_ = Phase::kOther;
+}
+
+double CostLedger::TotalCycles() const {
+  double total = 0.0;
+  for (double c : cycles_) {
+    total += c;
+  }
+  return total;
+}
+
+double CostLedger::DepositionCycles() const {
+  return PhaseCycles(Phase::kPreproc) + PhaseCycles(Phase::kCompute) +
+         PhaseCycles(Phase::kSort) + PhaseCycles(Phase::kReduce);
+}
+
+std::string CostLedger::Summary() const {
+  std::ostringstream out;
+  out << "cycles:";
+  for (int i = 0; i < kNumPhases; ++i) {
+    out << " " << PhaseName(static_cast<Phase>(i)) << "=" << cycles_[i];
+  }
+  out << "\nops: scalar=" << counters_.scalar_ops << " vpu=" << counters_.vpu_ops
+      << " mopa=" << counters_.mopas << " gathers=" << counters_.gathers
+      << " scatters=" << counters_.scatters << " atomics=" << counters_.atomics;
+  out << "\ncache: l1h=" << counters_.l1_hits << " l1m=" << counters_.l1_misses
+      << " l2h=" << counters_.l2_hits << " l2m=" << counters_.l2_misses;
+  return out.str();
+}
+
+}  // namespace mpic

@@ -1,0 +1,93 @@
+// Cycle and event accounting for the modeled machine.
+//
+// Every modeled operation charges cycles to the ledger under the currently
+// active Phase. The bench harness reads phases back to print the paper's
+// Total / Preproc / Compute / Sort breakdown (Tables 1-2) and the wall-time
+// stacks (Figures 8-10).
+
+#ifndef MPIC_SRC_HW_COST_LEDGER_H_
+#define MPIC_SRC_HW_COST_LEDGER_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace mpic {
+
+// Phases mirror the paper's kernel decomposition plus the rest of the PIC loop.
+enum class Phase : int {
+  kPreproc = 0,  // VPU data staging: shape factors, weights, indices
+  kCompute,      // deposition arithmetic (VPU or MPU)
+  kSort,         // incremental sort + GPMA maintenance + global sorts
+  kReduce,       // rhocell -> global J reduction
+  kGather,       // field gather (grid -> particle)
+  kPush,         // particle push
+  kSolver,       // Maxwell field solve
+  kOther,
+};
+inline constexpr int kNumPhases = 8;
+
+const char* PhaseName(Phase p);
+
+struct LedgerCounters {
+  // Instruction/event counts.
+  uint64_t scalar_ops = 0;
+  uint64_t scalar_mem = 0;
+  uint64_t vpu_ops = 0;
+  uint64_t vpu_mem = 0;
+  uint64_t gathers = 0;
+  uint64_t scatters = 0;
+  uint64_t mopas = 0;
+  uint64_t atomics = 0;
+  // Cache events.
+  uint64_t l1_hits = 0;
+  uint64_t l1_misses = 0;
+  uint64_t l2_hits = 0;
+  uint64_t l2_misses = 0;
+};
+
+class CostLedger {
+ public:
+  void Reset();
+
+  void SetPhase(Phase p) { phase_ = p; }
+  Phase phase() const { return phase_; }
+
+  void AddCycles(double c) { cycles_[static_cast<int>(phase_)] += c; }
+
+  double PhaseCycles(Phase p) const { return cycles_[static_cast<int>(p)]; }
+  double TotalCycles() const;
+  // Cycles across the deposition kernel phases only (Preproc+Compute+Sort+Reduce),
+  // matching the paper's "complete deposition kernel time".
+  double DepositionCycles() const;
+
+  LedgerCounters& counters() { return counters_; }
+  const LedgerCounters& counters() const { return counters_; }
+
+  // Human-readable multi-line summary (debugging aid).
+  std::string Summary() const;
+
+ private:
+  Phase phase_ = Phase::kOther;
+  std::array<double, kNumPhases> cycles_{};
+  LedgerCounters counters_;
+};
+
+// RAII helper: sets a phase for a scope, restores the previous phase on exit.
+class PhaseScope {
+ public:
+  PhaseScope(CostLedger& ledger, Phase p) : ledger_(ledger), prev_(ledger.phase()) {
+    ledger_.SetPhase(p);
+  }
+  ~PhaseScope() { ledger_.SetPhase(prev_); }
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  CostLedger& ledger_;
+  Phase prev_;
+};
+
+}  // namespace mpic
+
+#endif  // MPIC_SRC_HW_COST_LEDGER_H_

@@ -1,0 +1,331 @@
+#include "src/hw/hw_context.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace mpic {
+
+HwContext::HwContext(const MachineConfig& cfg)
+    : cfg_(cfg),
+      cache_(cfg),
+      vpu_op_cycles_(1.0 / static_cast<double>(cfg.vpu_pipes)),
+      scalar_op_cycles_(1.0 / cfg.scalar_ops_per_cycle) {}
+
+void HwContext::ResetModel() {
+  ledger_.Reset();
+  cache_.Reset();
+}
+
+void HwContext::ChargeMem(const void* p, size_t bytes, double issue_cycles,
+                          bool write, uint64_t count_as_vpu_mem) {
+  (void)write;  // the model charges reads and writes identically
+  const uint64_t addr = mem_.Translate(p);
+  const double penalty = cache_.TouchRange(addr, bytes, ledger_);
+  ledger_.AddCycles(issue_cycles + penalty);
+  if (count_as_vpu_mem != 0) {
+    ledger_.counters().vpu_mem += count_as_vpu_mem;
+  } else {
+    ++ledger_.counters().scalar_mem;
+  }
+}
+
+// ---- Scalar stream ---------------------------------------------------------
+
+void HwContext::ScalarOps(int n) {
+  ledger_.counters().scalar_ops += static_cast<uint64_t>(n);
+  ledger_.AddCycles(scalar_op_cycles_ * n);
+}
+
+double HwContext::LoadScalar(const double* p) {
+  ChargeMem(p, sizeof(double), cfg_.scalar_mem_issue_cycles, /*write=*/false, 0);
+  return *p;
+}
+
+void HwContext::StoreScalar(double* p, double v) {
+  ChargeMem(p, sizeof(double), cfg_.scalar_mem_issue_cycles, /*write=*/true, 0);
+  *p = v;
+}
+
+void HwContext::AccumScalar(double* p, double v) {
+  // Load + add + store; the line is touched once (it stays in L1 for the RMW).
+  ChargeMem(p, sizeof(double), 2.0 * cfg_.scalar_mem_issue_cycles, /*write=*/true, 0);
+  ScalarOps(1);
+  *p += v;
+}
+
+void HwContext::AtomicAccumScalar(double* p, double v) {
+  ++ledger_.counters().atomics;
+  ledger_.AddCycles(cfg_.atomic_extra_cycles);
+  AccumScalar(p, v);
+}
+
+void HwContext::TouchRead(const void* p, size_t bytes) {
+  ChargeMem(p, bytes, cfg_.scalar_mem_issue_cycles, /*write=*/false, 0);
+}
+
+void HwContext::TouchWrite(const void* p, size_t bytes) {
+  ChargeMem(p, bytes, cfg_.scalar_mem_issue_cycles, /*write=*/true, 0);
+}
+
+// ---- VPU stream ------------------------------------------------------------
+
+Vec8 HwContext::VLoad(const double* p) {
+  ChargeMem(p, sizeof(double) * kVpuLanes, cfg_.vector_mem_issue_cycles,
+            /*write=*/false, 1);
+  Vec8 r;
+  for (int i = 0; i < kVpuLanes; ++i) {
+    r[i] = p[i];
+  }
+  return r;
+}
+
+void HwContext::VStore(double* p, const Vec8& v) {
+  ChargeMem(p, sizeof(double) * kVpuLanes, cfg_.vector_mem_issue_cycles,
+            /*write=*/true, 1);
+  for (int i = 0; i < kVpuLanes; ++i) {
+    p[i] = v[i];
+  }
+}
+
+void HwContext::VStoreMasked(double* p, const Vec8& v, const Mask8& m) {
+  ChargeMem(p, sizeof(double) * kVpuLanes, cfg_.vector_mem_issue_cycles,
+            /*write=*/true, 1);
+  for (int i = 0; i < kVpuLanes; ++i) {
+    if (m.lane[static_cast<size_t>(i)]) {
+      p[i] = v[i];
+    }
+  }
+}
+
+Vec8 HwContext::VGather(const double* base, const int64_t* idx, const Mask8& m) {
+  ++ledger_.counters().gathers;
+  ledger_.AddCycles(cfg_.gather_issue_cycles);
+  Vec8 r = Vec8::Zero();
+  for (int i = 0; i < kVpuLanes; ++i) {
+    if (!m.lane[static_cast<size_t>(i)]) {
+      continue;
+    }
+    const double* p = base + idx[i];
+    const uint64_t addr = mem_.Translate(p);
+    ledger_.AddCycles(cache_.TouchRange(addr, sizeof(double), ledger_));
+    r[i] = *p;
+  }
+  return r;
+}
+
+Vec8 HwContext::VGatherAuto(const double* base, const int64_t* idx, const Mask8& m) {
+  int active = 0;
+  bool contiguous = true;
+  for (int i = 0; i < kVpuLanes; ++i) {
+    if (!m.lane[static_cast<size_t>(i)]) {
+      continue;
+    }
+    if (active > 0 && idx[i] != idx[0] + i) {
+      contiguous = false;
+    }
+    ++active;
+  }
+  if (!contiguous || active == 0) {
+    return VGather(base, idx, m);
+  }
+  // One masked vector load.
+  ChargeMem(base + idx[0], sizeof(double) * static_cast<size_t>(active),
+            cfg_.vector_mem_issue_cycles, /*write=*/false, 1);
+  Vec8 r = Vec8::Zero();
+  for (int i = 0; i < kVpuLanes; ++i) {
+    if (m.lane[static_cast<size_t>(i)]) {
+      r[i] = base[idx[i]];
+    }
+  }
+  return r;
+}
+
+void HwContext::VScatter(double* base, const int64_t* idx, const Vec8& v,
+                         const Mask8& m) {
+  ++ledger_.counters().scatters;
+  ledger_.AddCycles(cfg_.gather_issue_cycles);
+  for (int i = 0; i < kVpuLanes; ++i) {
+    if (!m.lane[static_cast<size_t>(i)]) {
+      continue;
+    }
+    double* p = base + idx[i];
+    const uint64_t addr = mem_.Translate(p);
+    ledger_.AddCycles(cache_.TouchRange(addr, sizeof(double), ledger_));
+    *p = v[i];
+  }
+}
+
+void HwContext::VScatterAccum(double* base, const int64_t* idx, const Vec8& v,
+                              const Mask8& m) {
+  ++ledger_.counters().scatters;
+  ledger_.AddCycles(cfg_.gather_issue_cycles + vpu_op_cycles_);
+  for (int i = 0; i < kVpuLanes; ++i) {
+    if (!m.lane[static_cast<size_t>(i)]) {
+      continue;
+    }
+    double* p = base + idx[i];
+    const uint64_t addr = mem_.Translate(p);
+    ledger_.AddCycles(cache_.TouchRange(addr, sizeof(double), ledger_));
+    *p += v[i];
+  }
+}
+
+void HwContext::VScatterAccumConflict(double* base, const int64_t* idx,
+                                      const Vec8& v, const Mask8& m) {
+  // Count lanes whose target duplicates an earlier active lane: each duplicate
+  // forces a serialized retry (Fig. 2 of the paper).
+  int conflicts = 0;
+  for (int i = 0; i < kVpuLanes; ++i) {
+    if (!m.lane[static_cast<size_t>(i)]) {
+      continue;
+    }
+    for (int j = 0; j < i; ++j) {
+      if (m.lane[static_cast<size_t>(j)] && idx[j] == idx[i]) {
+        ++conflicts;
+        break;
+      }
+    }
+  }
+  if (conflicts > 0) {
+    ledger_.counters().atomics += static_cast<uint64_t>(conflicts);
+    ledger_.AddCycles(cfg_.atomic_extra_cycles * conflicts);
+  }
+  VScatterAccum(base, idx, v, m);
+}
+
+Vec8 HwContext::VAdd(const Vec8& a, const Vec8& b) {
+  ++ledger_.counters().vpu_ops;
+  ledger_.AddCycles(vpu_op_cycles_);
+  Vec8 r;
+  for (int i = 0; i < kVpuLanes; ++i) {
+    r[i] = a[i] + b[i];
+  }
+  return r;
+}
+
+Vec8 HwContext::VSub(const Vec8& a, const Vec8& b) {
+  ++ledger_.counters().vpu_ops;
+  ledger_.AddCycles(vpu_op_cycles_);
+  Vec8 r;
+  for (int i = 0; i < kVpuLanes; ++i) {
+    r[i] = a[i] - b[i];
+  }
+  return r;
+}
+
+Vec8 HwContext::VMul(const Vec8& a, const Vec8& b) {
+  ++ledger_.counters().vpu_ops;
+  ledger_.AddCycles(vpu_op_cycles_);
+  Vec8 r;
+  for (int i = 0; i < kVpuLanes; ++i) {
+    r[i] = a[i] * b[i];
+  }
+  return r;
+}
+
+Vec8 HwContext::VFma(const Vec8& a, const Vec8& b, const Vec8& c) {
+  ++ledger_.counters().vpu_ops;
+  ledger_.AddCycles(vpu_op_cycles_);
+  Vec8 r;
+  for (int i = 0; i < kVpuLanes; ++i) {
+    r[i] = std::fma(a[i], b[i], c[i]);
+  }
+  return r;
+}
+
+Vec8 HwContext::VFloor(const Vec8& a) {
+  ++ledger_.counters().vpu_ops;
+  ledger_.AddCycles(vpu_op_cycles_);
+  Vec8 r;
+  for (int i = 0; i < kVpuLanes; ++i) {
+    r[i] = std::floor(a[i]);
+  }
+  return r;
+}
+
+Vec8 HwContext::VMin(const Vec8& a, const Vec8& b) {
+  ++ledger_.counters().vpu_ops;
+  ledger_.AddCycles(vpu_op_cycles_);
+  Vec8 r;
+  for (int i = 0; i < kVpuLanes; ++i) {
+    r[i] = a[i] < b[i] ? a[i] : b[i];
+  }
+  return r;
+}
+
+Vec8 HwContext::VMax(const Vec8& a, const Vec8& b) {
+  ++ledger_.counters().vpu_ops;
+  ledger_.AddCycles(vpu_op_cycles_);
+  Vec8 r;
+  for (int i = 0; i < kVpuLanes; ++i) {
+    r[i] = a[i] > b[i] ? a[i] : b[i];
+  }
+  return r;
+}
+
+Vec8 HwContext::VBroadcast(double v) {
+  ++ledger_.counters().vpu_ops;
+  ledger_.AddCycles(vpu_op_cycles_);
+  return Vec8::Splat(v);
+}
+
+Vec8 HwContext::VPermute(const Vec8& a, const int* perm) {
+  ++ledger_.counters().vpu_ops;
+  ledger_.AddCycles(vpu_op_cycles_);
+  Vec8 r;
+  for (int i = 0; i < kVpuLanes; ++i) {
+    r[i] = a[perm[i]];
+  }
+  return r;
+}
+
+double HwContext::VReduceSum(const Vec8& a) {
+  // log2(8) = 3 shuffle+add steps.
+  ledger_.counters().vpu_ops += 3;
+  ledger_.AddCycles(3.0 * vpu_op_cycles_);
+  double s = 0.0;
+  for (int i = 0; i < kVpuLanes; ++i) {
+    s += a[i];
+  }
+  return s;
+}
+
+// ---- MPU stream ------------------------------------------------------------
+
+void HwContext::Mopa(MpuTileReg& tile, const Vec8& a, const Vec8& b) {
+  MPIC_CHECK_MSG(cfg_.has_mpu, "MPU kernel executed on a machine without an MPU");
+  ++ledger_.counters().mopas;
+  ledger_.AddCycles(cfg_.mopa_issue_cycles);
+  for (int r = 0; r < kMpuTile; ++r) {
+    for (int c = 0; c < kMpuTile; ++c) {
+      tile.At(r, c) = std::fma(a[r], b[c], tile.At(r, c));
+    }
+  }
+}
+
+void HwContext::TileZero(MpuTileReg& tile) {
+  MPIC_CHECK_MSG(cfg_.has_mpu, "MPU kernel executed on a machine without an MPU");
+  ledger_.AddCycles(cfg_.mpu_vpu_transfer_cycles);
+  tile.Zero();
+}
+
+Vec8 HwContext::TileReadRow(const MpuTileReg& tile, int row) {
+  MPIC_CHECK_MSG(cfg_.has_mpu, "MPU kernel executed on a machine without an MPU");
+  ledger_.AddCycles(cfg_.mpu_vpu_transfer_cycles);
+  Vec8 r;
+  for (int c = 0; c < kMpuTile; ++c) {
+    r[c] = tile.At(row, c);
+  }
+  return r;
+}
+
+// ---- Bulk accounting -------------------------------------------------------
+
+void HwContext::ChargeBulk(double flops, double bytes) {
+  const double compute_cycles = flops / cfg_.VpuPeakFlopsPerCycle();
+  const double mem_cycles = bytes / cfg_.stream_bytes_per_cycle;
+  ledger_.AddCycles(compute_cycles > mem_cycles ? compute_cycles : mem_cycles);
+}
+
+}  // namespace mpic

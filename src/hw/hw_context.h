@@ -1,0 +1,136 @@
+// HwContext: the modeled LX2 core that every MatrixPIC kernel programs against.
+//
+// It plays the role the real hardware's intrinsics play in the paper: kernels
+// issue scalar, VPU (8-lane FP64 SIMD) and MPU (8x8 FP64 outer-product tile)
+// operations. Each operation
+//   (1) computes the real FP64 result, and
+//   (2) charges modeled cycles to the CostLedger under the active Phase,
+//       consulting the CacheModel for every modeled memory access.
+//
+// This is the substitution for the paper's LX2 CPU (DESIGN.md Sec. 2): results
+// are numerically real and validated against scalar references, while "time" is
+// the modeled cycle count.
+
+#ifndef MPIC_SRC_HW_HW_CONTEXT_H_
+#define MPIC_SRC_HW_HW_CONTEXT_H_
+
+#include <cstdint>
+
+#include "src/hw/cache_model.h"
+#include "src/hw/cost_ledger.h"
+#include "src/hw/machine_config.h"
+#include "src/hw/mem_map.h"
+#include "src/hw/vec.h"
+
+namespace mpic {
+
+class HwContext {
+ public:
+  explicit HwContext(const MachineConfig& cfg = MachineConfig::Lx2());
+
+  const MachineConfig& cfg() const { return cfg_; }
+  CostLedger& ledger() { return ledger_; }
+  const CostLedger& ledger() const { return ledger_; }
+  CacheModel& cache() { return cache_; }
+  MemMap& mem() { return mem_; }
+
+  // Registers an array with the deterministic logical address space. Kernels
+  // register every array they model accesses to (particles, J, rhocells, GPMA
+  // index arrays) once per configuration.
+  void RegisterRegion(const void* p, size_t bytes) { mem_.Register(p, bytes); }
+
+  // Resets modeled state between bench configurations (cold caches, zero
+  // cycles). Region registrations survive; call mem().Clear() to drop them.
+  void ResetModel();
+
+  // ---- Scalar stream -------------------------------------------------------
+
+  // n scalar ALU/FPU micro-ops.
+  void ScalarOps(int n);
+  // Scalar load of one double (value returned; cache modeled).
+  double LoadScalar(const double* p);
+  void StoreScalar(double* p, double v);
+  // Scalar read-modify-write: *p += v (the canonical deposition update).
+  void AccumScalar(double* p, double v);
+  // Same, through an atomic (charges cfg.atomic_extra_cycles).
+  void AtomicAccumScalar(double* p, double v);
+  // Models a scalar-width access to non-double data (indices, flags).
+  void TouchRead(const void* p, size_t bytes);
+  void TouchWrite(const void* p, size_t bytes);
+
+  // ---- VPU stream ----------------------------------------------------------
+
+  // Contiguous vector load/store of kVpuLanes doubles.
+  Vec8 VLoad(const double* p);
+  void VStore(double* p, const Vec8& v);
+  void VStoreMasked(double* p, const Vec8& v, const Mask8& m);
+
+  // Gather/scatter with 64-bit lane indices relative to `base` (elements).
+  Vec8 VGather(const double* base, const int64_t* idx, const Mask8& m);
+  // Indexed load that detects a contiguous ascending run over the active lanes
+  // (the post-global-sort common case) and charges vector-load cost instead of
+  // gather cost. Sorted kernels use this; the paper's point that "unordered
+  // particle access leads to weaker compute" falls out of it.
+  Vec8 VGatherAuto(const double* base, const int64_t* idx, const Mask8& m);
+  void VScatter(double* base, const int64_t* idx, const Vec8& v, const Mask8& m);
+  // Scatter-accumulate: base[idx[i]] += v[i]. When two active lanes target the
+  // same element, the accumulation is serialized and charged extra — this is
+  // the Fig. 2 intra-vector conflict pathology.
+  void VScatterAccumConflict(double* base, const int64_t* idx, const Vec8& v,
+                             const Mask8& m);
+  // Conflict-free variant used by kernels that guarantee disjoint lanes
+  // (e.g. rhocell updates): no conflict detection cost, plain scatter cost.
+  void VScatterAccum(double* base, const int64_t* idx, const Vec8& v,
+                     const Mask8& m);
+
+  // Register-to-register arithmetic (one VPU instruction each).
+  Vec8 VAdd(const Vec8& a, const Vec8& b);
+  Vec8 VSub(const Vec8& a, const Vec8& b);
+  Vec8 VMul(const Vec8& a, const Vec8& b);
+  Vec8 VFma(const Vec8& a, const Vec8& b, const Vec8& c);  // a*b + c
+  Vec8 VFloor(const Vec8& a);
+  Vec8 VMin(const Vec8& a, const Vec8& b);
+  Vec8 VMax(const Vec8& a, const Vec8& b);
+  Vec8 VBroadcast(double v);
+  // Lane permute/pack used for MPU operand assembly (charged like one op).
+  Vec8 VPermute(const Vec8& a, const int* perm);
+  // In-register horizontal sum (log2(lanes) ops charged).
+  double VReduceSum(const Vec8& a);
+
+  // ---- MPU stream ----------------------------------------------------------
+
+  // C += a (x) b over the full tile. One MOPA instruction.
+  void Mopa(MpuTileReg& tile, const Vec8& a, const Vec8& b);
+  // Zeroes the tile accumulators.
+  void TileZero(MpuTileReg& tile);
+  // Moves one tile row into a VPU register (tile -> vector file transfer).
+  Vec8 TileReadRow(const MpuTileReg& tile, int row);
+
+  // ---- Bulk accounting -----------------------------------------------------
+
+  // Roofline-style charge for regular streaming kernels (the Maxwell solver):
+  // cycles = max(flops / vpu_peak, bytes / stream_bytes_per_cycle). Used where
+  // per-access cache simulation adds cost without changing any conclusion.
+  void ChargeBulk(double flops, double bytes);
+
+  // Direct cycle charge (e.g. a modeled fixed-cost runtime call).
+  void ChargeCycles(double cycles) { ledger_.AddCycles(cycles); }
+
+  // Seconds corresponding to the ledger's total cycles at the modeled clock.
+  double TotalSeconds() const { return cfg_.CyclesToSeconds(ledger_.TotalCycles()); }
+
+ private:
+  void ChargeMem(const void* p, size_t bytes, double issue_cycles, bool write,
+                 uint64_t count_as_vpu_mem);
+
+  MachineConfig cfg_;
+  CostLedger ledger_;
+  CacheModel cache_;
+  MemMap mem_;
+  double vpu_op_cycles_;
+  double scalar_op_cycles_;
+};
+
+}  // namespace mpic
+
+#endif  // MPIC_SRC_HW_HW_CONTEXT_H_

@@ -1,0 +1,106 @@
+// Machine description for the modeled CPU (the paper's "LX2") and its memory
+// hierarchy. All deposition / sorting kernels execute through this model: the
+// arithmetic is real FP64, while the cycle costs come from these parameters.
+//
+// The parameters marked "Sec. 5.1" encode the facts the paper states about the
+// LX2: 512-bit FP64 VPUs, 8x8 FP64 MPU tiles, MOPA at ~4x the FLOP rate of the
+// VPU MLA instruction, >=1.3 GHz clock. The cache and penalty numbers are
+// conventional values for a server-class core; they are knobs of the model, not
+// claims about the real chip.
+
+#ifndef MPIC_SRC_HW_MACHINE_CONFIG_H_
+#define MPIC_SRC_HW_MACHINE_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mpic {
+
+// Number of FP64 lanes in one VPU vector register (512 bits).
+inline constexpr int kVpuLanes = 8;
+// MPU tile is kMpuTile x kMpuTile FP64 accumulators.
+inline constexpr int kMpuTile = 8;
+// Cache line size in bytes (one VPU vector).
+inline constexpr int kCacheLineBytes = 64;
+
+struct CacheLevelConfig {
+  size_t size_bytes = 0;
+  int ways = 0;
+  // Effective extra cycles charged when an access is served by this level
+  // (values are post-overlap estimates for an out-of-order core, not raw
+  // load-to-use latencies).
+  double hit_penalty_cycles = 0.0;
+};
+
+struct MachineConfig {
+  // --- Core (Sec. 5.1) ---
+  double freq_ghz = 1.3;
+  // Scalar ALU micro-ops retired per cycle (superscalar width for the modeled
+  // non-SIMD instruction stream).
+  double scalar_ops_per_cycle = 3.0;
+  // VPU FMA pipes; each pipe retires one 8-lane FP64 instruction per cycle.
+  int vpu_pipes = 2;
+  // Cycles between successive MOPA issues on one MPU pipe. One MOPA performs
+  // kMpuTile^2 = 64 FMAs; at an issue interval of 2 this is 64 FMA / 2 cycles
+  // = 32 FMA/cycle = 4x the 8 FMA/cycle of a single VPU MLA pipe (Sec. 5.1).
+  double mopa_issue_cycles = 2.0;
+  // Cycles to move one vector register between the MPU tile file and the VPU
+  // register file (tile row extraction).
+  double mpu_vpu_transfer_cycles = 1.0;
+
+  // --- Memory issue costs ---
+  // Port cost of one scalar load/store (two AGU/store ports plus store
+  // forwarding make scalar memory ops cheaper than half a cycle each).
+  double scalar_mem_issue_cycles = 0.25;
+  // Port cost of one contiguous vector load/store.
+  double vector_mem_issue_cycles = 0.5;
+  // Issue cost of an 8-lane gather/scatter instruction (microcoded).
+  double gather_issue_cycles = 4.0;
+  // Extra serialization charged per atomic read-modify-write.
+  double atomic_extra_cycles = 12.0;
+
+  // --- Memory hierarchy ---
+  CacheLevelConfig l1{32 * 1024, 8, 0.0};
+  CacheLevelConfig l2{1024 * 1024, 16, 4.0};
+  // Effective post-overlap DRAM penalty per missing line.
+  double dram_penalty_cycles = 35.0;
+  // Hardware stride prefetcher: number of tracked streams and the residual
+  // fraction of the miss penalty paid when a line was predicted (sequential
+  // next-line access within a tracked stream).
+  int prefetch_streams = 32;
+  double prefetch_factor = 0.15;
+  // Sustainable streaming bandwidth per core, used only by bulk (roofline)
+  // accounting for regular stencil sweeps.
+  double stream_bytes_per_cycle = 16.0;
+
+  // Peak FP64 FLOP/s of the VPU complex on one core: pipes * lanes * 2 (FMA).
+  double VpuPeakFlopsPerCycle() const {
+    return static_cast<double>(vpu_pipes) * kVpuLanes * 2.0;
+  }
+  // Peak FP64 FLOP/s of the MPU on one core: one tile of FMAs per issue.
+  double MpuPeakFlopsPerCycle() const {
+    return kMpuTile * kMpuTile * 2.0 / mopa_issue_cycles;
+  }
+  // Theoretical peak used for efficiency accounting: the MPU path (the paper
+  // computes "% of theoretical peak" against the unit actually targeted).
+  double PeakFlopsPerCycle() const { return MpuPeakFlopsPerCycle(); }
+
+  double CyclesToSeconds(double cycles) const { return cycles / (freq_ghz * 1e9); }
+
+  // The modeled LX2 core (defaults above).
+  static MachineConfig Lx2() { return MachineConfig{}; }
+
+  // A VPU-only machine: identical except kernels may not use the MPU. Used by
+  // tests to confirm MPU kernels fail loudly without an MPU.
+  static MachineConfig Lx2VpuOnly() {
+    MachineConfig cfg;
+    cfg.has_mpu = false;
+    return cfg;
+  }
+
+  bool has_mpu = true;
+};
+
+}  // namespace mpic
+
+#endif  // MPIC_SRC_HW_MACHINE_CONFIG_H_

@@ -1,0 +1,92 @@
+#include "src/hw/mem_map.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace mpic {
+namespace {
+constexpr uint64_t kPage = 4096;
+uint64_t RoundUpPage(uint64_t v) { return (v + kPage - 1) & ~(kPage - 1); }
+}  // namespace
+
+uint64_t MemMap::Register(const void* base, size_t bytes) {
+  const auto host = reinterpret_cast<uintptr_t>(base);
+  // Existing region starting at the same base? If it grew (vector realloc that
+  // landed on the same address), move it to a fresh logical range so logical
+  // addresses never alias a neighbor.
+  for (Region& r : regions_) {
+    if (r.host_base == host) {
+      if (host + bytes <= r.host_end) {
+        return r.logical_base;
+      }
+      r.host_end = host + bytes;
+      r.logical_base = next_logical_;
+      next_logical_ += RoundUpPage(bytes) + kPage;
+      return r.logical_base;
+    }
+  }
+  Region r;
+  r.host_base = host;
+  r.host_end = host + bytes;
+  // Stagger bases across cache sets: page-aligning every region would start
+  // all streams in set 0 and make interleaved multi-stream loops thrash in a
+  // way real (physically-colored) caches do not.
+  const uint64_t stagger = (region_counter_++ * 7 % 61) * 64;
+  r.logical_base = next_logical_ + stagger;
+  next_logical_ += RoundUpPage(bytes + stagger) + kPage;  // guard page between
+  // Drop stale regions that overlap the new range: they describe allocations
+  // that have since been freed (the allocator handed their space to `base`).
+  regions_.erase(std::remove_if(regions_.begin(), regions_.end(),
+                                [&r](const Region& old) {
+                                  return old.host_base < r.host_end &&
+                                         r.host_base < old.host_end;
+                                }),
+                 regions_.end());
+  auto it = std::upper_bound(regions_.begin(), regions_.end(), r,
+                             [](const Region& a, const Region& b) {
+                               return a.host_base < b.host_base;
+                             });
+  regions_.insert(it, r);
+  mru_ = 0;
+  return r.logical_base;
+}
+
+uint64_t MemMap::Translate(const void* p) {
+  const auto host = reinterpret_cast<uintptr_t>(p);
+  if (mru_ < regions_.size()) {
+    const Region& r = regions_[mru_];
+    if (host >= r.host_base && host < r.host_end) {
+      return r.logical_base + (host - r.host_base);
+    }
+  }
+  // Binary search for the region containing `host`.
+  size_t lo = 0;
+  size_t hi = regions_.size();
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (regions_[mid].host_base <= host) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo > 0) {
+    const Region& r = regions_[lo - 1];
+    if (host >= r.host_base && host < r.host_end) {
+      mru_ = lo - 1;
+      return r.logical_base + (host - r.host_base);
+    }
+  }
+  // Unregistered: identity-map into a far range.
+  return kUnmappedBase + (host & ((uint64_t{1} << 40) - 1));
+}
+
+void MemMap::Clear() {
+  regions_.clear();
+  mru_ = 0;
+  next_logical_ = 1 << 12;
+  region_counter_ = 0;
+}
+
+}  // namespace mpic

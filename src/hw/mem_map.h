@@ -1,0 +1,55 @@
+// Maps host pointers to stable logical addresses for the cache model.
+//
+// Host heap addresses change run-to-run (ASLR), which would make modeled cache
+// behavior nondeterministic. Kernels therefore register each array once; the
+// MemMap lays registered regions out sequentially in a logical address space
+// (page-aligned, with guard gaps), and translates any interior pointer.
+//
+// Translation is on the hot path of every modeled access, so the table keeps a
+// one-entry MRU cache: almost all consecutive accesses fall in the same region.
+
+#ifndef MPIC_SRC_HW_MEM_MAP_H_
+#define MPIC_SRC_HW_MEM_MAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mpic {
+
+class MemMap {
+ public:
+  // Registers [base, base+bytes). Re-registering the same base with a size that
+  // still fits is a no-op; growing requires Forget() first (or a new region).
+  // Returns the logical base address.
+  uint64_t Register(const void* base, size_t bytes);
+
+  // Translates an interior pointer of a registered region. Pointers outside any
+  // region are identity-mapped into a distinct high address range (so stray
+  // accesses still behave sanely, just without cross-run determinism).
+  uint64_t Translate(const void* p);
+
+  // Drops all registrations (e.g. between bench configurations).
+  void Clear();
+
+  size_t num_regions() const { return regions_.size(); }
+
+ private:
+  struct Region {
+    uintptr_t host_base;
+    uintptr_t host_end;
+    uint64_t logical_base;
+  };
+
+  // Sorted by host_base for binary search.
+  std::vector<Region> regions_;
+  size_t mru_ = 0;
+  uint64_t next_logical_ = 1 << 12;
+  uint64_t region_counter_ = 0;
+
+  static constexpr uint64_t kUnmappedBase = uint64_t{1} << 46;
+};
+
+}  // namespace mpic
+
+#endif  // MPIC_SRC_HW_MEM_MAP_H_

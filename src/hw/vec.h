@@ -1,0 +1,69 @@
+// Plain data types for the modeled SIMD register file: an 8-lane FP64 vector
+// (one 512-bit VPU register) and an 8x8 FP64 MPU accumulator tile.
+//
+// These carry *values only*. Cycle costs are charged by HwContext when its
+// operation methods are used; the arithmetic helpers here are free so that
+// tests and reductions can manipulate values without touching the ledger.
+
+#ifndef MPIC_SRC_HW_VEC_H_
+#define MPIC_SRC_HW_VEC_H_
+
+#include <array>
+#include <cstddef>
+
+#include "src/hw/machine_config.h"
+
+namespace mpic {
+
+struct Vec8 {
+  std::array<double, kVpuLanes> lane{};
+
+  double& operator[](int i) { return lane[static_cast<size_t>(i)]; }
+  double operator[](int i) const { return lane[static_cast<size_t>(i)]; }
+
+  static Vec8 Splat(double v) {
+    Vec8 r;
+    r.lane.fill(v);
+    return r;
+  }
+  static Vec8 Zero() { return Splat(0.0); }
+};
+
+// Lane mask for predicated operations (the VPU supports predication; the MPU
+// does not — that asymmetry is the reason for the hybrid pipeline).
+struct Mask8 {
+  std::array<bool, kVpuLanes> lane{};
+
+  static Mask8 FirstN(int n) {
+    Mask8 m;
+    for (int i = 0; i < kVpuLanes; ++i) {
+      m.lane[static_cast<size_t>(i)] = i < n;
+    }
+    return m;
+  }
+  static Mask8 All() { return FirstN(kVpuLanes); }
+  int PopCount() const {
+    int n = 0;
+    for (bool b : lane) {
+      n += b ? 1 : 0;
+    }
+    return n;
+  }
+};
+
+// 8x8 FP64 accumulator tile (row-major).
+struct MpuTileReg {
+  std::array<double, kMpuTile * kMpuTile> c{};
+
+  double& At(int row, int col) {
+    return c[static_cast<size_t>(row) * kMpuTile + static_cast<size_t>(col)];
+  }
+  double At(int row, int col) const {
+    return c[static_cast<size_t>(row) * kMpuTile + static_cast<size_t>(col)];
+  }
+  void Zero() { c.fill(0.0); }
+};
+
+}  // namespace mpic
+
+#endif  // MPIC_SRC_HW_VEC_H_

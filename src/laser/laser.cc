@@ -1,0 +1,42 @@
+#include "src/laser/laser.h"
+
+#include <cmath>
+
+#include "src/particles/species.h"
+
+namespace mpic {
+
+double LaserConfig::Omega() const { return 2.0 * M_PI * kSpeedOfLight / wavelength; }
+
+double LaserConfig::PeakField() const {
+  return a0 * kElectronMass * kSpeedOfLight * Omega() / (-kElectronCharge);
+}
+
+void LaserAntenna::Drive(HwContext& hw, FieldSet& fields, double t) const {
+  PhaseScope phase(hw.ledger(), Phase::kSolver);
+  const GridGeometry& g = fields.geom;
+  const double e0 = config_.PeakField();
+  const double omega = config_.Omega();
+  const double envelope_t =
+      std::exp(-0.5 * std::pow((t - config_.t_peak) / config_.duration, 2));
+  const double osc = std::sin(omega * (t - config_.t_peak));
+  const double cx = g.x0 + 0.5 * g.LengthX();
+  const double cy = g.y0 + 0.5 * g.LengthY();
+  const double inv_w2 = 1.0 / (config_.waist * config_.waist);
+  const int kz = config_.antenna_cell_z;
+
+  for (int j = 0; j <= g.ny; ++j) {
+    for (int i = 0; i <= g.nx; ++i) {
+      const double x = g.x0 + i * g.dx - cx;
+      // Ey lives at (i, j+1/2, k); use the staggered y position.
+      const double y = g.y0 + (j + 0.5) * g.dy - cy;
+      const double r2 = x * x + y * y;
+      fields.ey.At(i, j, kz) = e0 * envelope_t * osc * std::exp(-r2 * inv_w2);
+    }
+  }
+  fields.ey.FillGuardsPeriodic();
+  const double plane = static_cast<double>((g.nx + 1) * (g.ny + 1));
+  hw.ChargeBulk(plane * 12.0, plane * 8.0);
+}
+
+}  // namespace mpic

@@ -1,0 +1,45 @@
+// Gaussian laser pulse injection for the LWFA workload (paper Table 4: Gaussian
+// laser, lambda = 0.8 um, a0 ~ 1-10, continuous injection along z).
+//
+// The pulse is driven by an antenna plane at a fixed z-index: each step the
+// transverse electric field on that plane is overwritten with the analytic
+// pulse envelope. The wave equation then radiates the pulse into the domain —
+// the standard "hard source" laser injection used by simple PIC setups.
+
+#ifndef MPIC_SRC_LASER_LASER_H_
+#define MPIC_SRC_LASER_LASER_H_
+
+#include "src/grid/field_set.h"
+#include "src/hw/hw_context.h"
+
+namespace mpic {
+
+struct LaserConfig {
+  double wavelength = 0.8e-6;  // m
+  double a0 = 4.0;             // normalized vector potential
+  double waist = 5.0e-6;       // transverse 1/e^2 waist [m]
+  double duration = 10.0e-15;  // Gaussian temporal sigma [s]
+  double t_peak = 30.0e-15;    // time of peak at the antenna [s]
+  int antenna_cell_z = 2;      // z cell index of the antenna plane
+  // Peak electric field E0 = a0 * m_e * c * omega / e.
+  double PeakField() const;
+  double Omega() const;
+};
+
+class LaserAntenna {
+ public:
+  explicit LaserAntenna(const LaserConfig& config) : config_(config) {}
+
+  // Drives Ey on the antenna plane at simulation time t (call once per step,
+  // before the field solve). Charged to Phase::kSolver.
+  void Drive(HwContext& hw, FieldSet& fields, double t) const;
+
+  const LaserConfig& config() const { return config_; }
+
+ private:
+  LaserConfig config_;
+};
+
+}  // namespace mpic
+
+#endif  // MPIC_SRC_LASER_LASER_H_

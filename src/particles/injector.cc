@@ -1,0 +1,102 @@
+#include "src/particles/injector.h"
+
+#include "src/common/check.h"
+#include "src/particles/species.h"
+
+namespace mpic {
+namespace {
+
+// Places the regular sub-cell lattice used by WarpX-style injection: particle
+// (a,b,c) sits at fractional offset ((a+0.5)/ppc_x, ...) within the cell.
+template <typename PerParticleFn>
+void ForEachLatticePos(const GridGeometry& geom, int ix, int iy, int iz, int ppc_x,
+                       int ppc_y, int ppc_z, PerParticleFn&& fn) {
+  for (int c = 0; c < ppc_z; ++c) {
+    for (int b = 0; b < ppc_y; ++b) {
+      for (int a = 0; a < ppc_x; ++a) {
+        const double x = geom.x0 + (ix + (a + 0.5) / ppc_x) * geom.dx;
+        const double y = geom.y0 + (iy + (b + 0.5) / ppc_y) * geom.dy;
+        const double z = geom.z0 + (iz + (c + 0.5) / ppc_z) * geom.dz;
+        fn(x, y, z);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int64_t InjectUniformPlasma(TileSet& tiles, const UniformPlasmaConfig& config) {
+  MPIC_CHECK(config.TotalPpc() > 0);
+  const GridGeometry& geom = tiles.geom();
+  Rng rng(config.seed);
+  const double cell_volume = geom.dx * geom.dy * geom.dz;
+  const double weight = config.density * cell_volume / config.TotalPpc();
+  const double u_th = config.u_th * kSpeedOfLight;
+  int64_t added = 0;
+  for (int iz = 0; iz < geom.nz; ++iz) {
+    for (int iy = 0; iy < geom.ny; ++iy) {
+      for (int ix = 0; ix < geom.nx; ++ix) {
+        ForEachLatticePos(geom, ix, iy, iz, config.ppc_x, config.ppc_y, config.ppc_z,
+                          [&](double x, double y, double z) {
+                            Particle p;
+                            p.x = x;
+                            p.y = y;
+                            p.z = z;
+                            p.ux = u_th * rng.NextGaussian();
+                            p.uy = u_th * rng.NextGaussian();
+                            p.uz = u_th * rng.NextGaussian();
+                            p.w = weight;
+                            tiles.AddParticle(p);
+                            ++added;
+                          });
+      }
+    }
+  }
+  return added;
+}
+
+int64_t InjectProfiledPlasma(TileSet& tiles, const ProfiledPlasmaConfig& config,
+                             std::vector<TileSet::Handle>* handles) {
+  MPIC_CHECK(config.profile != nullptr);
+  const GridGeometry& geom = tiles.geom();
+  Rng rng(config.seed);
+  const int ppc = config.ppc_x * config.ppc_y * config.ppc_z;
+  MPIC_CHECK(ppc > 0);
+  const double cell_volume = geom.dx * geom.dy * geom.dz;
+  const double u_th = config.u_th * kSpeedOfLight;
+  const int z_hi = config.z_cell_hi < 0 ? geom.nz : config.z_cell_hi;
+  int64_t added = 0;
+  for (int iz = config.z_cell_lo; iz < z_hi; ++iz) {
+    for (int iy = 0; iy < geom.ny; ++iy) {
+      for (int ix = 0; ix < geom.nx; ++ix) {
+        const double z_center = geom.z0 + (iz + 0.5) * geom.dz;
+        const double density = config.profile(z_center);
+        if (density <= 0.0) {
+          continue;
+        }
+        const double weight = density * cell_volume / ppc;
+        ForEachLatticePos(geom, ix, iy, iz, config.ppc_x, config.ppc_y, config.ppc_z,
+                          [&](double x, double y, double z) {
+                            Particle p;
+                            p.x = x;
+                            p.y = y;
+                            p.z = z;
+                            if (u_th > 0.0) {
+                              p.ux = u_th * rng.NextGaussian();
+                              p.uy = u_th * rng.NextGaussian();
+                              p.uz = u_th * rng.NextGaussian();
+                            }
+                            p.w = weight;
+                            const TileSet::Handle h = tiles.AddParticle(p);
+                            if (handles != nullptr) {
+                              handles->push_back(h);
+                            }
+                            ++added;
+                          });
+      }
+    }
+  }
+  return added;
+}
+
+}  // namespace mpic

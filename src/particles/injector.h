@@ -1,0 +1,53 @@
+// Particle injectors for the paper's workloads.
+//
+// UniformPlasmaInjector reproduces the uniform plasma setup (Table 4): a fixed
+// number of particles per cell placed on a regular sub-cell lattice with a
+// Maxwellian momentum spread u_th (in units of c). LwfaPlasmaInjector places an
+// initially-cold background plasma with an arbitrary density profile along z
+// (used by the LWFA workload, including moving-window continuous injection).
+
+#ifndef MPIC_SRC_PARTICLES_INJECTOR_H_
+#define MPIC_SRC_PARTICLES_INJECTOR_H_
+
+#include <functional>
+
+#include "src/common/rng.h"
+#include "src/particles/tile_set.h"
+
+namespace mpic {
+
+struct UniformPlasmaConfig {
+  // Particles per cell per dimension, e.g. {4, 4, 4} -> PPC 64.
+  int ppc_x = 1, ppc_y = 1, ppc_z = 1;
+  double density = 1e25;  // physical particles per m^3
+  double u_th = 0.01;     // thermal proper velocity in units of c
+  uint64_t seed = 42;
+
+  int TotalPpc() const { return ppc_x * ppc_y * ppc_z; }
+};
+
+// Fills the whole domain of `tiles`. Returns the number of macro-particles.
+int64_t InjectUniformPlasma(TileSet& tiles, const UniformPlasmaConfig& config);
+
+// Density profile along z: physical particles per m^3 at position z.
+using DensityProfile = std::function<double(double z)>;
+
+struct ProfiledPlasmaConfig {
+  int ppc_x = 1, ppc_y = 1, ppc_z = 1;
+  DensityProfile profile;
+  double u_th = 0.0;  // cold by default (LWFA background starts at rest)
+  uint64_t seed = 42;
+  // Only cells with iz in [z_cell_lo, z_cell_hi) are filled (moving-window
+  // incremental injection fills the freshly exposed slab).
+  int z_cell_lo = 0;
+  int z_cell_hi = -1;  // -1 => whole domain
+};
+
+// When `handles` is non-null, every added particle's {tile, pid} is appended so
+// the caller can register it with the sorting structures.
+int64_t InjectProfiledPlasma(TileSet& tiles, const ProfiledPlasmaConfig& config,
+                             std::vector<TileSet::Handle>* handles = nullptr);
+
+}  // namespace mpic
+
+#endif  // MPIC_SRC_PARTICLES_INJECTOR_H_

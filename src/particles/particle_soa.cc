@@ -1,0 +1,56 @@
+#include "src/particles/particle_soa.h"
+
+#include "src/common/check.h"
+
+namespace mpic {
+
+int32_t ParticleSoA::Append(const Particle& p) {
+  x.push_back(p.x);
+  y.push_back(p.y);
+  z.push_back(p.z);
+  ux.push_back(p.ux);
+  uy.push_back(p.uy);
+  uz.push_back(p.uz);
+  w.push_back(p.w);
+  return static_cast<int32_t>(x.size() - 1);
+}
+
+void ParticleSoA::Set(int32_t i, const Particle& p) {
+  MPIC_DCHECK(i >= 0 && static_cast<size_t>(i) < size());
+  const auto idx = static_cast<size_t>(i);
+  x[idx] = p.x;
+  y[idx] = p.y;
+  z[idx] = p.z;
+  ux[idx] = p.ux;
+  uy[idx] = p.uy;
+  uz[idx] = p.uz;
+  w[idx] = p.w;
+}
+
+Particle ParticleSoA::Get(int32_t i) const {
+  MPIC_DCHECK(i >= 0 && static_cast<size_t>(i) < size());
+  const auto idx = static_cast<size_t>(i);
+  return Particle{x[idx], y[idx], z[idx], ux[idx], uy[idx], uz[idx], w[idx]};
+}
+
+void ParticleSoA::Reserve(size_t n) {
+  x.reserve(n);
+  y.reserve(n);
+  z.reserve(n);
+  ux.reserve(n);
+  uy.reserve(n);
+  uz.reserve(n);
+  w.reserve(n);
+}
+
+void ParticleSoA::Clear() {
+  x.clear();
+  y.clear();
+  z.clear();
+  ux.clear();
+  uy.clear();
+  uz.clear();
+  w.clear();
+}
+
+}  // namespace mpic

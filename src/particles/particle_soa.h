@@ -1,0 +1,45 @@
+// Structure-of-Arrays particle storage for one tile.
+//
+// Components use the common PIC convention: position in meters, momentum as
+// proper velocity u = gamma*v in m/s, and a macro-particle weight w (number of
+// physical particles represented). Slots are stable: a particle's index (its
+// tile-local pid) never changes between global sorts; removed slots are
+// recycled through the owning tile's free list.
+
+#ifndef MPIC_SRC_PARTICLES_PARTICLE_SOA_H_
+#define MPIC_SRC_PARTICLES_PARTICLE_SOA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mpic {
+
+struct Particle {
+  double x = 0.0, y = 0.0, z = 0.0;
+  double ux = 0.0, uy = 0.0, uz = 0.0;
+  double w = 1.0;
+};
+
+class ParticleSoA {
+ public:
+  size_t size() const { return x.size(); }
+
+  // Appends a slot and returns its index.
+  int32_t Append(const Particle& p);
+
+  // Overwrites an existing slot.
+  void Set(int32_t i, const Particle& p);
+  Particle Get(int32_t i) const;
+
+  void Reserve(size_t n);
+  void Clear();
+
+  std::vector<double> x, y, z;
+  std::vector<double> ux, uy, uz;
+  std::vector<double> w;
+};
+
+}  // namespace mpic
+
+#endif  // MPIC_SRC_PARTICLES_PARTICLE_SOA_H_

@@ -1,0 +1,99 @@
+#include "src/particles/particle_tile.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/sort/counting_sort.h"
+
+namespace mpic {
+
+ParticleTile::ParticleTile(int lo_x, int lo_y, int lo_z, int nx, int ny, int nz)
+    : lo_x_(lo_x), lo_y_(lo_y), lo_z_(lo_z), nx_(nx), ny_(ny), nz_(nz) {
+  MPIC_CHECK(nx > 0 && ny > 0 && nz > 0);
+}
+
+int32_t ParticleTile::AddParticle(const Particle& p) {
+  int32_t pid;
+  if (!free_slots_.empty()) {
+    pid = free_slots_.back();
+    free_slots_.pop_back();
+    soa_.Set(pid, p);
+    live_[static_cast<size_t>(pid)] = 1;
+  } else {
+    pid = soa_.Append(p);
+    live_.push_back(1);
+  }
+  ++num_live_;
+  return pid;
+}
+
+void ParticleTile::RemoveParticle(int32_t pid) {
+  MPIC_DCHECK(pid >= 0 && static_cast<size_t>(pid) < live_.size());
+  MPIC_CHECK_MSG(live_[static_cast<size_t>(pid)] != 0, "double remove");
+  live_[static_cast<size_t>(pid)] = 0;
+  free_slots_.push_back(pid);
+  --num_live_;
+}
+
+int ParticleTile::CellOfParticle(const GridGeometry& geom, int32_t pid) const {
+  const auto i = static_cast<size_t>(pid);
+  const int ix = geom.CellX(soa_.x[i]);
+  const int iy = geom.CellY(soa_.y[i]);
+  const int iz = geom.CellZ(soa_.z[i]);
+  MPIC_DCHECK(ContainsCell(ix, iy, iz));
+  return LocalCellId(ix, iy, iz);
+}
+
+void ParticleTile::BuildGpma(const GridGeometry& geom, const GpmaConfig& config) {
+  // The GPMA requires dense pids: build over all slots, assigning dead slots to
+  // cell 0 then removing them, so pid == SoA slot stays true.
+  std::vector<int32_t> cells(soa_.size(), 0);
+  for (size_t pid = 0; pid < soa_.size(); ++pid) {
+    if (live_[pid] != 0) {
+      cells[pid] = static_cast<int32_t>(CellOfParticle(geom, static_cast<int32_t>(pid)));
+    }
+  }
+  gpma_.Build(cells, std::max(1, num_cells()), config);
+  for (size_t pid = 0; pid < soa_.size(); ++pid) {
+    if (live_[pid] == 0) {
+      gpma_.Remove(static_cast<int32_t>(pid));
+    }
+  }
+}
+
+int64_t ParticleTile::GlobalSortTile(const GridGeometry& geom,
+                                     const GpmaConfig& config) {
+  // Compact live particles in cell order, dropping free slots entirely.
+  const size_t n_slots = soa_.size();
+  std::vector<int32_t> live_pids;
+  std::vector<int32_t> live_cells;
+  live_pids.reserve(static_cast<size_t>(num_live_));
+  live_cells.reserve(static_cast<size_t>(num_live_));
+  for (size_t pid = 0; pid < n_slots; ++pid) {
+    if (live_[pid] != 0) {
+      live_pids.push_back(static_cast<int32_t>(pid));
+      live_cells.push_back(
+          static_cast<int32_t>(CellOfParticle(geom, static_cast<int32_t>(pid))));
+    }
+  }
+  const std::vector<int32_t> perm =
+      CountingSortPermutation(live_cells, std::max(1, num_cells()));
+
+  ParticleSoA sorted;
+  sorted.Reserve(live_pids.size());
+  std::vector<int32_t> sorted_cells(live_pids.size());
+  for (size_t i = 0; i < perm.size(); ++i) {
+    const int32_t src = live_pids[static_cast<size_t>(perm[i])];
+    sorted.Append(soa_.Get(src));
+    sorted_cells[i] = live_cells[static_cast<size_t>(perm[i])];
+  }
+  soa_ = std::move(sorted);
+  live_.assign(soa_.size(), 1);
+  free_slots_.clear();
+  num_live_ = static_cast<int32_t>(soa_.size());
+  gpma_.Build(sorted_cells, std::max(1, num_cells()), config);
+  was_rebuilt_this_step = false;
+  return static_cast<int64_t>(soa_.size());
+}
+
+}  // namespace mpic

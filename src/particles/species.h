@@ -1,0 +1,30 @@
+// Physical constants and species description.
+
+#ifndef MPIC_SRC_PARTICLES_SPECIES_H_
+#define MPIC_SRC_PARTICLES_SPECIES_H_
+
+#include <string>
+
+namespace mpic {
+
+// SI physical constants (CODATA 2018 values, as used by WarpX).
+inline constexpr double kSpeedOfLight = 299792458.0;            // m/s
+inline constexpr double kElectronCharge = -1.602176634e-19;     // C
+inline constexpr double kElectronMass = 9.1093837015e-31;       // kg
+inline constexpr double kEpsilon0 = 8.8541878128e-12;           // F/m
+inline constexpr double kMu0 = 1.25663706212e-6;                // H/m
+
+struct Species {
+  std::string name = "electrons";
+  double charge = kElectronCharge;  // C
+  double mass = kElectronMass;      // kg
+
+  static Species Electron() { return Species{}; }
+  static Species Proton() {
+    return Species{"protons", -kElectronCharge, 1.67262192369e-27};
+  }
+};
+
+}  // namespace mpic
+
+#endif  // MPIC_SRC_PARTICLES_SPECIES_H_

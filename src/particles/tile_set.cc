@@ -1,0 +1,61 @@
+#include "src/particles/tile_set.h"
+
+#include "src/common/check.h"
+
+namespace mpic {
+namespace {
+int DivUp(int a, int b) { return (a + b - 1) / b; }
+}  // namespace
+
+TileSet::TileSet(const GridGeometry& geom, int tile_x, int tile_y, int tile_z)
+    : geom_(geom), tile_x_(tile_x), tile_y_(tile_y), tile_z_(tile_z) {
+  MPIC_CHECK(tile_x > 0 && tile_y > 0 && tile_z > 0);
+  ntx_ = DivUp(geom.nx, tile_x);
+  nty_ = DivUp(geom.ny, tile_y);
+  ntz_ = DivUp(geom.nz, tile_z);
+  tiles_.reserve(static_cast<size_t>(ntx_) * nty_ * ntz_);
+  for (int tz = 0; tz < ntz_; ++tz) {
+    for (int ty = 0; ty < nty_; ++ty) {
+      for (int tx = 0; tx < ntx_; ++tx) {
+        const int lo_x = tx * tile_x;
+        const int lo_y = ty * tile_y;
+        const int lo_z = tz * tile_z;
+        const int nx = std::min(tile_x, geom.nx - lo_x);
+        const int ny = std::min(tile_y, geom.ny - lo_y);
+        const int nz = std::min(tile_z, geom.nz - lo_z);
+        tiles_.emplace_back(lo_x, lo_y, lo_z, nx, ny, nz);
+      }
+    }
+  }
+}
+
+int TileSet::TileOfCell(int ix, int iy, int iz) const {
+  MPIC_DCHECK(ix >= 0 && ix < geom_.nx);
+  MPIC_DCHECK(iy >= 0 && iy < geom_.ny);
+  MPIC_DCHECK(iz >= 0 && iz < geom_.nz);
+  const int tx = ix / tile_x_;
+  const int ty = iy / tile_y_;
+  const int tz = iz / tile_z_;
+  return tx + ntx_ * (ty + nty_ * tz);
+}
+
+int TileSet::TileOfPosition(double x, double y, double z) const {
+  return TileOfCell(geom_.CellX(x), geom_.CellY(y), geom_.CellZ(z));
+}
+
+TileSet::Handle TileSet::AddParticle(const Particle& p) {
+  MPIC_CHECK_MSG(geom_.InDomain(p.x, p.y, p.z), "particle outside domain");
+  const int t = TileOfPosition(p.x, p.y, p.z);
+  const int32_t pid = tiles_[static_cast<size_t>(t)].AddParticle(p);
+  return Handle{t, pid};
+}
+
+int64_t TileSet::TotalLive() const {
+  int64_t n = 0;
+  for (const auto& t : tiles_) {
+    n += t.num_live();
+  }
+  return n;
+}
+
+}  // namespace mpic

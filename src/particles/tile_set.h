@@ -1,0 +1,50 @@
+// TileSet: partitions the simulation grid into particle tiles (ragged edge
+// tiles allowed) and routes particles to the tile owning their cell.
+
+#ifndef MPIC_SRC_PARTICLES_TILE_SET_H_
+#define MPIC_SRC_PARTICLES_TILE_SET_H_
+
+#include <vector>
+
+#include "src/grid/grid_geometry.h"
+#include "src/particles/particle_tile.h"
+
+namespace mpic {
+
+class TileSet {
+ public:
+  TileSet(const GridGeometry& geom, int tile_x, int tile_y, int tile_z);
+
+  int num_tiles() const { return static_cast<int>(tiles_.size()); }
+  ParticleTile& tile(int t) { return tiles_[static_cast<size_t>(t)]; }
+  const ParticleTile& tile(int t) const { return tiles_[static_cast<size_t>(t)]; }
+
+  // Index of the tile owning global cell (ix, iy, iz).
+  int TileOfCell(int ix, int iy, int iz) const;
+  // Index of the tile owning a position (which must be inside the domain).
+  int TileOfPosition(double x, double y, double z) const;
+
+  // Adds a particle to the owning tile; returns {tile, pid}.
+  struct Handle {
+    int tile = -1;
+    int32_t pid = -1;
+  };
+  Handle AddParticle(const Particle& p);
+
+  int64_t TotalLive() const;
+
+  const GridGeometry& geom() const { return geom_; }
+  // Moving-window support: the cell boxes stay fixed in index space while the
+  // origin advances.
+  void SetGeometry(const GridGeometry& g) { geom_ = g; }
+
+ private:
+  GridGeometry geom_;
+  int tile_x_, tile_y_, tile_z_;  // nominal tile extent in cells
+  int ntx_, nty_, ntz_;           // tiles per axis
+  std::vector<ParticleTile> tiles_;
+};
+
+}  // namespace mpic
+
+#endif  // MPIC_SRC_PARTICLES_TILE_SET_H_

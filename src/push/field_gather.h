@@ -1,0 +1,44 @@
+// Field gather (grid -> particle interpolation) with Yee staggering.
+//
+// E and B components live at staggered half-cell offsets; the gather shifts the
+// particle's grid-unit coordinate by 0.5 on each staggered axis before
+// evaluating the shape function, which is how WarpX handles staggering.
+// Results are written to per-slot staging arrays consumed by the pusher.
+//
+// Together with deposition this dominates PIC runtime (Fig. 1); the gather is
+// charged to Phase::kGather and its memory behavior (scattered reads over six
+// field arrays) responds to particle sorting just like deposition does.
+
+#ifndef MPIC_SRC_PUSH_FIELD_GATHER_H_
+#define MPIC_SRC_PUSH_FIELD_GATHER_H_
+
+#include <vector>
+
+#include "src/grid/field_set.h"
+#include "src/hw/hw_context.h"
+#include "src/particles/particle_tile.h"
+
+namespace mpic {
+
+// Gathered fields at particle positions, indexed by SoA slot.
+struct GatherScratch {
+  void Resize(size_t n) {
+    ex.resize(n);
+    ey.resize(n);
+    ez.resize(n);
+    bx.resize(n);
+    by.resize(n);
+    bz.resize(n);
+  }
+  std::vector<double> ex, ey, ez, bx, by, bz;
+};
+
+// Gathers E and B for every live particle of the tile. Guard cells of the
+// field arrays must be filled (periodic images) before calling.
+template <int Order>
+void GatherFieldsTile(HwContext& hw, const ParticleTile& tile, const FieldSet& fields,
+                      GatherScratch& scratch);
+
+}  // namespace mpic
+
+#endif  // MPIC_SRC_PUSH_FIELD_GATHER_H_

@@ -1,0 +1,29 @@
+// Relativistic Vay pusher (Vay, Phys. Plasmas 15, 056701 (2008)) — WarpX's
+// alternative to Boris. Unlike Boris, the Vay scheme captures the exact
+// E x B drift velocity for relativistic particles in crossed fields, at the
+// cost of a slightly more expensive update. Provided as the second
+// interchangeable pusher of the substrate (algo.particle_pusher in WarpX).
+
+#ifndef MPIC_SRC_PUSH_VAY_PUSHER_H_
+#define MPIC_SRC_PUSH_VAY_PUSHER_H_
+
+#include "src/push/boris_pusher.h"
+
+namespace mpic {
+
+// Single-particle Vay step: advances u = gamma*v by dt under (E, B).
+void VayStep(double ex, double ey, double ez, double bx, double by, double bz,
+             double qdt_over_2m, double* ux, double* uy, double* uz);
+
+// Tile-level Vay push (same contract as PushTileBoris).
+void PushTileVay(HwContext& hw, ParticleTile& tile, const GatherScratch& gathered,
+                 const PushParams& params);
+
+enum class PusherKind {
+  kBoris,
+  kVay,
+};
+
+}  // namespace mpic
+
+#endif  // MPIC_SRC_PUSH_VAY_PUSHER_H_

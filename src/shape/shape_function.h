@@ -1,0 +1,108 @@
+// Particle shape functions (B-spline interpolation weights) for orders 1-3.
+//
+//   Order 1: Cloud-in-Cell (CIC) — 2 nodes per axis, 8 nodes in 3D.
+//   Order 2: Triangular-Shaped Cloud (TSC) — 3 nodes per axis, 27 in 3D.
+//   Order 3: the paper's "QSP" cubic spline — 4 nodes per axis, 64 in 3D.
+//
+// Weights(x, start, w): x is the particle position in grid units (position/dx);
+// on return `start` is the lowest contributing node index and w[0..kSupport-1]
+// the weights. Weights always sum to exactly 1 up to rounding (partition of
+// unity), which the tests assert as a property.
+
+#ifndef MPIC_SRC_SHAPE_SHAPE_FUNCTION_H_
+#define MPIC_SRC_SHAPE_SHAPE_FUNCTION_H_
+
+#include <cmath>
+
+namespace mpic {
+
+template <int Order>
+struct ShapeFunction;
+
+// Order 1 (CIC / linear).
+template <>
+struct ShapeFunction<1> {
+  static constexpr int kSupport = 2;
+  static void Weights(double x, int* start, double* w) {
+    const double fi = std::floor(x);
+    const int i = static_cast<int>(fi);
+    const double d = x - fi;  // in [0, 1)
+    *start = i;
+    w[0] = 1.0 - d;
+    w[1] = d;
+  }
+};
+
+// Order 2 (TSC / quadratic spline), centered on the nearest node.
+template <>
+struct ShapeFunction<2> {
+  static constexpr int kSupport = 3;
+  static void Weights(double x, int* start, double* w) {
+    const double fi = std::floor(x + 0.5);
+    const int i = static_cast<int>(fi);
+    const double d = x - fi;  // in [-0.5, 0.5)
+    *start = i - 1;
+    w[0] = 0.5 * (0.5 - d) * (0.5 - d);
+    w[1] = 0.75 - d * d;
+    w[2] = 0.5 * (0.5 + d) * (0.5 + d);
+  }
+};
+
+// Order 3 (cubic B-spline; the paper's QSP scheme).
+template <>
+struct ShapeFunction<3> {
+  static constexpr int kSupport = 4;
+  static void Weights(double x, int* start, double* w) {
+    const double fi = std::floor(x);
+    const int i = static_cast<int>(fi);
+    const double d = x - fi;  // in [0, 1)
+    *start = i - 1;
+    const double d2 = d * d;
+    const double d3 = d2 * d;
+    const double omd = 1.0 - d;
+    w[0] = omd * omd * omd / 6.0;
+    w[1] = (3.0 * d3 - 6.0 * d2 + 4.0) / 6.0;
+    w[2] = (-3.0 * d3 + 3.0 * d2 + 3.0 * d + 1.0) / 6.0;
+    w[3] = d3 / 6.0;
+  }
+};
+
+// Runtime-dispatch wrapper for code paths that take the order as a value
+// (configuration plumbing); hot kernels use the templates directly.
+struct ShapeWeights {
+  int start = 0;
+  double w[4] = {0, 0, 0, 0};
+  int support = 0;
+};
+
+inline ShapeWeights ComputeShape(int order, double x) {
+  ShapeWeights s;
+  switch (order) {
+    case 1:
+      s.support = 2;
+      ShapeFunction<1>::Weights(x, &s.start, s.w);
+      break;
+    case 2:
+      s.support = 3;
+      ShapeFunction<2>::Weights(x, &s.start, s.w);
+      break;
+    case 3:
+      s.support = 4;
+      ShapeFunction<3>::Weights(x, &s.start, s.w);
+      break;
+    default:
+      s.support = 0;
+      break;
+  }
+  return s;
+}
+
+// Number of contributing nodes in 3D for a given order.
+inline constexpr int Support3D(int order) {
+  const int s = order + 1;
+  return s * s * s;
+}
+
+}  // namespace mpic
+
+#endif  // MPIC_SRC_SHAPE_SHAPE_FUNCTION_H_

@@ -1,0 +1,141 @@
+#include "src/solver/maxwell_solver.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/particles/species.h"
+
+namespace mpic {
+namespace {
+
+// CKC transverse smoothing weights for cubic cells (Cowan et al. 2013):
+// center, edge, corner of the 3x3 transverse neighborhood.
+constexpr double kCkcAlpha = 7.0 / 12.0;
+constexpr double kCkcBeta = 1.0 / 12.0;
+constexpr double kCkcGamma = 1.0 / 48.0;
+
+}  // namespace
+
+MaxwellSolver::MaxwellSolver(SolverKind kind, const GridGeometry& geom)
+    : kind_(kind), geom_(geom) {}
+
+double MaxwellSolver::StableCourant() const {
+  if (kind_ == SolverKind::kCkc) {
+    return 1.0;
+  }
+  return 1.0 / std::sqrt(3.0);
+}
+
+void MaxwellSolver::UpdateB(HwContext& hw, FieldSet& fields, double dt_half) const {
+  PhaseScope phase(hw.ledger(), Phase::kSolver);
+  fields.ex.FillGuardsPeriodic();
+  fields.ey.FillGuardsPeriodic();
+  fields.ez.FillGuardsPeriodic();
+  const double cy = dt_half / geom_.dy;
+  const double cz = dt_half / geom_.dz;
+  const double cx = dt_half / geom_.dx;
+  FieldArray& ex = fields.ex;
+  FieldArray& ey = fields.ey;
+  FieldArray& ez = fields.ez;
+  for (int k = 0; k < geom_.nz; ++k) {
+    for (int j = 0; j < geom_.ny; ++j) {
+      for (int i = 0; i < geom_.nx; ++i) {
+        fields.bx.At(i, j, k) -= cy * (ez.At(i, j + 1, k) - ez.At(i, j, k)) -
+                                 cz * (ey.At(i, j, k + 1) - ey.At(i, j, k));
+        fields.by.At(i, j, k) -= cz * (ex.At(i, j, k + 1) - ex.At(i, j, k)) -
+                                 cx * (ez.At(i + 1, j, k) - ez.At(i, j, k));
+        fields.bz.At(i, j, k) -= cx * (ey.At(i + 1, j, k) - ey.At(i, j, k)) -
+                                 cy * (ex.At(i, j + 1, k) - ex.At(i, j, k));
+      }
+    }
+  }
+  fields.bx.FillGuardsPeriodic();
+  fields.by.FillGuardsPeriodic();
+  fields.bz.FillGuardsPeriodic();
+  const double cells = static_cast<double>(geom_.NumCells());
+  hw.ChargeBulk(cells * 18.0, cells * 8.0 * 15.0);
+}
+
+void MaxwellSolver::UpdateE(HwContext& hw, FieldSet& fields, double dt) const {
+  PhaseScope phase(hw.ledger(), Phase::kSolver);
+  fields.bx.FillGuardsPeriodic();
+  fields.by.FillGuardsPeriodic();
+  fields.bz.FillGuardsPeriodic();
+  fields.jx.FillGuardsPeriodic();
+  fields.jy.FillGuardsPeriodic();
+  fields.jz.FillGuardsPeriodic();
+
+  const double c2 = kSpeedOfLight * kSpeedOfLight;
+  const double cdx = c2 * dt / geom_.dx;
+  const double cdy = c2 * dt / geom_.dy;
+  const double cdz = c2 * dt / geom_.dz;
+  const double jfac = dt / kEpsilon0;
+  const bool ckc = kind_ == SolverKind::kCkc;
+
+  FieldArray& bx = fields.bx;
+  FieldArray& by = fields.by;
+  FieldArray& bz = fields.bz;
+
+  // Smoothed difference of `f` along `axis` at (i,j,k): f(..) - f(shift -1 on
+  // axis); CKC averages the difference over the 3x3 transverse offsets.
+  auto diff = [&](const FieldArray& f, int axis, int i, int j, int k) -> double {
+    auto raw = [&](int ii, int jj, int kk) -> double {
+      switch (axis) {
+        case 0:
+          return f.At(ii, jj, kk) - f.At(ii - 1, jj, kk);
+        case 1:
+          return f.At(ii, jj, kk) - f.At(ii, jj - 1, kk);
+        default:
+          return f.At(ii, jj, kk) - f.At(ii, jj, kk - 1);
+      }
+    };
+    if (!ckc) {
+      return raw(i, j, k);
+    }
+    // Transverse axes (the two != axis).
+    double acc = kCkcAlpha * raw(i, j, k);
+    auto at_offset = [&](int m, int n) -> double {
+      switch (axis) {
+        case 0:
+          return raw(i, j + m, k + n);
+        case 1:
+          return raw(i + m, j, k + n);
+        default:
+          return raw(i + m, j + n, k);
+      }
+    };
+    acc += kCkcBeta * (at_offset(1, 0) + at_offset(-1, 0) + at_offset(0, 1) +
+                       at_offset(0, -1));
+    acc += kCkcGamma * (at_offset(1, 1) + at_offset(1, -1) + at_offset(-1, 1) +
+                        at_offset(-1, -1));
+    return acc;
+  };
+
+  const FieldArray& jx = fields.jx;
+  const FieldArray& jy = fields.jy;
+  const FieldArray& jz = fields.jz;
+  for (int k = 0; k < geom_.nz; ++k) {
+    for (int j = 0; j < geom_.ny; ++j) {
+      for (int i = 0; i < geom_.nx; ++i) {
+        // Node-centered J averaged to the staggered E locations.
+        const double jx_s = 0.5 * (jx.At(i, j, k) + jx.At(i + 1, j, k));
+        const double jy_s = 0.5 * (jy.At(i, j, k) + jy.At(i, j + 1, k));
+        const double jz_s = 0.5 * (jz.At(i, j, k) + jz.At(i, j, k + 1));
+        fields.ex.At(i, j, k) += cdy * diff(bz, 1, i, j, k) -
+                                 cdz * diff(by, 2, i, j, k) - jfac * jx_s;
+        fields.ey.At(i, j, k) += cdz * diff(bx, 2, i, j, k) -
+                                 cdx * diff(bz, 0, i, j, k) - jfac * jy_s;
+        fields.ez.At(i, j, k) += cdx * diff(by, 0, i, j, k) -
+                                 cdy * diff(bx, 1, i, j, k) - jfac * jz_s;
+      }
+    }
+  }
+  fields.ex.FillGuardsPeriodic();
+  fields.ey.FillGuardsPeriodic();
+  fields.ez.FillGuardsPeriodic();
+  const double cells = static_cast<double>(geom_.NumCells());
+  const double flops_per_cell = ckc ? 120.0 : 30.0;
+  hw.ChargeBulk(cells * flops_per_cell, cells * 8.0 * (ckc ? 60.0 : 20.0));
+}
+
+}  // namespace mpic

@@ -1,0 +1,40 @@
+#include "src/solver/moving_window.h"
+
+namespace mpic {
+namespace {
+
+void ShiftArrayZ(FieldArray& f) {
+  const int ng = f.ng();
+  for (int k = -ng; k <= f.nz() + ng - 1; ++k) {
+    for (int j = -ng; j <= f.ny() + ng; ++j) {
+      for (int i = -ng; i <= f.nx() + ng; ++i) {
+        f.At(i, j, k) = f.At(i, j, k + 1);
+      }
+    }
+  }
+  // Fresh head plane(s).
+  for (int j = -ng; j <= f.ny() + ng; ++j) {
+    for (int i = -ng; i <= f.nx() + ng; ++i) {
+      f.At(i, j, f.nz() + ng) = 0.0;
+    }
+  }
+}
+
+}  // namespace
+
+void ShiftWindowZ(HwContext& hw, FieldSet& fields) {
+  PhaseScope phase(hw.ledger(), Phase::kSolver);
+  FieldArray* arrays[] = {&fields.ex, &fields.ey, &fields.ez, &fields.bx,
+                          &fields.by, &fields.bz, &fields.jx, &fields.jy,
+                          &fields.jz, &fields.rho};
+  for (FieldArray* f : arrays) {
+    ShiftArrayZ(*f);
+  }
+  fields.geom.z0 += fields.geom.dz;
+  // Streaming copy of ten arrays.
+  const double bytes =
+      static_cast<double>(fields.ex.size()) * sizeof(double) * 2.0 * 10.0;
+  hw.ChargeBulk(0.0, bytes);
+}
+
+}  // namespace mpic

@@ -1,0 +1,29 @@
+// Counting sort of particles by cell id (the paper's GlobalSortParticlesByCell).
+//
+// Produces the stable permutation that orders particles by cell, plus helpers to
+// apply a permutation to Structure-of-Arrays particle storage. O(n + num_cells).
+
+#ifndef MPIC_SRC_SORT_COUNTING_SORT_H_
+#define MPIC_SRC_SORT_COUNTING_SORT_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace mpic {
+
+// perm[i] = index (into the old order) of the particle that lands at slot i of
+// the new order. Stable within a cell.
+std::vector<int32_t> CountingSortPermutation(const std::vector<int32_t>& cell_of_particle,
+                                             int num_cells);
+
+// out[i] = in[perm[i]] for one SoA component.
+void ApplyPermutation(const std::vector<int32_t>& perm, std::vector<double>& inout,
+                      std::vector<double>& scratch);
+void ApplyPermutation(const std::vector<int32_t>& perm, std::vector<int64_t>& inout,
+                      std::vector<int64_t>& scratch);
+void ApplyPermutation(const std::vector<int32_t>& perm, std::vector<int32_t>& inout,
+                      std::vector<int32_t>& scratch);
+
+}  // namespace mpic
+
+#endif  // MPIC_SRC_SORT_COUNTING_SORT_H_

@@ -1,0 +1,231 @@
+#include "src/sort/gpma.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace mpic {
+
+void Gpma::Build(const std::vector<int32_t>& cell_of_particle, int num_cells,
+                 const GpmaConfig& config) {
+  MPIC_CHECK(num_cells > 0);
+  config_ = config;
+  num_cells_ = num_cells;
+  num_particles_ = static_cast<int32_t>(cell_of_particle.size());
+  cell_of_pid_ = cell_of_particle;
+  BuildFromPairs(cell_of_particle);
+}
+
+void Gpma::BuildFromPairs(const std::vector<int32_t>& cell_of_particle) {
+  // Counting pass.
+  std::vector<int32_t> counts(static_cast<size_t>(num_cells_), 0);
+  for (int32_t c : cell_of_particle) {
+    MPIC_DCHECK(c >= 0 && c < num_cells_);
+    ++counts[static_cast<size_t>(c)];
+  }
+  // Bin capacities with gaps.
+  bin_offsets_.assign(static_cast<size_t>(num_cells_) + 1, 0);
+  int64_t off = 0;
+  for (int c = 0; c < num_cells_; ++c) {
+    bin_offsets_[static_cast<size_t>(c)] = off;
+    const int32_t n = counts[static_cast<size_t>(c)];
+    const int gap = std::max(config_.min_gap_per_bin,
+                             static_cast<int>(config_.gap_fraction * n));
+    off += n + gap;
+  }
+  bin_offsets_[static_cast<size_t>(num_cells_)] = off;
+
+  local_index_.assign(static_cast<size_t>(off), kInvalidParticleId);
+  bin_lengths_.assign(static_cast<size_t>(num_cells_), 0);
+  slot_of_pid_.assign(cell_of_particle.size(), -1);
+
+  for (size_t pid = 0; pid < cell_of_particle.size(); ++pid) {
+    const int32_t c = cell_of_particle[pid];
+    const int64_t slot = bin_offsets_[static_cast<size_t>(c)] +
+                         bin_lengths_[static_cast<size_t>(c)];
+    local_index_[static_cast<size_t>(slot)] = static_cast<int32_t>(pid);
+    slot_of_pid_[pid] = slot;
+    ++bin_lengths_[static_cast<size_t>(c)];
+  }
+}
+
+int64_t Gpma::Rebuild() {
+  // Rebuild from cell_of_pid_, skipping removed particles (slot == -1).
+  std::vector<int32_t> cells;
+  std::vector<int32_t> pids;
+  cells.reserve(static_cast<size_t>(num_particles_));
+  pids.reserve(static_cast<size_t>(num_particles_));
+  for (size_t pid = 0; pid < slot_of_pid_.size(); ++pid) {
+    if (slot_of_pid_[pid] >= 0) {
+      cells.push_back(cell_of_pid_[pid]);
+      pids.push_back(static_cast<int32_t>(pid));
+    }
+  }
+  // Counting pass over surviving particles.
+  std::vector<int32_t> counts(static_cast<size_t>(num_cells_), 0);
+  for (int32_t c : cells) {
+    ++counts[static_cast<size_t>(c)];
+  }
+  bin_offsets_.assign(static_cast<size_t>(num_cells_) + 1, 0);
+  int64_t off = 0;
+  for (int c = 0; c < num_cells_; ++c) {
+    bin_offsets_[static_cast<size_t>(c)] = off;
+    const int32_t n = counts[static_cast<size_t>(c)];
+    const int gap = std::max(config_.min_gap_per_bin,
+                             static_cast<int>(config_.gap_fraction * n));
+    off += n + gap;
+  }
+  bin_offsets_[static_cast<size_t>(num_cells_)] = off;
+  local_index_.assign(static_cast<size_t>(off), kInvalidParticleId);
+  bin_lengths_.assign(static_cast<size_t>(num_cells_), 0);
+  for (size_t k = 0; k < pids.size(); ++k) {
+    const int32_t pid = pids[k];
+    const int32_t c = cells[k];
+    const int64_t slot = bin_offsets_[static_cast<size_t>(c)] +
+                         bin_lengths_[static_cast<size_t>(c)];
+    local_index_[static_cast<size_t>(slot)] = pid;
+    slot_of_pid_[static_cast<size_t>(pid)] = slot;
+    ++bin_lengths_[static_cast<size_t>(c)];
+  }
+  return static_cast<int64_t>(local_index_.size());
+}
+
+Gpma::OpResult Gpma::Remove(int32_t pid) {
+  MPIC_DCHECK(pid >= 0 && static_cast<size_t>(pid) < slot_of_pid_.size());
+  const int64_t slot = slot_of_pid_[static_cast<size_t>(pid)];
+  MPIC_CHECK_MSG(slot >= 0, "Remove of absent particle");
+  const int cell = cell_of_pid_[static_cast<size_t>(pid)];
+  const int64_t off = bin_offsets_[static_cast<size_t>(cell)];
+  const int64_t last = off + bin_lengths_[static_cast<size_t>(cell)] - 1;
+  MPIC_DCHECK(slot >= off && slot <= last);
+  // Swap-pop: keep valid entries packed at the bin front.
+  const int32_t moved = local_index_[static_cast<size_t>(last)];
+  local_index_[static_cast<size_t>(slot)] = moved;
+  local_index_[static_cast<size_t>(last)] = kInvalidParticleId;
+  slot_of_pid_[static_cast<size_t>(moved)] = slot;
+  slot_of_pid_[static_cast<size_t>(pid)] = -1;
+  --bin_lengths_[static_cast<size_t>(cell)];
+  --num_particles_;
+  return {true, 3};
+}
+
+int64_t Gpma::FindSpareRight(int from_cell) const {
+  const int limit = std::min(num_cells_ - 1, from_cell + config_.max_shift_bins);
+  for (int c = from_cell + 1; c <= limit; ++c) {
+    if (bin_lengths_[static_cast<size_t>(c)] < BinCap(c)) {
+      return c;
+    }
+  }
+  return -1;
+}
+
+int64_t Gpma::FindSpareLeft(int from_cell) const {
+  const int limit = std::max(0, from_cell - config_.max_shift_bins);
+  for (int c = from_cell - 1; c >= limit; --c) {
+    if (bin_lengths_[static_cast<size_t>(c)] < BinCap(c)) {
+      return c;
+    }
+  }
+  return -1;
+}
+
+Gpma::OpResult Gpma::Insert(int32_t pid, int cell) {
+  MPIC_DCHECK(cell >= 0 && cell < num_cells_);
+  if (static_cast<size_t>(pid) >= slot_of_pid_.size()) {
+    // Newly added particle (id beyond the build-time set).
+    slot_of_pid_.resize(static_cast<size_t>(pid) + 1, -1);
+    cell_of_pid_.resize(static_cast<size_t>(pid) + 1, -1);
+  }
+  MPIC_CHECK_MSG(slot_of_pid_[static_cast<size_t>(pid)] < 0,
+                 "Insert of already-present particle");
+  int64_t words = 1;
+  if (bin_lengths_[static_cast<size_t>(cell)] >= BinCap(cell)) {
+    // Bin full: borrow one slot from the nearest bin with spare capacity via a
+    // PMA shift. Each intervening bin rotates one element from its front to
+    // just past its packed tail, then its region moves one slot over.
+    const int64_t right = FindSpareRight(cell);
+    const int64_t left = right < 0 ? FindSpareLeft(cell) : -1;
+    if (right >= 0) {
+      for (int c = static_cast<int>(right); c > cell; --c) {
+        const int64_t off = bin_offsets_[static_cast<size_t>(c)];
+        const int32_t len = bin_lengths_[static_cast<size_t>(c)];
+        if (len > 0) {
+          // Move front element to the slot just past the packed tail; that slot
+          // is free: either a gap of this bin or the slot being vacated by the
+          // already-shifted bin to the right.
+          const int32_t moved = local_index_[static_cast<size_t>(off)];
+          local_index_[static_cast<size_t>(off + len)] = moved;
+          slot_of_pid_[static_cast<size_t>(moved)] = off + len;
+          local_index_[static_cast<size_t>(off)] = kInvalidParticleId;
+          words += 3;
+        }
+        bin_offsets_[static_cast<size_t>(c)] = off + 1;
+        words += 1;
+      }
+    } else if (left >= 0) {
+      for (int c = static_cast<int>(left) + 1; c <= cell; ++c) {
+        // Mirror image: regions move one slot left; each bin rotates its last
+        // element to one before its front.
+        const int64_t off = bin_offsets_[static_cast<size_t>(c)];
+        const int32_t len = bin_lengths_[static_cast<size_t>(c)];
+        if (len > 0) {
+          const int32_t moved = local_index_[static_cast<size_t>(off + len - 1)];
+          local_index_[static_cast<size_t>(off - 1)] = moved;
+          slot_of_pid_[static_cast<size_t>(moved)] = off - 1;
+          local_index_[static_cast<size_t>(off + len - 1)] = kInvalidParticleId;
+          words += 3;
+        }
+        bin_offsets_[static_cast<size_t>(c)] = off - 1;
+        words += 1;
+      }
+    } else {
+      return {false, words};
+    }
+  }
+  const int64_t slot = bin_offsets_[static_cast<size_t>(cell)] +
+                       bin_lengths_[static_cast<size_t>(cell)];
+  local_index_[static_cast<size_t>(slot)] = pid;
+  slot_of_pid_[static_cast<size_t>(pid)] = slot;
+  cell_of_pid_[static_cast<size_t>(pid)] = static_cast<int32_t>(cell);
+  ++bin_lengths_[static_cast<size_t>(cell)];
+  ++num_particles_;
+  return {true, words + 2};
+}
+
+int Gpma::CellOf(int32_t pid) const {
+  if (pid < 0 || static_cast<size_t>(pid) >= slot_of_pid_.size() ||
+      slot_of_pid_[static_cast<size_t>(pid)] < 0) {
+    return -1;
+  }
+  return cell_of_pid_[static_cast<size_t>(pid)];
+}
+
+void Gpma::CheckInvariants() const {
+  MPIC_CHECK(bin_offsets_.size() == static_cast<size_t>(num_cells_) + 1);
+  MPIC_CHECK(bin_offsets_[0] >= 0);
+  MPIC_CHECK(bin_offsets_[static_cast<size_t>(num_cells_)] ==
+             static_cast<int64_t>(local_index_.size()));
+  int64_t valid = 0;
+  for (int c = 0; c < num_cells_; ++c) {
+    const int64_t off = bin_offsets_[static_cast<size_t>(c)];
+    const int64_t end = bin_offsets_[static_cast<size_t>(c) + 1];
+    MPIC_CHECK(off <= end);
+    const int32_t len = bin_lengths_[static_cast<size_t>(c)];
+    MPIC_CHECK(len >= 0 && off + len <= end);
+    // Packed front: [off, off+len) valid, [off+len, end) gaps.
+    for (int64_t s = off; s < end; ++s) {
+      const int32_t pid = local_index_[static_cast<size_t>(s)];
+      if (s < off + len) {
+        MPIC_CHECK(pid >= 0);
+        MPIC_CHECK(slot_of_pid_[static_cast<size_t>(pid)] == s);
+        MPIC_CHECK(cell_of_pid_[static_cast<size_t>(pid)] == c);
+        ++valid;
+      } else {
+        MPIC_CHECK(pid == kInvalidParticleId);
+      }
+    }
+  }
+  MPIC_CHECK(valid == num_particles_);
+}
+
+}  // namespace mpic

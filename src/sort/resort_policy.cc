@@ -1,0 +1,48 @@
+#include "src/sort/resort_policy.h"
+
+namespace mpic {
+
+SortDecision ResortPolicy::Evaluate(const RankSortStats& stats) const {
+  // Determine whether any trigger fires, then let strategy 1 (minimum
+  // interval) veto it.
+  SortDecision fired = SortDecision::kNoSort;
+  if (stats.steps_since_sort >= config_.sort_interval) {
+    fired = SortDecision::kFixedInterval;
+  } else if (stats.local_rebuilds >= config_.trigger_rebuild_count) {
+    fired = SortDecision::kRebuildCount;
+  } else if (stats.empty_slot_ratio < config_.trigger_empty_ratio ||
+             stats.empty_slot_ratio > config_.trigger_full_ratio) {
+    fired = SortDecision::kEmptyRatio;
+  } else if (config_.trigger_perf_enable && stats.baseline_throughput > 0.0 &&
+             stats.step_throughput <
+                 config_.trigger_perf_degrad * stats.baseline_throughput) {
+    fired = SortDecision::kPerfDegradation;
+  }
+  if (fired == SortDecision::kNoSort) {
+    return SortDecision::kNoSort;
+  }
+  if (stats.steps_since_sort < config_.min_sort_interval) {
+    return SortDecision::kMinIntervalHold;
+  }
+  return fired;
+}
+
+const char* SortDecisionName(SortDecision d) {
+  switch (d) {
+    case SortDecision::kNoSort:
+      return "no-sort";
+    case SortDecision::kMinIntervalHold:
+      return "min-interval-hold";
+    case SortDecision::kFixedInterval:
+      return "fixed-interval";
+    case SortDecision::kRebuildCount:
+      return "rebuild-count";
+    case SortDecision::kEmptyRatio:
+      return "empty-ratio";
+    case SortDecision::kPerfDegradation:
+      return "perf-degradation";
+  }
+  return "?";
+}
+
+}  // namespace mpic

@@ -1,0 +1,79 @@
+// The adaptive global re-sorting policy (paper Sec. 4.4).
+//
+// Per timestep each rank collects RankSortStats; ShouldPerformGlobalSort applies
+// the paper's five prioritized strategies:
+//   1. Minimum interval  — never sort more often than min_sort_interval steps.
+//   2. Fixed interval    — always sort every sort_interval steps.
+//   3. Local rebuilds    — sort when accumulated tile GPMA rebuilds exceed
+//                          trigger_rebuild_count.
+//   4. Empty-slot ratio  — sort when the rank-wide GPMA empty-slot ratio leaves
+//                          [trigger_empty_ratio, trigger_full_ratio].
+//   5. Performance       — (optional) sort when the current step's deposition
+//                          throughput drops below trigger_perf_degrad x the
+//                          post-sort baseline.
+//
+// Defaults mirror the paper's Table 4.
+
+#ifndef MPIC_SRC_SORT_RESORT_POLICY_H_
+#define MPIC_SRC_SORT_RESORT_POLICY_H_
+
+#include <cstdint>
+
+namespace mpic {
+
+struct ResortPolicyConfig {
+  int sort_interval = 50;
+  int min_sort_interval = 10;
+  int trigger_rebuild_count = 100;
+  double trigger_empty_ratio = 0.15;
+  double trigger_full_ratio = 0.85;
+  bool trigger_perf_enable = true;
+  double trigger_perf_degrad = 0.80;
+};
+
+struct RankSortStats {
+  int steps_since_sort = 0;
+  int64_t local_rebuilds = 0;
+  // Rank-wide ratio of empty GPMA slots to capacity, refreshed each step.
+  double empty_slot_ratio = 0.0;
+  // Deposition throughput (particles per modeled second) of the current step.
+  double step_throughput = 0.0;
+  // Throughput measured on the first step after the last global sort.
+  double baseline_throughput = 0.0;
+};
+
+// Why a sort was (or was not) triggered; returned for diagnostics and tested
+// directly by the policy unit tests.
+enum class SortDecision {
+  kNoSort = 0,
+  kMinIntervalHold,  // a trigger fired but the minimum interval suppressed it
+  kFixedInterval,
+  kRebuildCount,
+  kEmptyRatio,
+  kPerfDegradation,
+};
+
+class ResortPolicy {
+ public:
+  explicit ResortPolicy(const ResortPolicyConfig& config) : config_(config) {}
+
+  // Evaluates the five strategies in priority order.
+  SortDecision Evaluate(const RankSortStats& stats) const;
+
+  // True when the decision means "perform the global sort now".
+  static bool ShouldSort(SortDecision d) {
+    return d == SortDecision::kFixedInterval || d == SortDecision::kRebuildCount ||
+           d == SortDecision::kEmptyRatio || d == SortDecision::kPerfDegradation;
+  }
+
+  const ResortPolicyConfig& config() const { return config_; }
+
+ private:
+  ResortPolicyConfig config_;
+};
+
+const char* SortDecisionName(SortDecision d);
+
+}  // namespace mpic
+
+#endif  // MPIC_SRC_SORT_RESORT_POLICY_H_

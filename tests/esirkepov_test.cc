@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/deposit/esirkepov.h"
+#include "src/particles/species.h"
+
+namespace mpic {
+namespace {
+
+GridGeometry MakeGeom(int n) {
+  GridGeometry g;
+  g.nx = g.ny = g.nz = n;
+  g.dx = g.dy = g.dz = 1.0e-6;
+  return g;
+}
+
+struct MovedWorld {
+  MovedWorld(int n, int count, double max_cell_step, uint64_t seed)
+      : geom(MakeGeom(n)), tile(0, 0, 0, n, n, n) {
+    Rng rng(seed);
+    for (int i = 0; i < count; ++i) {
+      Particle p;
+      // Keep two cells away from the boundary so no support needs wrapping.
+      p.x = rng.Uniform(2.0, n - 2.0) * geom.dx;
+      p.y = rng.Uniform(2.0, n - 2.0) * geom.dy;
+      p.z = rng.Uniform(2.0, n - 2.0) * geom.dz;
+      p.w = rng.Uniform(0.5, 2.0) * 1e8;
+      tile.AddParticle(p);
+    }
+    tile.BuildGpma(geom, GpmaConfig{});
+    x_old = tile.soa().x;
+    y_old = tile.soa().y;
+    z_old = tile.soa().z;
+    // Displace (the "push") by at most max_cell_step cells per axis.
+    for (size_t i = 0; i < tile.soa().size(); ++i) {
+      tile.soa().x[i] += rng.Uniform(-1.0, 1.0) * max_cell_step * geom.dx;
+      tile.soa().y[i] += rng.Uniform(-1.0, 1.0) * max_cell_step * geom.dy;
+      tile.soa().z[i] += rng.Uniform(-1.0, 1.0) * max_cell_step * geom.dz;
+    }
+  }
+
+  GridGeometry geom;
+  ParticleTile tile;
+  std::vector<double> x_old, y_old, z_old;
+};
+
+// The load-bearing invariant: (rho_new - rho_old)/dt + div J == 0 exactly
+// (to rounding) at every node, for every order.
+template <int Order>
+void ExpectContinuity(double max_cell_step, uint64_t seed) {
+  MovedWorld world(10, 200, max_cell_step, seed);
+  const double dt = 1.0e-15;
+
+  HwContext hw;
+  FieldSet fields(world.geom, 2);
+  EsirkepovParams ep;
+  ep.geom = world.geom;
+  ep.charge = kElectronCharge;
+  ep.dt = dt;
+  DepositEsirkepov<Order>(hw, world.tile, world.x_old, world.y_old, world.z_old, ep,
+                          fields);
+
+  DepositParams dp;
+  dp.geom = world.geom;
+  dp.charge = kElectronCharge;
+  FieldArray rho_new(world.geom.nx, world.geom.ny, world.geom.nz, 2);
+  DepositCharge<Order>(hw, world.tile, dp, rho_new);
+  // Rewind positions for rho_old.
+  ParticleTile old_tile(0, 0, 0, world.geom.nx, world.geom.ny, world.geom.nz);
+  for (size_t i = 0; i < world.tile.soa().size(); ++i) {
+    Particle p = world.tile.soa().Get(static_cast<int32_t>(i));
+    p.x = world.x_old[i];
+    p.y = world.y_old[i];
+    p.z = world.z_old[i];
+    old_tile.AddParticle(p);
+  }
+  FieldArray rho_old(world.geom.nx, world.geom.ny, world.geom.nz, 2);
+  DepositCharge<Order>(hw, old_tile, dp, rho_old);
+
+  const GridGeometry& g = world.geom;
+  double max_violation = 0.0;
+  double rho_scale = 0.0;
+  for (int k = 1; k < g.nz - 1; ++k) {
+    for (int j = 1; j < g.ny - 1; ++j) {
+      for (int i = 1; i < g.nx - 1; ++i) {
+        const double drho_dt = (rho_new.At(i, j, k) - rho_old.At(i, j, k)) / dt;
+        const double div_j =
+            (fields.jx.At(i, j, k) - fields.jx.At(i - 1, j, k)) / g.dx +
+            (fields.jy.At(i, j, k) - fields.jy.At(i, j - 1, k)) / g.dy +
+            (fields.jz.At(i, j, k) - fields.jz.At(i, j, k - 1)) / g.dz;
+        max_violation = std::max(max_violation, std::fabs(drho_dt + div_j));
+        rho_scale = std::max(rho_scale, std::fabs(drho_dt));
+      }
+    }
+  }
+  ASSERT_GT(rho_scale, 0.0);
+  EXPECT_LT(max_violation / rho_scale, 1e-9)
+      << "order " << Order << " step " << max_cell_step;
+}
+
+class Continuity : public ::testing::TestWithParam<double> {};
+
+TEST_P(Continuity, Order1) { ExpectContinuity<1>(GetParam(), 11); }
+TEST_P(Continuity, Order2) { ExpectContinuity<2>(GetParam(), 12); }
+TEST_P(Continuity, Order3) { ExpectContinuity<3>(GetParam(), 13); }
+
+INSTANTIATE_TEST_SUITE_P(StepSizes, Continuity, ::testing::Values(0.05, 0.3, 0.9));
+
+TEST(Esirkepov, StationaryParticleDepositsNothing) {
+  MovedWorld world(8, 50, 0.0, 5);
+  HwContext hw;
+  FieldSet fields(world.geom, 2);
+  EsirkepovParams ep;
+  ep.geom = world.geom;
+  ep.charge = kElectronCharge;
+  ep.dt = 1e-15;
+  DepositEsirkepov<1>(hw, world.tile, world.x_old, world.y_old, world.z_old, ep,
+                      fields);
+  for (double v : fields.jx.vec()) {
+    EXPECT_DOUBLE_EQ(v, 0.0);
+  }
+}
+
+TEST(Esirkepov, PureXMotionProducesOnlyJx) {
+  GridGeometry g = MakeGeom(8);
+  ParticleTile tile(0, 0, 0, 8, 8, 8);
+  Particle p;
+  p.x = 3.25 * g.dx;
+  p.y = 3.5 * g.dy;
+  p.z = 3.5 * g.dz;
+  p.w = 1e8;
+  tile.AddParticle(p);
+  const std::vector<double> x_old = {p.x};
+  const std::vector<double> y_old = {p.y};
+  const std::vector<double> z_old = {p.z};
+  tile.soa().x[0] += 0.4 * g.dx;
+  HwContext hw;
+  FieldSet fields(g, 2);
+  EsirkepovParams ep;
+  ep.geom = g;
+  ep.charge = kElectronCharge;
+  ep.dt = 1e-15;
+  DepositEsirkepov<1>(hw, tile, x_old, y_old, z_old, ep, fields);
+  double jy_max = 0.0;
+  double jx_max = 0.0;
+  for (double v : fields.jy.vec()) {
+    jy_max = std::max(jy_max, std::fabs(v));
+  }
+  for (double v : fields.jx.vec()) {
+    jx_max = std::max(jx_max, std::fabs(v));
+  }
+  EXPECT_GT(jx_max, 0.0);
+  EXPECT_DOUBLE_EQ(jy_max, 0.0);
+}
+
+TEST(Esirkepov, TotalJxMatchesChargeFlux) {
+  // Integrated Jx * dV = q * w * dx_moved / dt (the particle's current moment).
+  GridGeometry g = MakeGeom(8);
+  ParticleTile tile(0, 0, 0, 8, 8, 8);
+  Particle p;
+  p.x = 3.3 * g.dx;
+  p.y = 3.7 * g.dy;
+  p.z = 4.1 * g.dz;
+  p.w = 2e8;
+  tile.AddParticle(p);
+  const std::vector<double> x_old = {p.x};
+  const std::vector<double> y_old = {p.y};
+  const std::vector<double> z_old = {p.z};
+  const double dx_moved = 0.35 * g.dx;
+  tile.soa().x[0] += dx_moved;
+  const double dt = 2e-15;
+  HwContext hw;
+  FieldSet fields(g, 2);
+  EsirkepovParams ep;
+  ep.geom = g;
+  ep.charge = kElectronCharge;
+  ep.dt = dt;
+  DepositEsirkepov<1>(hw, tile, x_old, y_old, z_old, ep, fields);
+  double total = 0.0;
+  for (int k = 0; k < g.nz; ++k) {
+    for (int j = 0; j < g.ny; ++j) {
+      for (int i = 0; i < g.nx; ++i) {
+        total += fields.jx.At(i, j, k);
+      }
+    }
+  }
+  total *= g.dx * g.dy * g.dz;  // integrate the density
+  const double expected = kElectronCharge * 2e8 * dx_moved / dt;
+  EXPECT_NEAR(total, expected, std::fabs(expected) * 1e-12);
+}
+
+}  // namespace
+}  // namespace mpic

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/grid/field_array.h"
+#include "src/grid/field_set.h"
+#include "src/grid/grid_geometry.h"
+
+namespace mpic {
+namespace {
+
+TEST(GridGeometry, CellMapping) {
+  GridGeometry g;
+  g.nx = 8;
+  g.ny = 4;
+  g.nz = 2;
+  g.dx = 0.5;
+  g.dy = 0.25;
+  g.dz = 1.0;
+  g.x0 = 10.0;
+  EXPECT_EQ(g.CellX(10.74), 1);
+  EXPECT_EQ(g.CellX(10.0), 0);
+  EXPECT_EQ(g.CellY(0.26), 1);
+  EXPECT_EQ(g.NumCells(), 64);
+  EXPECT_DOUBLE_EQ(g.LengthX(), 4.0);
+}
+
+TEST(GridGeometry, CellIdLinearization) {
+  GridGeometry g;
+  g.nx = 4;
+  g.ny = 3;
+  g.nz = 2;
+  EXPECT_EQ(g.CellId(0, 0, 0), 0);
+  EXPECT_EQ(g.CellId(3, 0, 0), 3);
+  EXPECT_EQ(g.CellId(0, 1, 0), 4);
+  EXPECT_EQ(g.CellId(0, 0, 1), 12);
+  EXPECT_EQ(g.CellId(3, 2, 1), 23);
+}
+
+TEST(GridGeometry, WrapPeriodic) {
+  GridGeometry g;
+  g.nx = 10;
+  g.dx = 1.0;
+  g.x0 = 0.0;
+  EXPECT_DOUBLE_EQ(g.WrapX(10.5), 0.5);
+  EXPECT_DOUBLE_EQ(g.WrapX(-0.5), 9.5);
+  EXPECT_DOUBLE_EQ(g.WrapX(3.0), 3.0);
+  EXPECT_DOUBLE_EQ(g.WrapX(23.25), 3.25);
+}
+
+TEST(GridGeometry, InDomain) {
+  GridGeometry g;
+  g.nx = g.ny = g.nz = 4;
+  g.dx = g.dy = g.dz = 1.0;
+  EXPECT_TRUE(g.InDomain(0.0, 0.0, 0.0));
+  EXPECT_TRUE(g.InDomain(3.999, 3.999, 3.999));
+  EXPECT_FALSE(g.InDomain(4.0, 0.0, 0.0));
+  EXPECT_FALSE(g.InDomain(0.0, -0.001, 0.0));
+}
+
+TEST(FieldArray, IndexingAndGuards) {
+  FieldArray f(4, 4, 4, 2);
+  EXPECT_EQ(f.sx(), 4 + 1 + 4);
+  f.At(-2, -2, -2) = 1.0;
+  f.At(6, 6, 6) = 2.0;
+  f.At(0, 0, 0) = 3.0;
+  EXPECT_DOUBLE_EQ(f.data()[0], 1.0);
+  EXPECT_DOUBLE_EQ(f.At(6, 6, 6), 2.0);
+  EXPECT_DOUBLE_EQ(f.At(0, 0, 0), 3.0);
+}
+
+TEST(FieldArray, FoldGuardsPeriodicConservesSum) {
+  FieldArray f(4, 4, 4, 2);
+  // Deposit something into guards and duplicated boundary nodes.
+  f.At(-1, 0, 0) = 2.0;   // image of node 3
+  f.At(4, 1, 1) = 5.0;    // image of node 0
+  f.At(5, 2, 2) = 7.0;    // image of node 1
+  f.At(2, 2, 2) = 1.0;    // interior
+  f.FoldGuardsPeriodic();
+  EXPECT_DOUBLE_EQ(f.At(3, 0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(f.At(0, 1, 1), 5.0);
+  EXPECT_DOUBLE_EQ(f.At(1, 2, 2), 7.0);
+  EXPECT_DOUBLE_EQ(f.At(2, 2, 2), 1.0);
+  EXPECT_DOUBLE_EQ(f.InteriorSumUnique(), 15.0);
+}
+
+TEST(FieldArray, FoldThenGuardsMirrorInterior) {
+  FieldArray f(4, 4, 4, 2);
+  f.At(4, 0, 0) = 1.5;
+  f.FoldGuardsPeriodic();
+  // After folding, the duplicated node 4 must mirror node 0 again.
+  EXPECT_DOUBLE_EQ(f.At(4, 0, 0), f.At(0, 0, 0));
+  EXPECT_DOUBLE_EQ(f.At(0, 0, 0), 1.5);
+}
+
+TEST(FieldArray, FillGuardsPeriodic) {
+  FieldArray f(4, 4, 4, 2);
+  f.At(0, 0, 0) = 9.0;
+  f.At(3, 3, 3) = 4.0;
+  f.FillGuardsPeriodic();
+  EXPECT_DOUBLE_EQ(f.At(4, 4, 4), 9.0);   // node n == node 0
+  EXPECT_DOUBLE_EQ(f.At(-1, -1, -1), 4.0);
+  EXPECT_DOUBLE_EQ(f.At(4, 0, 0), 9.0);
+}
+
+TEST(FieldArray, FillAndSum) {
+  FieldArray f(2, 2, 2, 1);
+  f.Fill(0.5);
+  EXPECT_DOUBLE_EQ(f.InteriorSumUnique(), 0.5 * 8);
+}
+
+TEST(FieldSet, ZeroCurrents) {
+  GridGeometry g;
+  g.nx = g.ny = g.nz = 2;
+  FieldSet fields(g, 2);
+  fields.jx.Fill(1.0);
+  fields.jy.Fill(2.0);
+  fields.jz.Fill(3.0);
+  fields.ex.Fill(4.0);
+  fields.ZeroCurrents();
+  EXPECT_DOUBLE_EQ(fields.jx.At(0, 0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(fields.jy.At(1, 1, 1), 0.0);
+  EXPECT_DOUBLE_EQ(fields.jz.At(0, 1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(fields.ex.At(0, 0, 0), 4.0);  // E untouched
+}
+
+}  // namespace
+}  // namespace mpic

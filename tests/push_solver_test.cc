@@ -1,0 +1,369 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/grid/field_set.h"
+#include "src/laser/laser.h"
+#include "src/particles/species.h"
+#include "src/push/boris_pusher.h"
+#include "src/push/field_gather.h"
+#include "src/solver/maxwell_solver.h"
+#include "src/solver/moving_window.h"
+
+namespace mpic {
+namespace {
+
+GridGeometry CubicGeom(int n, double d) {
+  GridGeometry g;
+  g.nx = g.ny = g.nz = n;
+  g.dx = g.dy = g.dz = d;
+  return g;
+}
+
+// ---------------------------------------------------------------------------
+// Boris pusher physics
+// ---------------------------------------------------------------------------
+
+TEST(Boris, UniformEFieldAcceleratesLinearly) {
+  // du/dt = qE/m for nonrelativistic motion.
+  const double e_field = 1e3;
+  const double dt = 1e-12;
+  double ux = 0.0, uy = 0.0, uz = 0.0;
+  const double qdt2m = kElectronCharge * dt / (2.0 * kElectronMass);
+  for (int i = 0; i < 100; ++i) {
+    BorisStep(e_field, 0.0, 0.0, 0.0, 0.0, 0.0, qdt2m, &ux, &uy, &uz);
+  }
+  const double expected = kElectronCharge / kElectronMass * e_field * 100 * dt;
+  EXPECT_NEAR(ux, expected, std::fabs(expected) * 1e-9);
+  EXPECT_DOUBLE_EQ(uy, 0.0);
+}
+
+TEST(Boris, GyrationPreservesSpeedAndFrequency) {
+  // Magnetic field only: |u| conserved exactly; rotation angle per step is
+  // 2*atan(|t|) ~ omega_c * dt.
+  const double b = 0.01;  // Tesla
+  const double u0 = 0.05 * kSpeedOfLight;
+  const double gamma = std::sqrt(1.0 + (u0 / kSpeedOfLight) * (u0 / kSpeedOfLight));
+  const double omega_c = std::fabs(kElectronCharge) * b / (gamma * kElectronMass);
+  const double dt = 0.02 / omega_c;  // well-resolved orbit
+  const double qdt2m = kElectronCharge * dt / (2.0 * kElectronMass);
+  double ux = u0, uy = 0.0, uz = 0.0;
+  const int steps = 500;
+  for (int i = 0; i < steps; ++i) {
+    BorisStep(0.0, 0.0, 0.0, 0.0, 0.0, b, qdt2m, &ux, &uy, &uz);
+    EXPECT_NEAR(std::sqrt(ux * ux + uy * uy + uz * uz), u0, u0 * 1e-12)
+        << "step " << i;
+  }
+  const double angle = std::atan2(uy, ux);
+  // Boris phase error is O((omega dt)^2); generous tolerance.
+  double expected_angle = std::fmod(omega_c * dt * steps, 2.0 * M_PI);
+  if (expected_angle > M_PI) {
+    expected_angle -= 2.0 * M_PI;
+  }
+  EXPECT_NEAR(std::fabs(angle), std::fabs(expected_angle), 0.01);
+}
+
+TEST(Boris, ExBDriftVelocity) {
+  // Crossed fields: guiding center drifts at v = E x B / B^2.
+  const double e = 1e4;
+  const double b = 0.1;
+  const double v_drift = e / b;  // E in y, B in z -> drift in x
+  const double omega_c = std::fabs(kElectronCharge) * b / kElectronMass;
+  const double dt = 0.05 / omega_c;
+  const double qdt2m = kElectronCharge * dt / (2.0 * kElectronMass);
+  double ux = 0.0, uy = 0.0, uz = 0.0;
+  double x = 0.0;
+  const int steps = 20000;
+  for (int i = 0; i < steps; ++i) {
+    BorisStep(0.0, e, 0.0, 0.0, 0.0, b, qdt2m, &ux, &uy, &uz);
+    x += ux * dt;  // nonrelativistic here
+  }
+  const double measured_drift = x / (steps * dt);
+  EXPECT_NEAR(measured_drift, v_drift, std::fabs(v_drift) * 0.02);
+}
+
+TEST(PushTile, AdvancesPositionsByVelocity) {
+  ParticleTile tile(0, 0, 0, 4, 4, 4);
+  Particle p;
+  p.x = p.y = p.z = 2.0;
+  p.ux = 0.1 * kSpeedOfLight;
+  tile.AddParticle(p);
+  GatherScratch gathered;
+  gathered.Resize(1);
+  HwContext hw;
+  PushParams pp;
+  pp.dt = 1e-9;
+  pp.charge = kElectronCharge;
+  pp.mass = kElectronMass;
+  PushTileBoris(hw, tile, gathered, pp);
+  const double gamma = std::sqrt(1.0 + 0.01);
+  EXPECT_NEAR(tile.soa().x[0], 2.0 + 0.1 * kSpeedOfLight / gamma * 1e-9, 1e-12);
+  EXPECT_DOUBLE_EQ(tile.soa().y[0], 2.0);
+  EXPECT_GT(hw.ledger().PhaseCycles(Phase::kPush), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Field gather
+// ---------------------------------------------------------------------------
+
+template <int Order>
+void ExpectGathersUniformField() {
+  const GridGeometry g = CubicGeom(6, 0.5);
+  FieldSet fields(g, 2);
+  fields.ex.Fill(3.0);
+  fields.by.Fill(-2.0);
+  ParticleTile tile(0, 0, 0, 6, 6, 6);
+  Rng rng(4);
+  for (int i = 0; i < 50; ++i) {
+    Particle p;
+    p.x = rng.Uniform(0.1, 2.9);
+    p.y = rng.Uniform(0.1, 2.9);
+    p.z = rng.Uniform(0.1, 2.9);
+    tile.AddParticle(p);
+  }
+  GatherScratch gathered;
+  HwContext hw;
+  GatherFieldsTile<Order>(hw, tile, fields, gathered);
+  for (size_t i = 0; i < tile.soa().size(); ++i) {
+    EXPECT_NEAR(gathered.ex[i], 3.0, 1e-12);
+    EXPECT_NEAR(gathered.by[i], -2.0, 1e-12);
+    EXPECT_NEAR(gathered.ez[i], 0.0, 1e-12);
+  }
+  EXPECT_GT(hw.ledger().PhaseCycles(Phase::kGather), 0.0);
+}
+
+TEST(Gather, UniformFieldOrder1) { ExpectGathersUniformField<1>(); }
+TEST(Gather, UniformFieldOrder2) { ExpectGathersUniformField<2>(); }
+TEST(Gather, UniformFieldOrder3) { ExpectGathersUniformField<3>(); }
+
+TEST(Gather, LinearFieldReproducedExactly) {
+  // B-spline interpolation reproduces linear fields; staggering included.
+  const GridGeometry g = CubicGeom(8, 1.0);
+  FieldSet fields(g, 2);
+  // Ex(x,y,z) = 2*x_stag + 3*y + 4*z, with Ex at (i+1/2, j, k).
+  for (int k = -2; k <= g.nz + 2; ++k) {
+    for (int j = -2; j <= g.ny + 2; ++j) {
+      for (int i = -2; i <= g.nx + 2; ++i) {
+        fields.ex.At(i, j, k) = 2.0 * (i + 0.5) + 3.0 * j + 4.0 * k;
+      }
+    }
+  }
+  ParticleTile tile(0, 0, 0, 8, 8, 8);
+  Rng rng(5);
+  for (int i = 0; i < 40; ++i) {
+    Particle p;
+    // Keep well inside so the support never needs wrapped guards.
+    p.x = rng.Uniform(2.0, 6.0);
+    p.y = rng.Uniform(2.0, 6.0);
+    p.z = rng.Uniform(2.0, 6.0);
+    tile.AddParticle(p);
+  }
+  GatherScratch gathered;
+  HwContext hw;
+  GatherFieldsTile<1>(hw, tile, fields, gathered);
+  for (size_t i = 0; i < tile.soa().size(); ++i) {
+    const double expected = 2.0 * tile.soa().x[i] + 3.0 * tile.soa().y[i] +
+                            4.0 * tile.soa().z[i];
+    EXPECT_NEAR(gathered.ex[i], expected, 1e-10);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Maxwell solvers
+// ---------------------------------------------------------------------------
+
+TEST(Solver, StableCourantLimits) {
+  const GridGeometry g = CubicGeom(8, 1.0);
+  EXPECT_NEAR(MaxwellSolver(SolverKind::kYee, g).StableCourant(), 1.0 / std::sqrt(3.0),
+              1e-12);
+  EXPECT_DOUBLE_EQ(MaxwellSolver(SolverKind::kCkc, g).StableCourant(), 1.0);
+}
+
+double RunPlaneWave(SolverKind kind, double courant, int steps, int n = 32) {
+  // Plane wave along z: Ex = E0 sin(k z), By = E0/c sin(k z) propagates in +z.
+  const double dz = 1.0e-6;
+  const GridGeometry g = CubicGeom(n, dz);
+  FieldSet fields(g, 2);
+  const double k_wave = 2.0 * M_PI / (n * dz);
+  const double e0 = 1.0;
+  for (int kk = 0; kk < g.nz; ++kk) {
+    for (int j = 0; j < g.ny; ++j) {
+      for (int i = 0; i < g.nx; ++i) {
+        // Ex at (i+1/2, j, k): z = kk*dz. By at (i+1/2, j, k+1/2).
+        fields.ex.At(i, j, kk) = e0 * std::sin(k_wave * kk * dz);
+        fields.by.At(i, j, kk) =
+            -e0 / kSpeedOfLight * std::sin(k_wave * (kk + 0.5) * dz);
+      }
+    }
+  }
+  fields.ex.FillGuardsPeriodic();
+  fields.by.FillGuardsPeriodic();
+  MaxwellSolver solver(kind, g);
+  HwContext hw;
+  const double dt = courant * dz / kSpeedOfLight;
+  // Stagger B back half a step (leapfrog init).
+  solver.UpdateB(hw, fields, -0.5 * dt);
+  for (int s = 0; s < steps; ++s) {
+    solver.UpdateB(hw, fields, 0.5 * dt);
+    solver.UpdateE(hw, fields, dt);
+    solver.UpdateB(hw, fields, 0.5 * dt);
+  }
+  double max_e = 0.0;
+  for (int kk = 0; kk < g.nz; ++kk) {
+    max_e = std::max(max_e, std::fabs(fields.ex.At(1, 1, kk)));
+  }
+  return max_e;
+}
+
+TEST(Solver, YeeStableBelowCourantLimit) {
+  const double amp = RunPlaneWave(SolverKind::kYee, 0.55, 200);
+  EXPECT_LT(amp, 1.5);
+  EXPECT_GT(amp, 0.5);
+}
+
+TEST(Solver, CkcStableAtCourantOne) {
+  // The CKC stencil's raison d'etre (Table 4 runs warpx.cfl = 1.0).
+  const double amp = RunPlaneWave(SolverKind::kCkc, 0.99, 200);
+  EXPECT_LT(amp, 1.5);
+  EXPECT_GT(amp, 0.5);
+}
+
+// Seeds broadband 3D noise and reports the max |Ex| after `steps`. Unstable
+// configurations amplify the short-wavelength diagonal modes exponentially.
+double RunNoise(SolverKind kind, double courant, int steps) {
+  const int n = 12;
+  const double dz = 1.0e-6;
+  const GridGeometry g = CubicGeom(n, dz);
+  FieldSet fields(g, 2);
+  Rng rng(21);
+  for (int kk = 0; kk < g.nz; ++kk) {
+    for (int j = 0; j < g.ny; ++j) {
+      for (int i = 0; i < g.nx; ++i) {
+        fields.ex.At(i, j, kk) = rng.Uniform(-1.0, 1.0);
+        fields.ey.At(i, j, kk) = rng.Uniform(-1.0, 1.0);
+        fields.ez.At(i, j, kk) = rng.Uniform(-1.0, 1.0);
+      }
+    }
+  }
+  fields.ex.FillGuardsPeriodic();
+  fields.ey.FillGuardsPeriodic();
+  fields.ez.FillGuardsPeriodic();
+  MaxwellSolver solver(kind, g);
+  HwContext hw;
+  const double dt = courant * dz / kSpeedOfLight;
+  for (int s = 0; s < steps; ++s) {
+    solver.UpdateB(hw, fields, 0.5 * dt);
+    solver.UpdateE(hw, fields, dt);
+    solver.UpdateB(hw, fields, 0.5 * dt);
+  }
+  double max_e = 0.0;
+  for (double v : fields.ex.vec()) {
+    if (std::isnan(v)) {
+      return std::numeric_limits<double>::infinity();
+    }
+    max_e = std::max(max_e, std::fabs(v));
+  }
+  return max_e;
+}
+
+TEST(Solver, YeeUnstableAtCourantOne) {
+  // 3D Yee blows up past 1/sqrt(3) on broadband noise: documents why the
+  // paper's CFL=1.0 configuration needs the CKC solver.
+  const double amp = RunNoise(SolverKind::kYee, 0.99, 100);
+  EXPECT_TRUE(amp > 1e3 || std::isinf(amp));
+}
+
+TEST(Solver, CkcBoundedOnNoiseAtCourantOne) {
+  const double amp = RunNoise(SolverKind::kCkc, 0.99, 100);
+  EXPECT_LT(amp, 50.0);
+}
+
+TEST(Solver, YeeBoundedOnNoiseBelowLimit) {
+  const double amp = RunNoise(SolverKind::kYee, 0.55, 100);
+  EXPECT_LT(amp, 50.0);
+}
+
+TEST(Solver, PlaneWavePropagatesAtLightSpeed) {
+  // After a full box transit the wave returns to its initial phase.
+  const int n = 32;
+  const double courant = 0.5;
+  // steps * c * dt = n * dz  =>  steps = n / courant.
+  const int steps = static_cast<int>(n / courant);
+  const double amp = RunPlaneWave(SolverKind::kYee, courant, steps, n);
+  EXPECT_NEAR(amp, 1.0, 0.05);
+}
+
+TEST(Solver, CurrentSourceInducesEField) {
+  // dE/dt = -J/eps0 for a uniform J with no curl.
+  const GridGeometry g = CubicGeom(8, 1.0e-6);
+  FieldSet fields(g, 2);
+  fields.jx.Fill(1.0);
+  MaxwellSolver solver(SolverKind::kYee, g);
+  HwContext hw;
+  const double dt = 1e-16;
+  solver.UpdateE(hw, fields, dt);
+  EXPECT_NEAR(fields.ex.At(3, 3, 3), -dt / kEpsilon0, std::fabs(dt / kEpsilon0) * 1e-9);
+  EXPECT_NEAR(fields.ey.At(3, 3, 3), 0.0, 1e-20);
+  EXPECT_GT(hw.ledger().PhaseCycles(Phase::kSolver), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Moving window + laser
+// ---------------------------------------------------------------------------
+
+TEST(MovingWindow, ShiftMovesFieldPlanesAndOrigin) {
+  const GridGeometry g = CubicGeom(4, 1.0);
+  FieldSet fields(g, 2);
+  for (int k = 0; k < 4; ++k) {
+    fields.ex.At(1, 1, k) = 10.0 + k;
+  }
+  HwContext hw;
+  ShiftWindowZ(hw, fields);
+  EXPECT_DOUBLE_EQ(fields.ex.At(1, 1, 0), 11.0);
+  EXPECT_DOUBLE_EQ(fields.ex.At(1, 1, 2), 13.0);
+  EXPECT_DOUBLE_EQ(fields.geom.z0, 1.0);
+  // Head plane zeroed (interior node nz-? the former plane 4 data shifted in,
+  // new guard-side plane is zero).
+  EXPECT_DOUBLE_EQ(fields.ex.At(1, 1, fields.ex.nz() + fields.ex.ng()), 0.0);
+}
+
+TEST(MovingWindow, StepsToShiftAccumulates) {
+  MovingWindow w(kSpeedOfLight, 1.0e-6);
+  const double dt = 0.4e-6 / kSpeedOfLight;  // 0.4 cells per step
+  int total = 0;
+  for (int i = 0; i < 10; ++i) {
+    total += w.StepsToShift(dt);
+  }
+  EXPECT_EQ(total, 4);  // 4 cells over 10 steps
+}
+
+TEST(Laser, AntennaDrivesGaussianPulse) {
+  const GridGeometry g = CubicGeom(16, 1.0e-6);
+  FieldSet fields(g, 2);
+  LaserConfig cfg;
+  cfg.a0 = 2.0;
+  cfg.antenna_cell_z = 3;
+  cfg.t_peak = 0.0;
+  LaserAntenna antenna(cfg);
+  HwContext hw;
+  antenna.Drive(hw, fields, 0.25 / cfg.Omega() * 2.0 * M_PI);
+  // Peak on axis, decaying transversally, only on the antenna plane.
+  const double center = std::fabs(fields.ey.At(8, 8, 3));
+  const double edge = std::fabs(fields.ey.At(0, 0, 3));
+  EXPECT_GT(center, 0.0);
+  EXPECT_LT(edge, center);
+  EXPECT_DOUBLE_EQ(fields.ey.At(8, 8, 10), 0.0);
+  EXPECT_LT(center, cfg.PeakField() * 1.01);
+}
+
+TEST(Laser, PeakFieldMatchesA0) {
+  LaserConfig cfg;
+  cfg.a0 = 1.0;
+  cfg.wavelength = 0.8e-6;
+  // a0 = e E / (m c omega) => E = a0 m c omega / e ~ 4e12 V/m for 0.8 um.
+  EXPECT_NEAR(cfg.PeakField(), 4.013e12, 0.01e12);
+}
+
+}  // namespace
+}  // namespace mpic

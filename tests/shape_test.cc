@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/shape/shape_function.h"
+
+namespace mpic {
+namespace {
+
+template <int Order>
+void ExpectPartitionOfUnity(double x) {
+  int start;
+  double w[4];
+  ShapeFunction<Order>::Weights(x, &start, w);
+  double sum = 0.0;
+  for (int t = 0; t <= Order; ++t) {
+    SCOPED_TRACE(t);
+    EXPECT_GE(w[t], -1e-15) << "negative weight at x=" << x;
+    sum += w[t];
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12) << "x=" << x;
+}
+
+// Property: weights are a partition of unity for every order, everywhere.
+class ShapeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShapeProperty, PartitionOfUnityRandomSweep) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.Uniform(-50.0, 50.0);
+    ExpectPartitionOfUnity<1>(x);
+    ExpectPartitionOfUnity<2>(x);
+    ExpectPartitionOfUnity<3>(x);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShapeProperty, ::testing::Values(1, 2, 3, 4));
+
+TEST(Shape, Order1ExactValues) {
+  int start;
+  double w[4];
+  ShapeFunction<1>::Weights(2.25, &start, w);
+  EXPECT_EQ(start, 2);
+  EXPECT_DOUBLE_EQ(w[0], 0.75);
+  EXPECT_DOUBLE_EQ(w[1], 0.25);
+}
+
+TEST(Shape, Order1AtNode) {
+  int start;
+  double w[4];
+  ShapeFunction<1>::Weights(3.0, &start, w);
+  EXPECT_EQ(start, 3);
+  EXPECT_DOUBLE_EQ(w[0], 1.0);
+  EXPECT_DOUBLE_EQ(w[1], 0.0);
+}
+
+TEST(Shape, Order2CenteredOnNearestNode) {
+  int start;
+  double w[4];
+  // x = 2.4 -> nearest node 2 -> support {1, 2, 3}.
+  ShapeFunction<2>::Weights(2.4, &start, w);
+  EXPECT_EQ(start, 1);
+  EXPECT_NEAR(w[0], 0.5 * 0.1 * 0.1, 1e-15);
+  EXPECT_NEAR(w[1], 0.75 - 0.16, 1e-15);
+  EXPECT_NEAR(w[2], 0.5 * 0.9 * 0.9, 1e-15);
+}
+
+TEST(Shape, Order3SymmetricAtCellCenter) {
+  int start;
+  double w[4];
+  ShapeFunction<3>::Weights(5.5, &start, w);
+  EXPECT_EQ(start, 4);
+  EXPECT_NEAR(w[0], w[3], 1e-15);
+  EXPECT_NEAR(w[1], w[2], 1e-15);
+  EXPECT_GT(w[1], w[0]);
+}
+
+// B-spline shapes reproduce linear functions exactly: sum_t w_t * (start + t)
+// equals x for order 1 and 3, and x for order 2 (all odd/even B-splines
+// reproduce degree-1 polynomials).
+template <int Order>
+void ExpectLinearReproduction(double x) {
+  int start;
+  double w[4];
+  ShapeFunction<Order>::Weights(x, &start, w);
+  double interp = 0.0;
+  for (int t = 0; t <= Order; ++t) {
+    interp += w[t] * (start + t);
+  }
+  EXPECT_NEAR(interp, x, 1e-12) << "order=" << Order << " x=" << x;
+}
+
+TEST(Shape, LinearFieldReproduction) {
+  Rng rng(99);
+  for (int i = 0; i < 2000; ++i) {
+    const double x = rng.Uniform(-20.0, 20.0);
+    ExpectLinearReproduction<1>(x);
+    ExpectLinearReproduction<2>(x);
+    ExpectLinearReproduction<3>(x);
+  }
+}
+
+TEST(Shape, SupportNodesCoverPosition) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Uniform(0.0, 100.0);
+    int start;
+    double w[4];
+    ShapeFunction<1>::Weights(x, &start, w);
+    EXPECT_LE(start, x);
+    EXPECT_GE(start + 1, x - 1.0);
+    ShapeFunction<3>::Weights(x, &start, w);
+    EXPECT_LE(start, x);
+    EXPECT_GE(start + 3, x);
+  }
+}
+
+TEST(Shape, RuntimeDispatchMatchesTemplates) {
+  for (int order = 1; order <= 3; ++order) {
+    const double x = 4.37;
+    const ShapeWeights s = ComputeShape(order, x);
+    EXPECT_EQ(s.support, order + 1);
+    int start;
+    double w[4];
+    switch (order) {
+      case 1:
+        ShapeFunction<1>::Weights(x, &start, w);
+        break;
+      case 2:
+        ShapeFunction<2>::Weights(x, &start, w);
+        break;
+      default:
+        ShapeFunction<3>::Weights(x, &start, w);
+        break;
+    }
+    EXPECT_EQ(s.start, start);
+    for (int t = 0; t <= order; ++t) {
+      EXPECT_DOUBLE_EQ(s.w[t], w[t]);
+    }
+  }
+}
+
+TEST(Shape, Support3DCounts) {
+  EXPECT_EQ(Support3D(1), 8);
+  EXPECT_EQ(Support3D(2), 27);
+  EXPECT_EQ(Support3D(3), 64);
+}
+
+}  // namespace
+}  // namespace mpic

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/common/rng.h"
+#include "src/sort/counting_sort.h"
+#include "src/sort/resort_policy.h"
+
+namespace mpic {
+namespace {
+
+TEST(CountingSort, OrdersByCellStably) {
+  const std::vector<int32_t> cells = {2, 0, 1, 0, 2, 1};
+  const auto perm = CountingSortPermutation(cells, 3);
+  ASSERT_EQ(perm.size(), 6u);
+  // Cell 0 first (indices 1, 3 in original order), then cell 1 (2, 5), ...
+  EXPECT_EQ(perm[0], 1);
+  EXPECT_EQ(perm[1], 3);
+  EXPECT_EQ(perm[2], 2);
+  EXPECT_EQ(perm[3], 5);
+  EXPECT_EQ(perm[4], 0);
+  EXPECT_EQ(perm[5], 4);
+}
+
+TEST(CountingSort, RandomizedSortedness) {
+  Rng rng(3);
+  std::vector<int32_t> cells(5000);
+  for (auto& c : cells) {
+    c = static_cast<int32_t>(rng.NextBelow(97));
+  }
+  const auto perm = CountingSortPermutation(cells, 97);
+  for (size_t i = 1; i < perm.size(); ++i) {
+    EXPECT_LE(cells[static_cast<size_t>(perm[i - 1])],
+              cells[static_cast<size_t>(perm[i])]);
+  }
+}
+
+TEST(CountingSort, ApplyPermutationReordersAllTypes) {
+  const std::vector<int32_t> cells = {1, 0};
+  const auto perm = CountingSortPermutation(cells, 2);
+  std::vector<double> xs = {10.0, 20.0};
+  std::vector<double> scratch;
+  ApplyPermutation(perm, xs, scratch);
+  EXPECT_DOUBLE_EQ(xs[0], 20.0);
+  EXPECT_DOUBLE_EQ(xs[1], 10.0);
+  std::vector<int64_t> ids = {100, 200};
+  std::vector<int64_t> scratch64;
+  ApplyPermutation(perm, ids, scratch64);
+  EXPECT_EQ(ids[0], 200);
+}
+
+TEST(CountingSort, EmptyInput) {
+  const auto perm = CountingSortPermutation({}, 4);
+  EXPECT_TRUE(perm.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Resort policy: the five prioritized strategies of Sec. 4.4.
+// ---------------------------------------------------------------------------
+
+ResortPolicyConfig PaperPolicy() {
+  // Table 4 defaults.
+  ResortPolicyConfig cfg;
+  cfg.sort_interval = 50;
+  cfg.min_sort_interval = 10;
+  cfg.trigger_rebuild_count = 100;
+  cfg.trigger_empty_ratio = 0.15;
+  cfg.trigger_full_ratio = 0.85;
+  cfg.trigger_perf_enable = true;
+  cfg.trigger_perf_degrad = 0.80;
+  return cfg;
+}
+
+RankSortStats HealthyStats() {
+  RankSortStats s;
+  s.steps_since_sort = 20;
+  s.local_rebuilds = 0;
+  s.empty_slot_ratio = 0.3;
+  s.step_throughput = 1e8;
+  s.baseline_throughput = 1e8;
+  return s;
+}
+
+TEST(ResortPolicy, NoTriggerNoSort) {
+  ResortPolicy policy(PaperPolicy());
+  EXPECT_EQ(policy.Evaluate(HealthyStats()), SortDecision::kNoSort);
+}
+
+TEST(ResortPolicy, FixedIntervalFires) {
+  ResortPolicy policy(PaperPolicy());
+  RankSortStats s = HealthyStats();
+  s.steps_since_sort = 50;
+  EXPECT_EQ(policy.Evaluate(s), SortDecision::kFixedInterval);
+  EXPECT_TRUE(ResortPolicy::ShouldSort(policy.Evaluate(s)));
+}
+
+TEST(ResortPolicy, RebuildCountFires) {
+  ResortPolicy policy(PaperPolicy());
+  RankSortStats s = HealthyStats();
+  s.local_rebuilds = 100;
+  EXPECT_EQ(policy.Evaluate(s), SortDecision::kRebuildCount);
+}
+
+TEST(ResortPolicy, EmptyRatioFiresLowAndHigh) {
+  ResortPolicy policy(PaperPolicy());
+  RankSortStats s = HealthyStats();
+  s.empty_slot_ratio = 0.10;  // below trigger_empty_ratio
+  EXPECT_EQ(policy.Evaluate(s), SortDecision::kEmptyRatio);
+  s.empty_slot_ratio = 0.90;  // above trigger_full_ratio
+  EXPECT_EQ(policy.Evaluate(s), SortDecision::kEmptyRatio);
+}
+
+TEST(ResortPolicy, PerfDegradationFires) {
+  ResortPolicy policy(PaperPolicy());
+  RankSortStats s = HealthyStats();
+  s.step_throughput = 0.7e8;  // 70% of baseline < 80% threshold
+  EXPECT_EQ(policy.Evaluate(s), SortDecision::kPerfDegradation);
+}
+
+TEST(ResortPolicy, PerfDisabledDoesNotFire) {
+  ResortPolicyConfig cfg = PaperPolicy();
+  cfg.trigger_perf_enable = false;
+  ResortPolicy policy(cfg);
+  RankSortStats s = HealthyStats();
+  s.step_throughput = 0.1e8;
+  EXPECT_EQ(policy.Evaluate(s), SortDecision::kNoSort);
+}
+
+TEST(ResortPolicy, MinIntervalVetoesEverything) {
+  ResortPolicy policy(PaperPolicy());
+  RankSortStats s = HealthyStats();
+  s.steps_since_sort = 5;  // below min_sort_interval
+  s.local_rebuilds = 1000;
+  s.empty_slot_ratio = 0.01;
+  s.step_throughput = 1.0;
+  const SortDecision d = policy.Evaluate(s);
+  EXPECT_EQ(d, SortDecision::kMinIntervalHold);
+  EXPECT_FALSE(ResortPolicy::ShouldSort(d));
+}
+
+TEST(ResortPolicy, PriorityOrderRebuildBeforeRatio) {
+  ResortPolicy policy(PaperPolicy());
+  RankSortStats s = HealthyStats();
+  s.local_rebuilds = 500;
+  s.empty_slot_ratio = 0.01;
+  EXPECT_EQ(policy.Evaluate(s), SortDecision::kRebuildCount);
+}
+
+TEST(ResortPolicy, NoBaselineNoPerfTrigger) {
+  ResortPolicy policy(PaperPolicy());
+  RankSortStats s = HealthyStats();
+  s.baseline_throughput = 0.0;  // first step after a sort: no baseline yet
+  s.step_throughput = 1.0;
+  EXPECT_EQ(policy.Evaluate(s), SortDecision::kNoSort);
+}
+
+TEST(ResortPolicy, DecisionNames) {
+  EXPECT_STREQ(SortDecisionName(SortDecision::kNoSort), "no-sort");
+  EXPECT_STREQ(SortDecisionName(SortDecision::kFixedInterval), "fixed-interval");
+  EXPECT_STREQ(SortDecisionName(SortDecision::kPerfDegradation),
+               "perf-degradation");
+}
+
+}  // namespace
+}  // namespace mpic
