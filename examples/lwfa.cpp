@@ -2,10 +2,12 @@
 //
 // A Gaussian laser pulse (a0 ~ 4, lambda = 0.8 um) drives a wake in a cold
 // background plasma while a moving window tracks the pulse at c. Prints a
-// per-step summary — window position, particle census, field energy, and an
-// on-axis longitudinal field profile at the end (the wake structure).
+// per-step summary — window position, per-species particle census, field
+// energy — and an on-axis longitudinal field profile at the end (the wake
+// structure). With `ions` a mobile proton background rides along, exercising
+// the multi-species moving-window path.
 //
-//   ./lwfa [steps] [variant]
+//   ./lwfa [steps] [variant] [ions]
 
 #include <cstdio>
 #include <cstdlib>
@@ -25,24 +27,33 @@ int main(int argc, char** argv) {
   params.ppc_x = params.ppc_y = params.ppc_z = 2;
   params.tile = 8;
   params.tile_z = 64;
+  params.with_ions = argc > 3 && std::strcmp(argv[3], "ions") == 0;
 
   mpic::HwContext hw;
   auto sim = mpic::MakeLwfaSimulation(hw, params);
-  std::printf("lwfa: %s, grid %dx%dx%d, %lld particles, dt = %.3e s\n",
+  std::printf("lwfa: %s, grid %dx%dx%d, %d species, %lld particles, dt = %.3e s\n",
               mpic::VariantName(params.variant), params.nx, params.ny, params.nz,
+              sim->num_species(),
               static_cast<long long>(sim->tiles().TotalLive()), sim->dt());
-  std::printf("%5s %14s %12s %14s %10s\n", "step", "window z0 (um)", "particles",
-              "field E (J)", "sorts");
+  std::printf("%5s %14s %12s %12s %14s %10s\n", "step", "window z0 (um)",
+              "electrons", "ions", "field E (J)", "sorts");
 
   for (int s = 0; s < steps; ++s) {
     sim->Step();
     if ((s + 1) % 5 == 0 || s == 0) {
-      std::printf("%5lld %14.3f %12lld %14.3e %10lld\n",
+      const long long ions =
+          sim->num_species() > 1
+              ? static_cast<long long>(sim->block(1).tiles.TotalLive())
+              : 0;
+      long long sorts = 0;
+      for (int sid = 0; sid < sim->num_species(); ++sid) {
+        sorts += sim->block(sid).engine.total_global_sorts();
+      }
+      std::printf("%5lld %14.3f %12lld %12lld %14.3e %10lld\n",
                   static_cast<long long>(sim->step_count()),
                   sim->fields().geom.z0 * 1e6,
-                  static_cast<long long>(sim->tiles().TotalLive()),
-                  mpic::FieldEnergy(sim->fields()),
-                  static_cast<long long>(sim->engine().total_global_sorts()));
+                  static_cast<long long>(sim->tiles().TotalLive()), ions,
+                  mpic::FieldEnergy(sim->fields()), sorts);
     }
   }
 

@@ -39,8 +39,7 @@ int main(int argc, char** argv) {
   // 4. Report.
   std::printf("\nafter %d steps:\n", steps);
   std::printf("  field energy    : %.3e J\n", mpic::FieldEnergy(sim->fields()));
-  std::printf("  kinetic energy  : %.3e J\n",
-              mpic::KineticEnergy(sim->tiles(), mpic::Species::Electron()));
+  std::printf("  kinetic energy  : %.3e J\n", mpic::TotalKineticEnergy(*sim));
   std::printf("  modeled wall    : %.4f s  (deposition %.4f s)\n",
               report.wall_seconds, report.deposition_seconds);
   std::printf("  throughput      : %.3e particles/s\n", report.particles_per_second);

@@ -87,8 +87,7 @@ int main(int argc, char** argv) {
   }
 
   std::printf("\nfield energy %.3e J, kinetic %.3e J, global sorts %lld\n",
-              mpic::FieldEnergy(sim->fields()),
-              mpic::KineticEnergy(sim->tiles(), mpic::Species::Electron()),
+              mpic::FieldEnergy(sim->fields()), mpic::TotalKineticEnergy(*sim),
               static_cast<long long>(sim->engine().total_global_sorts()));
   return 0;
 }

@@ -253,11 +253,11 @@ void DepositionEngine::UpdateRankStats(TileSet& tiles, const EngineStepStats& st
 }
 
 template <int Order>
-void DepositionEngine::StepImpl(TileSet& tiles, FieldSet& fields,
+void DepositionEngine::StepImpl(TileSet& tiles, FieldSet& fields, double charge,
                                 EngineStepStats* stats) {
   DepositParams params;
   params.geom = tiles.geom();
-  params.charge = config_.charge;
+  params.charge = charge;
 
   for (int t = 0; t < tiles.num_tiles(); ++t) {
     ParticleTile& tile = tiles.tile(t);
@@ -321,7 +321,18 @@ void DepositionEngine::StepImpl(TileSet& tiles, FieldSet& fields,
   (void)stats;
 }
 
-EngineStepStats DepositionEngine::DepositStep(TileSet& tiles, FieldSet& fields) {
+void DepositionEngine::FoldCurrentGuards(HwContext& hw, FieldSet& fields) {
+  PhaseScope phase(hw.ledger(), Phase::kReduce);
+  fields.jx.FoldGuardsPeriodic();
+  fields.jy.FoldGuardsPeriodic();
+  fields.jz.FoldGuardsPeriodic();
+  const double guard_nodes =
+      static_cast<double>(fields.jx.size()) - static_cast<double>(fields.geom.NumCells());
+  hw.ChargeBulk(guard_nodes * 3.0, guard_nodes * 8.0 * 3.0 * 2.0);
+}
+
+EngineStepStats DepositionEngine::DepositStep(TileSet& tiles, FieldSet& fields,
+                                              double charge, bool fold_guards) {
   EngineStepStats stats;
   const double cycles_before = hw_.ledger().TotalCycles();
 
@@ -353,27 +364,22 @@ EngineStepStats DepositionEngine::DepositStep(TileSet& tiles, FieldSet& fields) 
   // Phases 2-3: staging, kernel, reduction.
   switch (config_.order) {
     case 1:
-      StepImpl<1>(tiles, fields, &stats);
+      StepImpl<1>(tiles, fields, charge, &stats);
       break;
     case 2:
-      StepImpl<2>(tiles, fields, &stats);
+      StepImpl<2>(tiles, fields, charge, &stats);
       break;
     case 3:
-      StepImpl<3>(tiles, fields, &stats);
+      StepImpl<3>(tiles, fields, charge, &stats);
       break;
     default:
       MPIC_CHECK_MSG(false, "unsupported shape order");
   }
 
-  // Fold periodic guard contributions into the interior.
-  {
-    PhaseScope phase(hw_.ledger(), Phase::kReduce);
-    fields.jx.FoldGuardsPeriodic();
-    fields.jy.FoldGuardsPeriodic();
-    fields.jz.FoldGuardsPeriodic();
-    const double guard_nodes =
-        static_cast<double>(fields.jx.size()) - static_cast<double>(fields.geom.NumCells());
-    hw_.ChargeBulk(guard_nodes * 3.0, guard_nodes * 8.0 * 3.0 * 2.0);
+  // Fold periodic guard contributions into the interior (single-species mode;
+  // multi-species simulations fold once across all species instead).
+  if (fold_guards) {
+    FoldCurrentGuards(hw_, fields);
   }
 
   const double step_cycles = hw_.ledger().TotalCycles() - cycles_before;

@@ -31,7 +31,6 @@ namespace mpic {
 struct EngineConfig {
   DepositVariant variant = DepositVariant::kFullOpt;
   int order = 1;  // 1 (CIC), 2 (TSC: scalar/baseline only), 3 (QSP)
-  double charge = 0.0;
   GpmaConfig gpma;
   ResortPolicyConfig policy;
   // Adaptive low-density fallback (paper Sec. 6.1): cells with fewer live
@@ -56,9 +55,19 @@ class DepositionEngine {
   // re-initialize between bench configurations.
   void Initialize(TileSet& tiles, FieldSet& fields);
 
-  // Runs the full deposition pipeline for one timestep. J must be zeroed by
-  // the caller (Simulation does).
-  EngineStepStats DepositStep(TileSet& tiles, FieldSet& fields);
+  // Runs the full deposition pipeline for one timestep for a species of the
+  // given charge [C]. J must be zeroed by the caller (Simulation does). With
+  // `fold_guards` (the single-species default) the periodic guard contributions
+  // are folded into the interior before returning; a multi-species caller
+  // passes false for every species and calls FoldCurrentGuards once after all
+  // of them have accumulated, because folding refills the guards with interior
+  // images and a second fold would double-count the earlier species.
+  EngineStepStats DepositStep(TileSet& tiles, FieldSet& fields, double charge,
+                              bool fold_guards = true);
+
+  // Folds the periodic guard contributions of jx/jy/jz into the interior and
+  // charges the reduction to the ledger (Phase::kReduce).
+  static void FoldCurrentGuards(HwContext& hw, FieldSet& fields);
 
   // Registers a freshly added particle with the sorting structures (moving
   // window injection). The particle must already be inside its tile.
@@ -76,7 +85,8 @@ class DepositionEngine {
 
  private:
   template <int Order>
-  void StepImpl(TileSet& tiles, FieldSet& fields, EngineStepStats* stats);
+  void StepImpl(TileSet& tiles, FieldSet& fields, double charge,
+                EngineStepStats* stats);
 
   void IncrementalSortPhase(TileSet& tiles, EngineStepStats* stats);
   void RedistributeOnly(TileSet& tiles, EngineStepStats* stats);

@@ -51,6 +51,15 @@ double KineticEnergy(const TileSet& tiles, const Species& species) {
   return energy;
 }
 
+double TotalKineticEnergy(const Simulation& sim) {
+  double energy = 0.0;
+  for (int sid = 0; sid < sim.num_species(); ++sid) {
+    const SpeciesBlock& b = sim.block(sid);
+    energy += KineticEnergy(b.tiles, b.species);
+  }
+  return energy;
+}
+
 PhaseCycles SnapshotCycles(const CostLedger& ledger) {
   PhaseCycles c{};
   for (int p = 0; p < kNumPhases; ++p) {

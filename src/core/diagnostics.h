@@ -22,6 +22,9 @@ double FieldEnergy(const FieldSet& fields);
 // Total particle kinetic energy sum(w * (gamma-1) m c^2) [J].
 double KineticEnergy(const TileSet& tiles, const Species& species);
 
+// Same, summed across every species block of a simulation.
+double TotalKineticEnergy(const Simulation& sim);
+
 // Snapshot of per-phase ledger cycles, used to diff across a run.
 using PhaseCycles = std::array<double, kNumPhases>;
 PhaseCycles SnapshotCycles(const CostLedger& ledger);

@@ -9,19 +9,48 @@
 
 namespace mpic {
 
+int64_t SimStepStats::TotalLive() const {
+  int64_t sum = 0;
+  for (const SpeciesStepStats& s : species) {
+    sum += s.live;
+  }
+  return sum;
+}
+
+int64_t SimStepStats::TotalPushed() const {
+  int64_t sum = 0;
+  for (const SpeciesStepStats& s : species) {
+    sum += s.pushed;
+  }
+  return sum;
+}
+
+EngineStepStats SimStepStats::Aggregate() const {
+  EngineStepStats agg;
+  for (const SpeciesStepStats& s : species) {
+    agg.moved_particles += s.engine.moved_particles;
+    agg.crossed_tiles += s.engine.crossed_tiles;
+    agg.gpma_rebuilds += s.engine.gpma_rebuilds;
+    agg.global_sorted = agg.global_sorted || s.engine.global_sorted;
+    if (static_cast<int>(s.engine.decision) > static_cast<int>(agg.decision)) {
+      agg.decision = s.engine.decision;
+    }
+  }
+  return agg;
+}
+
 Simulation::Simulation(HwContext& hw, const SimulationConfig& config)
     : hw_(hw),
       config_(config),
       fields_(config.geom, config.guard_cells),
-      tiles_(config.geom, config.tile_x, config.tile_y, config.tile_z),
-      engine_(hw,
-              [&config] {
-                EngineConfig ec = config.engine;
-                ec.charge = config.species.charge;
-                return ec;
-              }()),
       solver_(config.solver, config.geom) {
   MPIC_CHECK(config.guard_cells >= 2);
+  MPIC_CHECK_MSG(!config.species.empty(), "at least one species required");
+  for (const SpeciesConfig& sc : config.species) {
+    blocks_.push_back(std::make_unique<SpeciesBlock>(
+        hw_, sc, config.geom, config.tile_x, config.tile_y, config.tile_z,
+        config.engine));
+  }
   const GridGeometry& g = config.geom;
   const double min_d = std::min({g.dx, g.dy, g.dz});
   dt_ = config.cfl * solver_.StableCourant() * min_d / kSpeedOfLight;
@@ -33,66 +62,99 @@ Simulation::Simulation(HwContext& hw, const SimulationConfig& config)
   }
 }
 
+int Simulation::AddSpecies(const SpeciesConfig& config) {
+  MPIC_CHECK_MSG(!initialized_, "AddSpecies must precede Initialize()");
+  blocks_.push_back(std::make_unique<SpeciesBlock>(
+      hw_, config, config_.geom, config_.tile_x, config_.tile_y, config_.tile_z,
+      config_.engine));
+  config_.species.push_back(config);
+  return static_cast<int>(blocks_.size()) - 1;
+}
+
 int64_t Simulation::SeedUniformPlasma(const UniformPlasmaConfig& cfg) {
-  return InjectUniformPlasma(tiles_, cfg);
+  return SeedUniformPlasma(0, cfg);
+}
+
+int64_t Simulation::SeedUniformPlasma(int sid, const UniformPlasmaConfig& cfg) {
+  return InjectUniformPlasma(block(sid).tiles, cfg);
 }
 
 int64_t Simulation::SeedProfiledPlasma(const ProfiledPlasmaConfig& cfg) {
-  return InjectProfiledPlasma(tiles_, cfg);
+  return SeedProfiledPlasma(0, cfg);
+}
+
+int64_t Simulation::SeedProfiledPlasma(int sid, const ProfiledPlasmaConfig& cfg) {
+  return InjectProfiledPlasma(block(sid).tiles, cfg);
 }
 
 void Simulation::Initialize() {
-  gather_scratch_.assign(static_cast<size_t>(tiles_.num_tiles()), GatherScratch{});
-  engine_.Initialize(tiles_, fields_);
+  for (auto& b : blocks_) {
+    b->gather_scratch.assign(static_cast<size_t>(b->tiles.num_tiles()),
+                             GatherScratch{});
+    b->engine.Initialize(b->tiles, fields_);
+  }
   fields_.ex.FillGuardsPeriodic();
   fields_.ey.FillGuardsPeriodic();
   fields_.ez.FillGuardsPeriodic();
   fields_.bx.FillGuardsPeriodic();
   fields_.by.FillGuardsPeriodic();
   fields_.bz.FillGuardsPeriodic();
+  initialized_ = true;
+}
+
+int64_t Simulation::particles_pushed() const {
+  int64_t sum = 0;
+  for (const auto& b : blocks_) {
+    sum += b->particles_pushed;
+  }
+  return sum;
 }
 
 template <int Order>
-void Simulation::GatherAndPush() {
+void Simulation::GatherAndPush(SpeciesBlock& block) {
   PushParams pp;
   pp.dt = dt_;
-  pp.charge = config_.species.charge;
-  pp.mass = config_.species.mass;
-  for (int t = 0; t < tiles_.num_tiles(); ++t) {
-    ParticleTile& tile = tiles_.tile(t);
+  pp.charge = block.species.charge;
+  pp.mass = block.species.mass;
+  block.pushed_last_step = 0;
+  for (int t = 0; t < block.tiles.num_tiles(); ++t) {
+    ParticleTile& tile = block.tiles.tile(t);
     if (tile.num_live() == 0) {
       continue;
     }
-    GatherScratch& gs = gather_scratch_[static_cast<size_t>(t)];
+    GatherScratch& gs = block.gather_scratch[static_cast<size_t>(t)];
     GatherFieldsTile<Order>(hw_, tile, fields_, gs);
     PushTileBoris(hw_, tile, gs, pp);
-    particles_pushed_ += tile.num_live();
+    block.pushed_last_step += tile.num_live();
   }
+  block.particles_pushed += block.pushed_last_step;
 }
 
 void Simulation::ApplyParticleBoundaries() {
   PhaseScope phase(hw_.ledger(), Phase::kOther);
-  const GridGeometry& g = tiles_.geom();
   const bool drop_behind_window = config_.moving_window;
-  for (int t = 0; t < tiles_.num_tiles(); ++t) {
-    ParticleTile& tile = tiles_.tile(t);
-    ParticleSoA& soa = tile.soa();
-    const int32_t n = tile.num_slots();
-    hw_.ChargeCycles(static_cast<double>((n + kVpuLanes - 1) / kVpuLanes) * 6.0 /
-                     hw_.cfg().vpu_pipes);
-    for (int32_t pid = 0; pid < n; ++pid) {
-      if (!tile.IsLive(pid)) {
-        continue;
-      }
-      const auto i = static_cast<size_t>(pid);
-      soa.x[i] = g.WrapX(soa.x[i]);
-      soa.y[i] = g.WrapY(soa.y[i]);
-      if (drop_behind_window) {
-        if (soa.z[i] < g.z0 || soa.z[i] >= g.z0 + g.LengthZ()) {
-          engine_.RemoveParticle(tiles_, t, pid);
+  for (auto& b : blocks_) {
+    const GridGeometry& g = b->tiles.geom();
+    for (int t = 0; t < b->tiles.num_tiles(); ++t) {
+      ParticleTile& tile = b->tiles.tile(t);
+      ParticleSoA& soa = tile.soa();
+      const int32_t n = tile.num_slots();
+      hw_.ChargeCycles(static_cast<double>((n + kVpuLanes - 1) / kVpuLanes) * 6.0 /
+                       hw_.cfg().vpu_pipes);
+      for (int32_t pid = 0; pid < n; ++pid) {
+        if (!tile.IsLive(pid)) {
+          continue;
         }
-      } else {
-        soa.z[i] = g.WrapZ(soa.z[i]);
+        const auto i = static_cast<size_t>(pid);
+        soa.x[i] = g.WrapX(soa.x[i]);
+        soa.y[i] = g.WrapY(soa.y[i]);
+        if (drop_behind_window) {
+          if (soa.z[i] < g.z0 || soa.z[i] >= g.z0 + g.LengthZ()) {
+            b->engine.RemoveParticle(b->tiles, t, pid);
+          }
+        } else {
+          soa.z[i] = g.WrapZ(soa.z[i]);
+        }
       }
     }
   }
@@ -105,69 +167,96 @@ void Simulation::AdvanceWindow() {
   const int shifts = window_->StepsToShift(dt_);
   for (int s = 0; s < shifts; ++s) {
     ShiftWindowZ(hw_, fields_);
-    GridGeometry g = tiles_.geom();
+    GridGeometry g = config_.geom;
     g.z0 = fields_.geom.z0;
-    tiles_.SetGeometry(g);
     config_.geom = g;
-    // Drop particles that fell behind the new window tail.
-    {
-      PhaseScope phase(hw_.ledger(), Phase::kOther);
-      for (int t = 0; t < tiles_.num_tiles(); ++t) {
-        ParticleTile& tile = tiles_.tile(t);
-        const int32_t n = tile.num_slots();
-        for (int32_t pid = 0; pid < n; ++pid) {
-          if (tile.IsLive(pid) &&
-              tile.soa().z[static_cast<size_t>(pid)] < g.z0) {
-            engine_.RemoveParticle(tiles_, t, pid);
+    for (auto& b : blocks_) {
+      b->tiles.SetGeometry(g);
+      // Drop particles that fell behind the new window tail.
+      {
+        PhaseScope phase(hw_.ledger(), Phase::kOther);
+        for (int t = 0; t < b->tiles.num_tiles(); ++t) {
+          ParticleTile& tile = b->tiles.tile(t);
+          const int32_t n = tile.num_slots();
+          for (int32_t pid = 0; pid < n; ++pid) {
+            if (tile.IsLive(pid) &&
+                tile.soa().z[static_cast<size_t>(pid)] < g.z0) {
+              b->engine.RemoveParticle(b->tiles, t, pid);
+            }
           }
         }
       }
-    }
-    // Refill the freshly exposed head slab.
-    if (config_.window_injection.has_value()) {
-      ProfiledPlasmaConfig inj = *config_.window_injection;
-      inj.z_cell_lo = g.nz - 1;
-      inj.z_cell_hi = g.nz;
-      inj.seed = injection_seed_++;
-      std::vector<TileSet::Handle> handles;
-      InjectProfiledPlasma(tiles_, inj, &handles);
-      for (const auto& h : handles) {
-        engine_.NotifyParticleAdded(tiles_, h.tile, h.pid);
+      // Refill the freshly exposed head slab.
+      if (b->window_injection.has_value()) {
+        ProfiledPlasmaConfig inj = *b->window_injection;
+        inj.z_cell_lo = g.nz - 1;
+        inj.z_cell_hi = g.nz;
+        inj.seed = injection_seed_++;
+        std::vector<TileSet::Handle> handles;
+        InjectProfiledPlasma(b->tiles, inj, &handles);
+        for (const auto& h : handles) {
+          b->engine.NotifyParticleAdded(b->tiles, h.tile, h.pid);
+        }
       }
     }
   }
 }
 
 void Simulation::Step() {
-  // Zero current accumulators.
+  // Zero current accumulators (once; species accumulate into the shared J).
   {
     PhaseScope phase(hw_.ledger(), Phase::kOther);
     fields_.ZeroCurrents();
     hw_.ChargeBulk(0.0, static_cast<double>(fields_.jx.size()) * 8.0 * 3.0);
   }
 
-  switch (config_.engine.order) {
-    case 1:
-      GatherAndPush<1>();
-      break;
-    case 2:
-      GatherAndPush<2>();
-      break;
-    case 3:
-      GatherAndPush<3>();
-      break;
-    default:
-      MPIC_CHECK_MSG(false, "unsupported shape order");
+  for (auto& b : blocks_) {
+    switch (config_.engine.order) {
+      case 1:
+        GatherAndPush<1>(*b);
+        break;
+      case 2:
+        GatherAndPush<2>(*b);
+        break;
+      case 3:
+        GatherAndPush<3>(*b);
+        break;
+      default:
+        MPIC_CHECK_MSG(false, "unsupported shape order");
+    }
   }
 
   ApplyParticleBoundaries();
 
-  last_step_stats_ = engine_.DepositStep(tiles_, fields_);
+  // Deposit every species into the shared J. With one species the engine folds
+  // the periodic guards itself (the seed behavior); with several, folding must
+  // wait until all species have accumulated, because a fold refills the guards
+  // with interior images that a later fold would count again.
+  const bool shared_fold = blocks_.size() > 1;
+  last_sim_stats_.species.clear();
+  for (auto& b : blocks_) {
+    SpeciesStepStats ss;
+    ss.name = b->species.name;
+    ss.engine = b->engine.DepositStep(b->tiles, fields_, b->species.charge,
+                                      /*fold_guards=*/!shared_fold);
+    ss.pushed = b->pushed_last_step;
+    last_sim_stats_.species.push_back(std::move(ss));
+  }
+  if (shared_fold) {
+    DepositionEngine::FoldCurrentGuards(hw_, fields_);
+  }
+  last_step_stats_ = last_sim_stats_.Aggregate();
 
   if (laser_.has_value()) {
     laser_->Drive(hw_, fields_, time_);
   }
   AdvanceWindow();
+
+  // Census after the window drop/refill, so `live` reflects the step's end
+  // state even on shift steps.
+  for (size_t i = 0; i < blocks_.size(); ++i) {
+    last_sim_stats_.species[i].live = blocks_[i]->tiles.TotalLive();
+  }
 
   solver_.UpdateB(hw_, fields_, 0.5 * dt_);
   solver_.UpdateE(hw_, fields_, dt_);

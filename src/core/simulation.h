@@ -2,9 +2,15 @@
 // the paper's WarpX configuration (Sec. 5.2): CKC Maxwell solver, Boris pusher,
 // CIC/QSP shapes, periodic uniform-plasma or moving-window LWFA workloads.
 //
+// Particles are organized as a registry of SpeciesBlocks (electrons, ions,
+// counter-streaming beams, ...). Every particle stage loops over the blocks;
+// the FieldSet is shared, with each species' engine accumulating into the same
+// J arrays (zeroed once per step, guard-folded once after all species).
+//
 // Step order (standard leapfrog PIC cycle):
-//   zero J -> gather -> push -> particle BCs -> sort + deposit (engine) ->
-//   laser drive -> moving window -> B half-step, E full-step, B half-step.
+//   zero J -> per species: gather -> push -> particle BCs
+//   -> per species: sort + deposit (engine) -> shared guard fold
+//   -> laser drive -> moving window -> B half-step, E full-step, B half-step.
 //
 // All stages charge the shared HwContext, so total wall time and the per-phase
 // breakdown of Figures 1 and 8-10 come straight off the ledger.
@@ -14,8 +20,11 @@
 
 #include <memory>
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "src/core/deposition_engine.h"
+#include "src/core/species_block.h"
 #include "src/grid/field_set.h"
 #include "src/hw/hw_context.h"
 #include "src/laser/laser.h"
@@ -31,7 +40,9 @@ namespace mpic {
 struct SimulationConfig {
   GridGeometry geom;
   int tile_x = 8, tile_y = 8, tile_z = 8;  // particles.tile_size
-  Species species = Species::Electron();
+  // Species registry; more can be added with Simulation::AddSpecies before
+  // Initialize(). Defaults to a single electron species.
+  std::vector<SpeciesConfig> species = {SpeciesConfig{}};
   EngineConfig engine;
   double cfl = 0.95;
   SolverKind solver = SolverKind::kCkc;
@@ -42,17 +53,47 @@ struct SimulationConfig {
   LaserConfig laser;
   bool moving_window = false;
   double window_velocity = kSpeedOfLight;
-  // Plasma profile used to refill the slab exposed by each window shift.
-  std::optional<ProfiledPlasmaConfig> window_injection;
+};
+
+// Per-species slice of one Step()'s accounting.
+struct SpeciesStepStats {
+  std::string name;
+  int64_t live = 0;    // live macro-particles after the step
+  int64_t pushed = 0;  // particles pushed this step
+  EngineStepStats engine;
+};
+
+// Aggregated per-step accounting across all species.
+struct SimStepStats {
+  std::vector<SpeciesStepStats> species;
+
+  int64_t TotalLive() const;
+  int64_t TotalPushed() const;
+  // Counter sums across species; global_sorted is true if any species sorted,
+  // and decision reports the most severe species decision this step.
+  EngineStepStats Aggregate() const;
 };
 
 class Simulation {
  public:
   Simulation(HwContext& hw, const SimulationConfig& config);
 
-  // Particle seeding (before Initialize).
+  // Registers an additional species (before Initialize). Returns its id, the
+  // index into the block registry.
+  int AddSpecies(const SpeciesConfig& config);
+
+  int num_species() const { return static_cast<int>(blocks_.size()); }
+  SpeciesBlock& block(int sid) { return *blocks_[static_cast<size_t>(sid)]; }
+  const SpeciesBlock& block(int sid) const {
+    return *blocks_[static_cast<size_t>(sid)];
+  }
+  const Species& species(int sid) const { return block(sid).species; }
+
+  // Particle seeding (before Initialize). The id-less overloads seed species 0.
   int64_t SeedUniformPlasma(const UniformPlasmaConfig& cfg);
+  int64_t SeedUniformPlasma(int sid, const UniformPlasmaConfig& cfg);
   int64_t SeedProfiledPlasma(const ProfiledPlasmaConfig& cfg);
+  int64_t SeedProfiledPlasma(int sid, const ProfiledPlasmaConfig& cfg);
 
   // Builds the sorting structures and registers memory regions. Call once
   // after seeding, before the first Step().
@@ -65,35 +106,40 @@ class Simulation {
   double time() const { return time_; }
   int64_t step_count() const { return step_count_; }
 
-  TileSet& tiles() { return tiles_; }
+  // Species-0 accessors, kept for the (common) single-species call sites.
+  TileSet& tiles() { return block(0).tiles; }
+  DepositionEngine& engine() { return block(0).engine; }
+
   FieldSet& fields() { return fields_; }
   HwContext& hw() { return hw_; }
-  DepositionEngine& engine() { return engine_; }
   const SimulationConfig& config() const { return config_; }
+  // Aggregate engine stats of the last step (sums across species).
   const EngineStepStats& last_step_stats() const { return last_step_stats_; }
-  int64_t particles_pushed() const { return particles_pushed_; }
+  // Per-species breakdown of the last step.
+  const SimStepStats& last_sim_stats() const { return last_sim_stats_; }
+  // Total particle pushes across all species and steps.
+  int64_t particles_pushed() const;
 
  private:
   void ApplyParticleBoundaries();
   void AdvanceWindow();
   template <int Order>
-  void GatherAndPush();
+  void GatherAndPush(SpeciesBlock& block);
 
   HwContext& hw_;
   SimulationConfig config_;
   FieldSet fields_;
-  TileSet tiles_;
-  DepositionEngine engine_;
+  std::vector<std::unique_ptr<SpeciesBlock>> blocks_;
   MaxwellSolver solver_;
   std::optional<LaserAntenna> laser_;
   std::optional<MovingWindow> window_;
-  std::vector<GatherScratch> gather_scratch_;
   EngineStepStats last_step_stats_;
+  SimStepStats last_sim_stats_;
 
+  bool initialized_ = false;
   double dt_ = 0.0;
   double time_ = 0.0;
   int64_t step_count_ = 0;
-  int64_t particles_pushed_ = 0;
   uint64_t injection_seed_ = 1000;
 };
 

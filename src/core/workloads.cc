@@ -1,7 +1,9 @@
 #include "src/core/workloads.h"
 
+#include <algorithm>
 #include <cmath>
 
+#include "src/common/check.h"
 #include "src/common/rng.h"
 
 namespace mpic {
@@ -26,6 +28,7 @@ void ScrambleParticleOrder(TileSet& tiles, uint64_t seed) {
 }
 
 SimulationConfig MakeUniformConfig(const UniformWorkloadParams& p) {
+  MPIC_CHECK_MSG(!p.species.empty(), "uniform workload needs >= 1 species");
   SimulationConfig cfg;
   cfg.geom.nx = p.nx;
   cfg.geom.ny = p.ny;
@@ -35,6 +38,10 @@ SimulationConfig MakeUniformConfig(const UniformWorkloadParams& p) {
   cfg.geom.dx = cfg.geom.dy = cfg.geom.dz = 3.0e-7;
   cfg.geom.x0 = cfg.geom.y0 = cfg.geom.z0 = 0.0;
   cfg.tile_x = cfg.tile_y = cfg.tile_z = p.tile;
+  cfg.species.clear();
+  for (const Species& s : p.species) {
+    cfg.species.push_back(SpeciesConfig{s, std::nullopt});
+  }
   cfg.engine.variant = p.variant;
   cfg.engine.order = p.order;
   cfg.cfl = 0.95;
@@ -45,15 +52,20 @@ SimulationConfig MakeUniformConfig(const UniformWorkloadParams& p) {
 std::unique_ptr<Simulation> MakeUniformSimulation(HwContext& hw,
                                                   const UniformWorkloadParams& p) {
   auto sim = std::make_unique<Simulation>(hw, MakeUniformConfig(p));
-  UniformPlasmaConfig plasma;
-  plasma.ppc_x = p.ppc_x;
-  plasma.ppc_y = p.ppc_y;
-  plasma.ppc_z = p.ppc_z;
-  plasma.density = p.density;
-  plasma.u_th = p.u_th;
-  plasma.seed = p.seed;
-  sim->SeedUniformPlasma(plasma);
-  ScrambleParticleOrder(sim->tiles(), p.seed ^ 0xABCD);
+  for (int sid = 0; sid < sim->num_species(); ++sid) {
+    UniformPlasmaConfig plasma;
+    plasma.ppc_x = p.ppc_x;
+    plasma.ppc_y = p.ppc_y;
+    plasma.ppc_z = p.ppc_z;
+    plasma.density = p.density;
+    plasma.u_th = p.u_th;
+    // Species 0 keeps the historical seeds so the electron-only results are
+    // reproduced bit-for-bit; extra species decorrelate by offset.
+    plasma.seed = p.seed + static_cast<uint64_t>(sid);
+    sim->SeedUniformPlasma(sid, plasma);
+    ScrambleParticleOrder(sim->block(sid).tiles,
+                          (p.seed ^ 0xABCD) + static_cast<uint64_t>(sid));
+  }
   sim->Initialize();
   return sim;
 }
@@ -101,7 +113,12 @@ SimulationConfig MakeLwfaConfig(const LwfaWorkloadParams& p) {
   };
   inj.u_th = 0.0;
   inj.seed = p.seed;
-  cfg.window_injection = inj;
+  cfg.species.clear();
+  cfg.species.push_back(SpeciesConfig{Species::Electron(), inj});
+  if (p.with_ions) {
+    // Same density profile: a charge-neutral background whose ions also move.
+    cfg.species.push_back(SpeciesConfig{p.ion, inj});
+  }
   return cfg;
 }
 
@@ -109,11 +126,80 @@ std::unique_ptr<Simulation> MakeLwfaSimulation(HwContext& hw,
                                                const LwfaWorkloadParams& p) {
   SimulationConfig cfg = MakeLwfaConfig(p);
   auto sim = std::make_unique<Simulation>(hw, cfg);
-  ProfiledPlasmaConfig seed_cfg = *cfg.window_injection;
-  seed_cfg.z_cell_lo = 0;
-  seed_cfg.z_cell_hi = cfg.geom.nz;
-  sim->SeedProfiledPlasma(seed_cfg);
-  ScrambleParticleOrder(sim->tiles(), p.seed ^ 0xABCD);
+  for (int sid = 0; sid < sim->num_species(); ++sid) {
+    MPIC_CHECK(cfg.species[static_cast<size_t>(sid)].window_injection.has_value());
+    ProfiledPlasmaConfig seed_cfg =
+        *cfg.species[static_cast<size_t>(sid)].window_injection;
+    seed_cfg.z_cell_lo = 0;
+    seed_cfg.z_cell_hi = cfg.geom.nz;
+    seed_cfg.seed += static_cast<uint64_t>(sid);
+    sim->SeedProfiledPlasma(sid, seed_cfg);
+    ScrambleParticleOrder(sim->block(sid).tiles,
+                          (p.seed ^ 0xABCD) + static_cast<uint64_t>(sid));
+  }
+  sim->Initialize();
+  return sim;
+}
+
+std::unique_ptr<Simulation> MakeTwoStreamSimulation(HwContext& hw,
+                                                    const TwoStreamParams& p) {
+  MPIC_CHECK_MSG(p.u_drift > 0.0, "two-stream needs a positive beam drift");
+  SimulationConfig cfg;
+  cfg.geom.nx = p.nx;
+  cfg.geom.ny = p.ny;
+  cfg.geom.nz = p.nz;
+  cfg.geom.dx = cfg.geom.dy = cfg.geom.dz = 3.0e-7;
+  cfg.geom.x0 = cfg.geom.y0 = cfg.geom.z0 = 0.0;
+  cfg.tile_x = cfg.tile_y = cfg.tile_z = p.tile;
+  cfg.engine.variant = p.variant;
+  cfg.engine.order = 1;
+  cfg.cfl = 0.95;
+  cfg.solver = SolverKind::kCkc;
+  cfg.species.clear();
+  cfg.species.push_back(
+      SpeciesConfig{Species{"e_beam_fwd", kElectronCharge, kElectronMass},
+                    std::nullopt});
+  cfg.species.push_back(
+      SpeciesConfig{Species{"e_beam_bwd", kElectronCharge, kElectronMass},
+                    std::nullopt});
+  auto sim = std::make_unique<Simulation>(hw, cfg);
+
+  for (int sid = 0; sid < 2; ++sid) {
+    UniformPlasmaConfig beam;
+    beam.ppc_x = p.ppc_x;
+    beam.ppc_y = p.ppc_y;
+    beam.ppc_z = p.ppc_z;
+    beam.density = 0.5 * p.density;  // beams split the total electron density
+    beam.u_th = 0.0;
+    beam.u_drift_z = sid == 0 ? p.u_drift : -p.u_drift;
+    beam.seed = p.seed + static_cast<uint64_t>(sid);
+    sim->SeedUniformPlasma(sid, beam);
+  }
+
+  // Seed the instability at (approximately) the fastest-growing mode,
+  // k v0 ~ 0.7 omega_p, clamped to wavelengths the grid resolves.
+  const double omega_p =
+      std::sqrt(p.density * kElectronCharge * kElectronCharge /
+                (kEpsilon0 * kElectronMass));
+  const double gamma0 = std::sqrt(1.0 + p.u_drift * p.u_drift);
+  const double v0 = p.u_drift * kSpeedOfLight / gamma0;
+  const GridGeometry& g = sim->config().geom;
+  const double lz = g.LengthZ();
+  const int mode = std::clamp(
+      static_cast<int>(std::lround(0.7 * omega_p / v0 * lz / (2.0 * M_PI))), 1,
+      std::max(1, p.nz / 8));
+  const double k = 2.0 * M_PI * mode / lz;
+  const double amp = p.u_perturb * p.u_drift * kSpeedOfLight;
+  for (int sid = 0; sid < 2; ++sid) {
+    TileSet& tiles = sim->block(sid).tiles;
+    for (int t = 0; t < tiles.num_tiles(); ++t) {
+      ParticleSoA& soa = tiles.tile(t).soa();
+      for (size_t i = 0; i < soa.size(); ++i) {
+        soa.uz[i] += amp * std::sin(k * (soa.z[i] - g.z0));
+      }
+    }
+    ScrambleParticleOrder(tiles, (p.seed ^ 0xABCD) + static_cast<uint64_t>(sid));
+  }
   sim->Initialize();
   return sim;
 }

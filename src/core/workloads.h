@@ -1,9 +1,17 @@
-// The paper's two evaluation workloads (Table 4), scaled to simulator size.
+// The paper's two evaluation workloads (Table 4), scaled to simulator size,
+// plus a classic two-stream instability scenario exercising the multi-species
+// core.
 //
-// Uniform plasma: homogeneous Maxwellian electron plasma in a fully periodic
-// box — the controlled kernel-efficiency workload (Figures 1, 8, 10; Tables
-// 1-3). LWFA: a Gaussian laser driving a wake in a cold background plasma with
-// a moving window along z — the realistic application workload (Figure 9).
+// Uniform plasma: homogeneous Maxwellian plasma in a fully periodic box — the
+// controlled kernel-efficiency workload (Figures 1, 8, 10; Tables 1-3).
+// LWFA: a Gaussian laser driving a wake in a cold background plasma with a
+// moving window along z — the realistic application workload (Figure 9).
+// Two-stream: two counter-streaming electron beams whose seeded perturbation
+// grows at the textbook rate — the multi-species validation workload.
+//
+// Both paper workloads accept a species list (default: electrons only, which
+// preserves the single-species results bit-for-bit); the LWFA workload can add
+// a mobile-ion background with `with_ions`.
 //
 // Grid sizes default to simulator scale (DESIGN.md Sec. 2); the PPC sweep and
 // all algorithmic parameters match the paper.
@@ -12,6 +20,7 @@
 #define MPIC_SRC_CORE_WORKLOADS_H_
 
 #include <memory>
+#include <vector>
 
 #include "src/core/simulation.h"
 
@@ -23,10 +32,13 @@ struct UniformWorkloadParams {
   int ppc_x = 4, ppc_y = 4, ppc_z = 4;
   int order = 1;  // 1 (CIC) or 3 (QSP)
   DepositVariant variant = DepositVariant::kFullOpt;
-  double density = 1e25;  // m^-3
+  double density = 1e25;  // m^-3, per species
   double u_th = 0.01;     // thermal proper velocity / c
   int tile = 8;           // particles.tile_size (cubic)
   uint64_t seed = 42;
+  // Every listed species is seeded with the same density/PPC/u_th (e.g.
+  // {Electron, Proton} gives a neutral two-species plasma).
+  std::vector<Species> species = {Species::Electron()};
 };
 
 SimulationConfig MakeUniformConfig(const UniformWorkloadParams& p);
@@ -44,11 +56,33 @@ struct LwfaWorkloadParams {
   int tile = 8;
   int tile_z = 16;  // paper uses elongated tiles (8 x 8 x 64) for LWFA
   uint64_t seed = 42;
+  // Adds a mobile-ion background species with the same density profile
+  // (charge-neutral plasma; ion motion matters for long pulses / heavy drivers).
+  bool with_ions = false;
+  Species ion = Species::Proton();
 };
 
 SimulationConfig MakeLwfaConfig(const LwfaWorkloadParams& p);
 std::unique_ptr<Simulation> MakeLwfaSimulation(HwContext& hw,
                                                const LwfaWorkloadParams& p);
+
+// Two-stream instability: two electron beams counter-streaming along z at
+// +/- u_drift on a neutralizing immobile background, with a seeded sinusoidal
+// velocity perturbation at (roughly) the fastest-growing resolved mode. Field
+// energy must grow exponentially until trapping saturates it.
+struct TwoStreamParams {
+  int nx = 4, ny = 4, nz = 32;
+  int ppc_x = 2, ppc_y = 2, ppc_z = 2;
+  DepositVariant variant = DepositVariant::kFullOpt;
+  double density = 1e25;   // total electron density (m^-3), split over the beams
+  double u_drift = 0.05;   // beam proper velocity / c
+  double u_perturb = 5e-3; // seeded velocity perturbation amplitude / u_drift
+  int tile = 4;
+  uint64_t seed = 42;
+};
+
+std::unique_ptr<Simulation> MakeTwoStreamSimulation(HwContext& hw,
+                                                    const TwoStreamParams& p);
 
 // Randomly permutes the particle order within every tile. Workload builders
 // apply this after seeding so that the *memory order* of particles represents

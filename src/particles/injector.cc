@@ -32,6 +32,9 @@ int64_t InjectUniformPlasma(TileSet& tiles, const UniformPlasmaConfig& config) {
   const double cell_volume = geom.dx * geom.dy * geom.dz;
   const double weight = config.density * cell_volume / config.TotalPpc();
   const double u_th = config.u_th * kSpeedOfLight;
+  const double ud_x = config.u_drift_x * kSpeedOfLight;
+  const double ud_y = config.u_drift_y * kSpeedOfLight;
+  const double ud_z = config.u_drift_z * kSpeedOfLight;
   int64_t added = 0;
   for (int iz = 0; iz < geom.nz; ++iz) {
     for (int iy = 0; iy < geom.ny; ++iy) {
@@ -42,9 +45,9 @@ int64_t InjectUniformPlasma(TileSet& tiles, const UniformPlasmaConfig& config) {
                             p.x = x;
                             p.y = y;
                             p.z = z;
-                            p.ux = u_th * rng.NextGaussian();
-                            p.uy = u_th * rng.NextGaussian();
-                            p.uz = u_th * rng.NextGaussian();
+                            p.ux = ud_x + u_th * rng.NextGaussian();
+                            p.uy = ud_y + u_th * rng.NextGaussian();
+                            p.uz = ud_z + u_th * rng.NextGaussian();
                             p.w = weight;
                             tiles.AddParticle(p);
                             ++added;

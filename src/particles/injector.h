@@ -21,6 +21,9 @@ struct UniformPlasmaConfig {
   int ppc_x = 1, ppc_y = 1, ppc_z = 1;
   double density = 1e25;  // physical particles per m^3
   double u_th = 0.01;     // thermal proper velocity in units of c
+  // Bulk drift added to every particle's proper velocity, in units of c
+  // (counter-streaming beam setups).
+  double u_drift_x = 0.0, u_drift_y = 0.0, u_drift_z = 0.0;
   uint64_t seed = 42;
 
   int TotalPpc() const { return ppc_x * ppc_y * ppc_z; }

@@ -47,9 +47,10 @@ struct EngineWorld {
     EngineConfig cfg;
     cfg.variant = variant;
     cfg.order = order;
-    cfg.charge = kElectronCharge;
     return cfg;
   }
+
+  EngineStepStats Deposit() { return engine.DepositStep(tiles, fields, kElectronCharge); }
 
   // Pseudo-random walk that is a pure function of (seed, particle position):
   // identical across worlds even when a global sort reorders particle memory.
@@ -104,8 +105,8 @@ TEST_P(VariantEquivalence, MatchesScalarVariantAfterChurn) {
     world.Jiggle(100 + step);  // identical motion (same seed, same init)
     ref_world.fields.ZeroCurrents();
     world.fields.ZeroCurrents();
-    ref_world.engine.DepositStep(ref_world.tiles, ref_world.fields);
-    world.engine.DepositStep(world.tiles, world.fields);
+    ref_world.Deposit();
+    world.Deposit();
     EXPECT_LT(RelMaxError(ref_world.fields.jx.vec(), world.fields.jx.vec()), 1e-11)
         << "step " << step;
     EXPECT_LT(RelMaxError(ref_world.fields.jy.vec(), world.fields.jy.vec()), 1e-11);
@@ -141,9 +142,9 @@ TEST(Engine, QspVariantsAgree) {
     ref_world.fields.ZeroCurrents();
     vpu_world.fields.ZeroCurrents();
     mpu_world.fields.ZeroCurrents();
-    ref_world.engine.DepositStep(ref_world.tiles, ref_world.fields);
-    vpu_world.engine.DepositStep(vpu_world.tiles, vpu_world.fields);
-    mpu_world.engine.DepositStep(mpu_world.tiles, mpu_world.fields);
+    ref_world.Deposit();
+    vpu_world.Deposit();
+    mpu_world.Deposit();
     EXPECT_LT(RelMaxError(ref_world.fields.jx.vec(), vpu_world.fields.jx.vec()),
               1e-11);
     EXPECT_LT(RelMaxError(ref_world.fields.jx.vec(), mpu_world.fields.jx.vec()),
@@ -157,7 +158,7 @@ TEST(Engine, GpmaStaysValidAcrossChurnSteps) {
   for (int step = 0; step < 10; ++step) {
     world.Jiggle(500 + step, 0.8);
     world.fields.ZeroCurrents();
-    world.engine.DepositStep(world.tiles, world.fields);
+    world.Deposit();
     for (int t = 0; t < world.tiles.num_tiles(); ++t) {
       world.tiles.tile(t).gpma().CheckInvariants();
     }
@@ -170,7 +171,7 @@ TEST(Engine, GpmaBinsMatchParticleCells) {
   for (int step = 0; step < 5; ++step) {
     world.Jiggle(900 + step, 0.7);
     world.fields.ZeroCurrents();
-    world.engine.DepositStep(world.tiles, world.fields);
+    world.Deposit();
   }
   for (int t = 0; t < world.tiles.num_tiles(); ++t) {
     const ParticleTile& tile = world.tiles.tile(t);
@@ -188,14 +189,14 @@ TEST(Engine, SortCyclesOnlyForSortingVariants) {
   none.Jiggle(1);
   none.fields.ZeroCurrents();
   none.hw.ledger().Reset();
-  none.engine.DepositStep(none.tiles, none.fields);
+  none.Deposit();
   EXPECT_DOUBLE_EQ(none.hw.ledger().PhaseCycles(Phase::kSort), 0.0);
 
   EngineWorld incr(DepositVariant::kFullOpt);
   incr.Jiggle(1);
   incr.fields.ZeroCurrents();
   incr.hw.ledger().Reset();
-  incr.engine.DepositStep(incr.tiles, incr.fields);
+  incr.Deposit();
   EXPECT_GT(incr.hw.ledger().PhaseCycles(Phase::kSort), 0.0);
 }
 
@@ -204,7 +205,7 @@ TEST(Engine, GlobalEachStepSortsEveryStep) {
   for (int step = 0; step < 3; ++step) {
     world.Jiggle(30 + step);
     world.fields.ZeroCurrents();
-    const auto stats = world.engine.DepositStep(world.tiles, world.fields);
+    const auto stats = world.Deposit();
     EXPECT_TRUE(stats.global_sorted);
   }
 }
@@ -224,7 +225,7 @@ TEST(Engine, FixedIntervalPolicyTriggersGlobalSort) {
   for (int step = 0; step < 9; ++step) {
     world.Jiggle(60 + step, 0.2);
     world.fields.ZeroCurrents();
-    const auto stats = engine.DepositStep(world.tiles, world.fields);
+    const auto stats = engine.DepositStep(world.tiles, world.fields, kElectronCharge);
     sorts += stats.global_sorted ? 1 : 0;
   }
   EXPECT_EQ(sorts, 3);
@@ -237,7 +238,7 @@ TEST(Engine, CrossTileMoversArePreserved) {
   for (int step = 0; step < 4; ++step) {
     world.Jiggle(777 + step, 3.0);
     world.fields.ZeroCurrents();
-    const auto stats = world.engine.DepositStep(world.tiles, world.fields);
+    const auto stats = world.Deposit();
     EXPECT_GT(stats.crossed_tiles, 0);
     EXPECT_EQ(world.tiles.TotalLive(), live0);
     for (int t = 0; t < world.tiles.num_tiles(); ++t) {
@@ -264,12 +265,12 @@ TEST(Engine, AddRemoveParticleKeepsStructuresConsistent) {
 TEST(Engine, MpuVariantsIssueMopasAndVpuVariantsDont) {
   EngineWorld vpu(DepositVariant::kRhocellIncrSortVpu);
   vpu.fields.ZeroCurrents();
-  vpu.engine.DepositStep(vpu.tiles, vpu.fields);
+  vpu.Deposit();
   EXPECT_EQ(vpu.hw.ledger().counters().mopas, 0u);
 
   EngineWorld mpu(DepositVariant::kFullOpt);
   mpu.fields.ZeroCurrents();
-  mpu.engine.DepositStep(mpu.tiles, mpu.fields);
+  mpu.Deposit();
   EXPECT_GT(mpu.hw.ledger().counters().mopas, 0u);
 }
 

@@ -36,13 +36,14 @@ TEST(LwfaConfig, LaserAndWindowConfigured) {
   const SimulationConfig cfg = MakeLwfaConfig(p);
   EXPECT_TRUE(cfg.laser_enabled);
   EXPECT_TRUE(cfg.moving_window);
-  EXPECT_TRUE(cfg.window_injection.has_value());
+  ASSERT_EQ(cfg.species.size(), 1u);  // electrons only by default
+  ASSERT_TRUE(cfg.species[0].window_injection.has_value());
   EXPECT_EQ(cfg.engine.order, 1);  // paper: LWFA uses CIC
   // Longitudinal resolution: >= 16 cells per laser wavelength.
   EXPECT_LE(cfg.geom.dz, cfg.laser.wavelength / 16.0 + 1e-12);
   // Density ramp: zero at z=0, full density beyond the ramp.
-  EXPECT_DOUBLE_EQ((*cfg.window_injection).profile(0.0), 0.0);
-  EXPECT_DOUBLE_EQ((*cfg.window_injection).profile(1.0), p.density);
+  EXPECT_DOUBLE_EQ((*cfg.species[0].window_injection).profile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ((*cfg.species[0].window_injection).profile(1.0), p.density);
 }
 
 TEST(Scramble, PreservesParticleSet) {
