@@ -1,0 +1,137 @@
+// OpenMP scaling ablation: the fig. 8 uniform-plasma workload run at 1..N
+// modeled cores, for the rhocell-VPU and MPU (MatrixPIC) variants.
+//
+// Two numbers per point:
+//   * Host wall — real elapsed seconds for the measured steps (the simulator
+//     itself is tile-parallel, so this shows genuine OpenMP speedup when the
+//     host has the cores; threads are capped by OMP_NUM_THREADS/host cores).
+//   * Model wall — the multi-core ledger's modeled seconds (parallel regions
+//     charged as max-over-cores, serial sections in full).
+// A physics digest (FNV-1a over the raw J/E bytes) is printed per row and must
+// be identical down the column: tile-parallel execution is bit-deterministic.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "bench/bench_util.h"
+#include "src/common/table.h"
+
+namespace mpic {
+namespace {
+
+uint64_t Fnv1a(const void* data, size_t bytes, uint64_t h) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+uint64_t FieldsDigest(const FieldSet& f) {
+  uint64_t h = 1469598103934665603ull;
+  for (const FieldArray* a : {&f.ex, &f.ey, &f.ez, &f.jx, &f.jy, &f.jz}) {
+    h = Fnv1a(a->vec().data(), a->vec().size() * sizeof(double), h);
+  }
+  return h;
+}
+
+struct ScalingPoint {
+  double host_wall = 0.0;
+  double model_wall = 0.0;
+  uint64_t digest = 0;
+};
+
+ScalingPoint RunPoint(DepositVariant variant, int cores, int warmup, int steps,
+                      int ppc1d) {
+#ifdef _OPENMP
+  omp_set_num_threads(cores);
+#endif
+  HwContext hw(MachineConfig::Lx2MultiCore(cores));
+  UniformWorkloadParams p;
+  p.nx = p.ny = p.nz = 16;
+  p.tile = 8;  // paper Table 4: particles.tile_size = 8x8x8
+  p.ppc_x = p.ppc_y = p.ppc_z = ppc1d;
+  p.variant = variant;
+  auto sim = MakeUniformSimulation(hw, p);
+  sim->Run(warmup);
+  const double cycles_before = hw.ledger().TotalCycles();
+  const auto t0 = std::chrono::steady_clock::now();
+  sim->Run(steps);
+  const auto t1 = std::chrono::steady_clock::now();
+  ScalingPoint r;
+  r.host_wall = std::chrono::duration<double>(t1 - t0).count();
+  r.model_wall = hw.cfg().CyclesToSeconds(hw.ledger().TotalCycles() - cycles_before);
+  r.digest = FieldsDigest(sim->fields());
+  return r;
+}
+
+bool Run(int steps, int max_cores) {
+  const std::vector<DepositVariant> variants = {
+      DepositVariant::kRhocellIncrSortVpu, DepositVariant::kFullOpt};
+  std::vector<int> core_counts;
+  for (int c = 1; c <= max_cores; c *= 2) {
+    core_counts.push_back(c);
+  }
+
+#ifdef _OPENMP
+  std::printf("OpenMP enabled, %d host thread(s) available.\n",
+              omp_get_max_threads());
+#else
+  std::printf("Built without OpenMP: partitions run serially.\n");
+#endif
+
+  ConsoleTable t({"Config", "Cores", "Host wall (s)", "Host speedup",
+                  "Model wall (s)", "Model speedup", "Physics digest"});
+  bool all_identical = true;
+  for (DepositVariant v : variants) {
+    double host1 = 0.0, model1 = 0.0;
+    uint64_t digest1 = 0;
+    for (int cores : core_counts) {
+      const ScalingPoint r = RunPoint(v, cores, /*warmup=*/1, steps, /*ppc1d=*/4);
+      if (cores == 1) {
+        host1 = r.host_wall;
+        model1 = r.model_wall;
+        digest1 = r.digest;
+      }
+      all_identical = all_identical && r.digest == digest1;
+      char digest_hex[32];
+      std::snprintf(digest_hex, sizeof(digest_hex), "%016llx",
+                    static_cast<unsigned long long>(r.digest));
+      t.AddRow({VariantName(v), std::to_string(cores), FormatDouble(r.host_wall, 3),
+                FormatDouble(host1 / r.host_wall, 2), FormatSci(r.model_wall, 3),
+                FormatDouble(model1 / r.model_wall, 2), digest_hex});
+    }
+  }
+  t.Print("OpenMP scaling ablation: uniform plasma 16^3, PPC 64");
+  std::printf("\nPhysics digests %s across core counts.\n",
+              all_identical ? "IDENTICAL" : "DIFFER (BUG!)");
+  std::printf(
+      "Host speedup needs real cores (OMP_NUM_THREADS, hardware); model speedup\n"
+      "is the ledger's critical-path accounting of the same partition.\n");
+  return all_identical;
+}
+
+}  // namespace
+}  // namespace mpic
+
+int main(int argc, char** argv) {
+  int steps = argc > 1 ? std::atoi(argv[1]) : 5;
+  int max_cores = argc > 2 ? std::atoi(argv[2]) : 8;
+  if (steps < 1 || max_cores < 1) {
+    std::fprintf(stderr, "usage: %s [steps >= 1] [max_cores >= 1]; using defaults\n",
+                 argv[0]);
+    steps = steps < 1 ? 5 : steps;
+    max_cores = max_cores < 1 ? 8 : max_cores;
+  }
+  return mpic::Run(steps, max_cores) ? 0 : 1;
+}

@@ -8,6 +8,7 @@
 #include "src/deposit/deposit_rhocell.h"
 #include "src/deposit/deposit_scalar.h"
 #include "src/deposit/deposit_staging.h"
+#include "src/hw/parallel_for.h"
 
 namespace mpic {
 
@@ -77,30 +78,49 @@ void DepositionEngine::NotifyParticleAdded(TileSet& tiles, int tile_index,
 }
 
 void DepositionEngine::RemoveParticle(TileSet& tiles, int tile_index, int32_t pid) {
+  RemoveParticle(hw_, tiles, tile_index, pid);
+}
+
+void DepositionEngine::RemoveParticle(HwContext& hw, TileSet& tiles, int tile_index,
+                                      int32_t pid) {
   ParticleTile& tile = tiles.tile(tile_index);
   if (traits_.sort_mode != SortMode::kNone && tile.gpma().CellOf(pid) >= 0) {
-    PhaseScope phase(hw_.ledger(), Phase::kSort);
+    PhaseScope phase(hw.ledger(), Phase::kSort);
     auto res = tile.gpma().Remove(pid);
-    hw_.ChargeCycles(static_cast<double>(res.words_touched));
+    hw.ChargeCycles(static_cast<double>(res.words_touched));
   }
   tile.RemoveParticle(pid);
 }
 
 void DepositionEngine::IncrementalSortPhase(TileSet& tiles, EngineStepStats* stats) {
-  PhaseScope phase(hw_.ledger(), Phase::kSort);
   const GridGeometry& geom = tiles.geom();
-  movers_.clear();
+  const int num_tiles = tiles.num_tiles();
+  tile_movers_.resize(static_cast<size_t>(num_tiles));
 
-  for (int t = 0; t < tiles.num_tiles(); ++t) {
+  // Per-tile scan: every mutation (GPMA remove/insert/rebuild, slot release)
+  // touches only the tile's own structures, so tiles run on separate modeled
+  // cores; leavers are staged per source tile for ordered delivery below.
+  struct ScanPartial {
+    int64_t crossed = 0;
+    int64_t moved = 0;
+    int64_t rebuilds = 0;
+  };
+  std::vector<PaddedSlot<ScanPartial>> partials(
+      static_cast<size_t>(hw_.num_cores()));
+  ParallelForTiles(hw_, num_tiles, [&](HwContext& hw, int worker, int t) {
+    PhaseScope phase(hw.ledger(), Phase::kSort);
+    ScanPartial& part = partials[static_cast<size_t>(worker)].value;
     ParticleTile& tile = tiles.tile(t);
+    std::vector<Mover>& movers = tile_movers_[static_cast<size_t>(t)];
+    movers.clear();
     tile.was_rebuilt_this_step = false;
     Gpma& gpma = tile.gpma();
     const int32_t n_slots = tile.num_slots();
     // VPU scan: recompute the cell of each live particle and compare with its
     // GPMA bin (Algorithm 1, Phase 1). ~3 vector ops per 8 slots plus the
     // position loads (hot from the preceding push).
-    hw_.ChargeCycles(static_cast<double>((n_slots + kVpuLanes - 1) / kVpuLanes) *
-                     3.0 / hw_.cfg().vpu_pipes);
+    hw.ChargeCycles(static_cast<double>((n_slots + kVpuLanes - 1) / kVpuLanes) *
+                    3.0 / hw.cfg().vpu_pipes);
 
     struct PendingMove {
       int32_t pid;
@@ -119,10 +139,10 @@ void DepositionEngine::IncrementalSortPhase(TileSet& tiles, EngineStepStats* sta
       if (!tile.ContainsCell(ix, iy, iz)) {
         // Leaves the tile: remove here, queue for its destination tile.
         auto res = gpma.Remove(pid);
-        hw_.ChargeCycles(static_cast<double>(res.words_touched));
-        movers_.push_back({tile.soa().Get(pid), tiles.TileOfCell(ix, iy, iz)});
+        hw.ChargeCycles(static_cast<double>(res.words_touched));
+        movers.push_back({tile.soa().Get(pid), tiles.TileOfCell(ix, iy, iz)});
         tile.RemoveParticle(pid);
-        ++stats->crossed_tiles;
+        ++part.crossed;
         continue;
       }
       const int cell = tile.LocalCellId(ix, iy, iz);
@@ -134,57 +154,72 @@ void DepositionEngine::IncrementalSortPhase(TileSet& tiles, EngineStepStats* sta
     // leavers become available to the arrivers).
     for (const PendingMove& m : pending) {
       auto res = gpma.Remove(m.pid);
-      hw_.ChargeCycles(static_cast<double>(res.words_touched));
+      hw.ChargeCycles(static_cast<double>(res.words_touched));
     }
     for (const PendingMove& m : pending) {
       auto res = gpma.Insert(m.pid, m.new_cell);
-      hw_.ChargeCycles(static_cast<double>(res.words_touched));
+      hw.ChargeCycles(static_cast<double>(res.words_touched));
       if (!res.ok) {
         const int64_t words = gpma.Rebuild();
-        hw_.ChargeCycles(static_cast<double>(words) * 0.25);
+        hw.ChargeCycles(static_cast<double>(words) * 0.25);
         tile.was_rebuilt_this_step = true;
+        ++part.rebuilds;
+        auto retry = gpma.Insert(m.pid, m.new_cell);
+        MPIC_CHECK(retry.ok);
+        hw.ChargeCycles(static_cast<double>(retry.words_touched));
+      }
+      ++part.moved;
+    }
+  });
+  for (const PaddedSlot<ScanPartial>& slot : partials) {
+    stats->crossed_tiles += slot.value.crossed;
+    stats->moved_particles += slot.value.moved;
+    stats->gpma_rebuilds += slot.value.rebuilds;
+    rank_stats_.local_rebuilds += slot.value.rebuilds;
+  }
+
+  // Deliver cross-tile movers serially, in source-tile order: destination slot
+  // assignment (AddParticle recycles free slots in stack order) must not depend
+  // on the parallel schedule for results to stay bit-identical to serial.
+  PhaseScope phase(hw_.ledger(), Phase::kSort);
+  for (std::vector<Mover>& movers : tile_movers_) {
+    for (const Mover& m : movers) {
+      ParticleTile& dest = tiles.tile(m.dest_tile);
+      const int32_t pid = dest.AddParticle(m.p);
+      const int cell = dest.CellOfParticle(geom, pid);
+      auto res = dest.gpma().Insert(pid, cell);
+      hw_.ChargeCycles(static_cast<double>(res.words_touched) + 4.0);
+      if (!res.ok) {
+        const int64_t words = dest.gpma().Rebuild();
+        hw_.ChargeCycles(static_cast<double>(words) * 0.25);
+        dest.was_rebuilt_this_step = true;
         ++rank_stats_.local_rebuilds;
         ++stats->gpma_rebuilds;
-        auto retry = gpma.Insert(m.pid, m.new_cell);
+        auto retry = dest.gpma().Insert(pid, cell);
         MPIC_CHECK(retry.ok);
         hw_.ChargeCycles(static_cast<double>(retry.words_touched));
       }
-      ++stats->moved_particles;
     }
+    movers.clear();
   }
-
-  // Deliver cross-tile movers.
-  for (const Mover& m : movers_) {
-    ParticleTile& dest = tiles.tile(m.dest_tile);
-    const int32_t pid = dest.AddParticle(m.p);
-    const int cell = dest.CellOfParticle(geom, pid);
-    auto res = dest.gpma().Insert(pid, cell);
-    hw_.ChargeCycles(static_cast<double>(res.words_touched) + 4.0);
-    if (!res.ok) {
-      const int64_t words = dest.gpma().Rebuild();
-      hw_.ChargeCycles(static_cast<double>(words) * 0.25);
-      dest.was_rebuilt_this_step = true;
-      ++rank_stats_.local_rebuilds;
-      ++stats->gpma_rebuilds;
-      auto retry = dest.gpma().Insert(pid, cell);
-      MPIC_CHECK(retry.ok);
-    }
-  }
-  movers_.clear();
 }
 
 void DepositionEngine::RedistributeOnly(TileSet& tiles, EngineStepStats* stats) {
   // Unsorted variants still need particles in their owning tiles (WarpX's
   // Redistribute). Charged outside the deposition kernel phases, mirroring the
   // paper's accounting where the baseline has no "Sort" column.
-  PhaseScope phase(hw_.ledger(), Phase::kOther);
   const GridGeometry& geom = tiles.geom();
-  movers_.clear();
-  for (int t = 0; t < tiles.num_tiles(); ++t) {
+  const int num_tiles = tiles.num_tiles();
+  tile_movers_.resize(static_cast<size_t>(num_tiles));
+  std::vector<PaddedSlot<int64_t>> crossed(static_cast<size_t>(hw_.num_cores()));
+  ParallelForTiles(hw_, num_tiles, [&](HwContext& hw, int worker, int t) {
+    PhaseScope phase(hw.ledger(), Phase::kOther);
     ParticleTile& tile = tiles.tile(t);
+    std::vector<Mover>& movers = tile_movers_[static_cast<size_t>(t)];
+    movers.clear();
     const int32_t n_slots = tile.num_slots();
-    hw_.ChargeCycles(static_cast<double>((n_slots + kVpuLanes - 1) / kVpuLanes) *
-                     3.0 / hw_.cfg().vpu_pipes);
+    hw.ChargeCycles(static_cast<double>((n_slots + kVpuLanes - 1) / kVpuLanes) *
+                    3.0 / hw.cfg().vpu_pipes);
     for (int32_t pid = 0; pid < n_slots; ++pid) {
       if (!tile.IsLive(pid)) {
         continue;
@@ -195,18 +230,25 @@ void DepositionEngine::RedistributeOnly(TileSet& tiles, EngineStepStats* stats) 
       const int iy = geom.CellY(soa.y[i]);
       const int iz = geom.CellZ(soa.z[i]);
       if (!tile.ContainsCell(ix, iy, iz)) {
-        movers_.push_back({tile.soa().Get(pid), tiles.TileOfCell(ix, iy, iz)});
+        movers.push_back({tile.soa().Get(pid), tiles.TileOfCell(ix, iy, iz)});
         tile.RemoveParticle(pid);
-        hw_.ChargeCycles(8.0);
-        ++stats->crossed_tiles;
+        hw.ChargeCycles(8.0);
+        ++crossed[static_cast<size_t>(worker)].value;
       }
     }
+  });
+  for (const PaddedSlot<int64_t>& c : crossed) {
+    stats->crossed_tiles += c.value;
   }
-  for (const Mover& m : movers_) {
-    tiles.tile(m.dest_tile).AddParticle(m.p);
-    hw_.ChargeCycles(8.0);
+  // Serial delivery in source-tile order (see IncrementalSortPhase).
+  PhaseScope phase(hw_.ledger(), Phase::kOther);
+  for (std::vector<Mover>& movers : tile_movers_) {
+    for (const Mover& m : movers) {
+      tiles.tile(m.dest_tile).AddParticle(m.p);
+      hw_.ChargeCycles(8.0);
+    }
+    movers.clear();
   }
-  movers_.clear();
 }
 
 void DepositionEngine::RegisterRegions(TileSet& tiles, FieldSet& fields) {
@@ -259,51 +301,45 @@ void DepositionEngine::StepImpl(TileSet& tiles, FieldSet& fields, double charge,
   params.geom = tiles.geom();
   params.charge = charge;
 
-  for (int t = 0; t < tiles.num_tiles(); ++t) {
-    ParticleTile& tile = tiles.tile(t);
-    if (tile.num_live() == 0) {
-      continue;
-    }
-    DepositScratch& scratch = scratch_[static_cast<size_t>(t)];
-    RhocellBuffer& rhocell = rhocells_[static_cast<size_t>(t)];
-
+  auto stage_and_kernel = [&](HwContext& hw, ParticleTile& tile,
+                              DepositScratch& scratch, RhocellBuffer& rhocell) {
     switch (traits_.staging) {
       case StagingKind::kScalarLoop:
-        StageTileScalar<Order>(hw_, tile, params, scratch);
+        StageTileScalar<Order>(hw, tile, params, scratch);
         break;
       case StagingKind::kVpu:
-        StageTileVpu<Order>(hw_, tile, params, scratch);
+        StageTileVpu<Order>(hw, tile, params, scratch);
         break;
       case StagingKind::kNone:
         break;
     }
     // Keep the model's address space current: scratch/SoA vectors may have
     // (re)allocated since the last registration (cheap no-op otherwise).
-    RegisterStagingRegions(hw_, tile, scratch);
+    RegisterStagingRegions(hw, tile, scratch);
 
     switch (traits_.kernel) {
       case KernelKind::kScalarReference:
-        DepositScalarTile<Order>(hw_, tile, params, fields);
+        DepositScalarTile<Order>(hw, tile, params, fields);
         break;
       case KernelKind::kBaselineScatter:
-        DepositBaselineTile<Order>(hw_, tile, params, scratch, fields,
+        DepositBaselineTile<Order>(hw, tile, params, scratch, fields,
                                    traits_.sorted_iteration);
         break;
       case KernelKind::kRhocellAutoVec:
         if constexpr (Order == 1 || Order == 3) {
-          DepositRhocellAutoVec<Order>(hw_, tile, params, scratch, rhocell,
+          DepositRhocellAutoVec<Order>(hw, tile, params, scratch, rhocell,
                                        traits_.sorted_iteration);
         }
         break;
       case KernelKind::kRhocellVpu:
         if constexpr (Order == 1 || Order == 3) {
-          DepositRhocellVpu<Order>(hw_, tile, params, scratch, rhocell,
+          DepositRhocellVpu<Order>(hw, tile, params, scratch, rhocell,
                                    traits_.sorted_iteration);
         }
         break;
       case KernelKind::kMpu:
         if constexpr (Order == 1 || Order == 3) {
-          DepositMpu<Order>(hw_, tile, params, scratch, rhocell,
+          DepositMpu<Order>(hw, tile, params, scratch, rhocell,
                             traits_.sorted_iteration
                                 ? MpuScheduling::kCellResident
                                 : MpuScheduling::kPairwise,
@@ -311,7 +347,56 @@ void DepositionEngine::StepImpl(TileSet& tiles, FieldSet& fields, double charge,
         }
         break;
     }
+  };
 
+  // Rhocell-backed kernels (rhocell VPU paths and the MPU) write only
+  // tile-private staging and rhocell blocks, so staging + kernel fan out over
+  // tiles; the O(num_cells) rhocell -> J reduction then runs as a serial pass
+  // because neighboring tiles' shape-function halos overlap on the shared J
+  // arrays. kBaselineScatter and kScalarReference scatter per particle straight
+  // into shared J and therefore stay entirely on the serial path.
+  if (ParallelEnabled(hw_) && traits_.uses_rhocell) {
+    // Serial pre-pass: (re)register the tiles' SoA/scratch with the MAIN
+    // context, whose map the workers snapshot. Worker-local registrations are
+    // dropped when the next region refreshes the snapshot, so arrays that
+    // (re)allocated since the last step (mover delivery, window injection)
+    // would otherwise fall back to nondeterministic identity mapping.
+    for (int t = 0; t < tiles.num_tiles(); ++t) {
+      if (tiles.tile(t).num_live() > 0) {
+        RegisterStagingRegions(hw_, tiles.tile(t),
+                               scratch_[static_cast<size_t>(t)]);
+      }
+    }
+    ParallelForTiles(hw_, tiles.num_tiles(), [&](HwContext& hw, int, int t) {
+      ParticleTile& tile = tiles.tile(t);
+      if (tile.num_live() == 0) {
+        return;
+      }
+      stage_and_kernel(hw, tile, scratch_[static_cast<size_t>(t)],
+                       rhocells_[static_cast<size_t>(t)]);
+    });
+    for (int t = 0; t < tiles.num_tiles(); ++t) {
+      ParticleTile& tile = tiles.tile(t);
+      if (tile.num_live() == 0) {
+        continue;
+      }
+      if constexpr (Order == 1 || Order == 3) {
+        ReduceRhocellToGrid<Order>(hw_, tile, rhocells_[static_cast<size_t>(t)],
+                                   fields);
+      }
+    }
+    (void)stats;
+    return;
+  }
+
+  for (int t = 0; t < tiles.num_tiles(); ++t) {
+    ParticleTile& tile = tiles.tile(t);
+    if (tile.num_live() == 0) {
+      continue;
+    }
+    DepositScratch& scratch = scratch_[static_cast<size_t>(t)];
+    RhocellBuffer& rhocell = rhocells_[static_cast<size_t>(t)];
+    stage_and_kernel(hw_, tile, scratch, rhocell);
     if (traits_.uses_rhocell) {
       if constexpr (Order == 1 || Order == 3) {
         ReduceRhocellToGrid<Order>(hw_, tile, rhocell, fields);

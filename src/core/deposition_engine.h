@@ -73,8 +73,11 @@ class DepositionEngine {
   // window injection). The particle must already be inside its tile.
   void NotifyParticleAdded(TileSet& tiles, int tile_index, int32_t pid);
 
-  // Removes a particle (absorbed / left the window).
+  // Removes a particle (absorbed / left the window). The overload taking an
+  // HwContext charges that context instead of the engine's own — tile-parallel
+  // callers pass their worker context (all mutations stay tile-private).
   void RemoveParticle(TileSet& tiles, int tile_index, int32_t pid);
+  void RemoveParticle(HwContext& hw, TileSet& tiles, int tile_index, int32_t pid);
 
   // Forces GlobalSortParticlesByCell on every tile now.
   void GlobalSort(TileSet& tiles);
@@ -107,7 +110,10 @@ class DepositionEngine {
     Particle p;
     int dest_tile;
   };
-  std::vector<Mover> movers_;
+  // Cross-tile movers staged per source tile during the (tile-parallel) scan
+  // and delivered serially in tile order, so delivery order — and therefore
+  // destination slot assignment — matches the serial run exactly.
+  std::vector<std::vector<Mover>> tile_movers_;
 };
 
 }  // namespace mpic

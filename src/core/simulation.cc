@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/common/check.h"
+#include "src/hw/parallel_for.h"
 #include "src/push/boris_pusher.h"
 #include "src/push/field_gather.h"
 
@@ -116,31 +117,40 @@ void Simulation::GatherAndPush(SpeciesBlock& block) {
   pp.dt = dt_;
   pp.charge = block.species.charge;
   pp.mass = block.species.mass;
-  block.pushed_last_step = 0;
-  for (int t = 0; t < block.tiles.num_tiles(); ++t) {
+  // Gather and push read the shared fields and write only the tile's SoA and
+  // scratch, so tiles fan out over the modeled cores.
+  std::vector<PaddedSlot<int64_t>> pushed(static_cast<size_t>(hw_.num_cores()));
+  ParallelForTiles(hw_, block.tiles.num_tiles(), [&](HwContext& hw, int worker,
+                                                     int t) {
     ParticleTile& tile = block.tiles.tile(t);
     if (tile.num_live() == 0) {
-      continue;
+      return;
     }
     GatherScratch& gs = block.gather_scratch[static_cast<size_t>(t)];
-    GatherFieldsTile<Order>(hw_, tile, fields_, gs);
-    PushTileBoris(hw_, tile, gs, pp);
-    block.pushed_last_step += tile.num_live();
+    GatherFieldsTile<Order>(hw, tile, fields_, gs);
+    PushTileBoris(hw, tile, gs, pp);
+    pushed[static_cast<size_t>(worker)].value += tile.num_live();
+  });
+  block.pushed_last_step = 0;
+  for (const PaddedSlot<int64_t>& p : pushed) {
+    block.pushed_last_step += p.value;
   }
   block.particles_pushed += block.pushed_last_step;
 }
 
 void Simulation::ApplyParticleBoundaries() {
-  PhaseScope phase(hw_.ledger(), Phase::kOther);
   const bool drop_behind_window = config_.moving_window;
   for (auto& b : blocks_) {
     const GridGeometry& g = b->tiles.geom();
-    for (int t = 0; t < b->tiles.num_tiles(); ++t) {
+    // Wrapping rewrites the tile's own positions and a window drop only touches
+    // the tile's own GPMA and slot stack, so tiles fan out over the cores.
+    ParallelForTiles(hw_, b->tiles.num_tiles(), [&](HwContext& hw, int, int t) {
+      PhaseScope phase(hw.ledger(), Phase::kOther);
       ParticleTile& tile = b->tiles.tile(t);
       ParticleSoA& soa = tile.soa();
       const int32_t n = tile.num_slots();
-      hw_.ChargeCycles(static_cast<double>((n + kVpuLanes - 1) / kVpuLanes) * 6.0 /
-                       hw_.cfg().vpu_pipes);
+      hw.ChargeCycles(static_cast<double>((n + kVpuLanes - 1) / kVpuLanes) * 6.0 /
+                      hw.cfg().vpu_pipes);
       for (int32_t pid = 0; pid < n; ++pid) {
         if (!tile.IsLive(pid)) {
           continue;
@@ -150,13 +160,13 @@ void Simulation::ApplyParticleBoundaries() {
         soa.y[i] = g.WrapY(soa.y[i]);
         if (drop_behind_window) {
           if (soa.z[i] < g.z0 || soa.z[i] >= g.z0 + g.LengthZ()) {
-            b->engine.RemoveParticle(b->tiles, t, pid);
+            b->engine.RemoveParticle(hw, b->tiles, t, pid);
           }
         } else {
           soa.z[i] = g.WrapZ(soa.z[i]);
         }
       }
-    }
+    });
   }
 }
 
@@ -210,8 +220,10 @@ void Simulation::Step() {
     hw_.ChargeBulk(0.0, static_cast<double>(fields_.jx.size()) * 8.0 * 3.0);
   }
 
+  // Each block runs at its own engine's shape order: a species with an
+  // EngineConfig override gathers, pushes, and deposits consistently with it.
   for (auto& b : blocks_) {
-    switch (config_.engine.order) {
+    switch (b->engine.config().order) {
       case 1:
         GatherAndPush<1>(*b);
         break;

@@ -22,14 +22,18 @@
 
 namespace mpic {
 
-// Per-species simulation options. The engine configuration (variant, order,
-// GPMA and re-sort policy) is shared across species today; charge and mass are
-// plumbed per block at call time, not baked into the engine.
+// Per-species simulation options. Charge and mass are plumbed per block at
+// call time, not baked into the engine.
 struct SpeciesConfig {
   Species species = Species::Electron();
   // Moving-window refill profile for this species. Species without a profile
   // are dropped behind the window but never replenished.
   std::optional<ProfiledPlasmaConfig> window_injection;
+  // Engine override for this species; nullopt inherits the simulation-wide
+  // EngineConfig. Heavy ions barely churn cells per step, so they typically
+  // want kHybridNoSort or a long re-sort interval while electrons keep the
+  // full incremental-sort pipeline.
+  std::optional<EngineConfig> engine;
 };
 
 struct SpeciesBlock {
@@ -38,7 +42,7 @@ struct SpeciesBlock {
       : species(config.species),
         window_injection(config.window_injection),
         tiles(geom, tile_x, tile_y, tile_z),
-        engine(hw, engine_config) {}
+        engine(hw, config.engine.value_or(engine_config)) {}
 
   Species species;
   std::optional<ProfiledPlasmaConfig> window_injection;

@@ -27,8 +27,37 @@ void ScrambleParticleOrder(TileSet& tiles, uint64_t seed) {
   }
 }
 
+namespace {
+
+// Normalizes the two species-listing mechanisms of UniformWorkloadParams into
+// per-species seeding parameters with base values filled in.
+std::vector<UniformSpeciesParams> EffectiveUniformSpecies(
+    const UniformWorkloadParams& p) {
+  std::vector<UniformSpeciesParams> out;
+  if (p.species_params.empty()) {
+    for (const Species& s : p.species) {
+      UniformSpeciesParams sp;
+      sp.species = s;
+      out.push_back(sp);
+    }
+  } else {
+    out = p.species_params;
+  }
+  for (UniformSpeciesParams& sp : out) {
+    if (sp.ppc_x <= 0) sp.ppc_x = p.ppc_x;
+    if (sp.ppc_y <= 0) sp.ppc_y = p.ppc_y;
+    if (sp.ppc_z <= 0) sp.ppc_z = p.ppc_z;
+    if (sp.density <= 0.0) sp.density = p.density;
+    if (sp.u_th < 0.0) sp.u_th = p.u_th;
+  }
+  return out;
+}
+
+}  // namespace
+
 SimulationConfig MakeUniformConfig(const UniformWorkloadParams& p) {
-  MPIC_CHECK_MSG(!p.species.empty(), "uniform workload needs >= 1 species");
+  MPIC_CHECK_MSG(!p.species.empty() || !p.species_params.empty(),
+                 "uniform workload needs >= 1 species");
   SimulationConfig cfg;
   cfg.geom.nx = p.nx;
   cfg.geom.ny = p.ny;
@@ -38,12 +67,21 @@ SimulationConfig MakeUniformConfig(const UniformWorkloadParams& p) {
   cfg.geom.dx = cfg.geom.dy = cfg.geom.dz = 3.0e-7;
   cfg.geom.x0 = cfg.geom.y0 = cfg.geom.z0 = 0.0;
   cfg.tile_x = cfg.tile_y = cfg.tile_z = p.tile;
-  cfg.species.clear();
-  for (const Species& s : p.species) {
-    cfg.species.push_back(SpeciesConfig{s, std::nullopt});
-  }
   cfg.engine.variant = p.variant;
   cfg.engine.order = p.order;
+  cfg.species.clear();
+  for (const UniformSpeciesParams& sp : EffectiveUniformSpecies(p)) {
+    // Overrides merge onto the workload-wide engine config field by field, so
+    // e.g. a variant-only override still runs at the workload's shape order.
+    std::optional<EngineConfig> engine;
+    if (sp.variant.has_value() || sp.order > 0) {
+      EngineConfig e = cfg.engine;
+      if (sp.variant.has_value()) e.variant = *sp.variant;
+      if (sp.order > 0) e.order = sp.order;
+      engine = e;
+    }
+    cfg.species.push_back(SpeciesConfig{sp.species, std::nullopt, engine});
+  }
   cfg.cfl = 0.95;
   cfg.solver = SolverKind::kCkc;
   return cfg;
@@ -52,13 +90,15 @@ SimulationConfig MakeUniformConfig(const UniformWorkloadParams& p) {
 std::unique_ptr<Simulation> MakeUniformSimulation(HwContext& hw,
                                                   const UniformWorkloadParams& p) {
   auto sim = std::make_unique<Simulation>(hw, MakeUniformConfig(p));
+  const std::vector<UniformSpeciesParams> species = EffectiveUniformSpecies(p);
   for (int sid = 0; sid < sim->num_species(); ++sid) {
+    const UniformSpeciesParams& sp = species[static_cast<size_t>(sid)];
     UniformPlasmaConfig plasma;
-    plasma.ppc_x = p.ppc_x;
-    plasma.ppc_y = p.ppc_y;
-    plasma.ppc_z = p.ppc_z;
-    plasma.density = p.density;
-    plasma.u_th = p.u_th;
+    plasma.ppc_x = sp.ppc_x;
+    plasma.ppc_y = sp.ppc_y;
+    plasma.ppc_z = sp.ppc_z;
+    plasma.density = sp.density;
+    plasma.u_th = sp.u_th;
     // Species 0 keeps the historical seeds so the electron-only results are
     // reproduced bit-for-bit; extra species decorrelate by offset.
     plasma.seed = p.seed + static_cast<uint64_t>(sid);
@@ -114,10 +154,10 @@ SimulationConfig MakeLwfaConfig(const LwfaWorkloadParams& p) {
   inj.u_th = 0.0;
   inj.seed = p.seed;
   cfg.species.clear();
-  cfg.species.push_back(SpeciesConfig{Species::Electron(), inj});
+  cfg.species.push_back(SpeciesConfig{Species::Electron(), inj, std::nullopt});
   if (p.with_ions) {
     // Same density profile: a charge-neutral background whose ions also move.
-    cfg.species.push_back(SpeciesConfig{p.ion, inj});
+    cfg.species.push_back(SpeciesConfig{p.ion, inj, p.ion_engine});
   }
   return cfg;
 }

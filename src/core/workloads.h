@@ -26,6 +26,24 @@
 
 namespace mpic {
 
+// Per-species seeding/engine overrides for the uniform workload. Zero (or
+// negative, for u_th) values inherit the workload-wide base. Because the
+// injector fixes macro-particle weight as density * cell_volume / PPC, a
+// species seeded with a lower PPC at the same physical density automatically
+// gets proportionally heavier macro-particles — the standard "few heavy
+// macro-ions, many light macro-electrons" setup.
+struct UniformSpeciesParams {
+  Species species = Species::Electron();
+  int ppc_x = 0, ppc_y = 0, ppc_z = 0;  // 0 = workload base ppc
+  double density = 0.0;                 // 0 = workload base density
+  double u_th = -1.0;                   // < 0 = workload base u_th
+  // Per-species engine overrides, merged onto the workload-wide engine config
+  // like the fields above (e.g. kHybridNoSort for slow heavy ions). Unset
+  // values inherit the workload's variant/order.
+  std::optional<DepositVariant> variant;
+  int order = 0;  // 0 = workload base order
+};
+
 struct UniformWorkloadParams {
   int nx = 16, ny = 8, nz = 8;
   // Particles per cell per dimension; paper sweeps [1,1,1] .. [8,4,4].
@@ -39,6 +57,9 @@ struct UniformWorkloadParams {
   // Every listed species is seeded with the same density/PPC/u_th (e.g.
   // {Electron, Proton} gives a neutral two-species plasma).
   std::vector<Species> species = {Species::Electron()};
+  // When non-empty, takes precedence over `species` and carries per-species
+  // PPC/density/u_th and engine overrides.
+  std::vector<UniformSpeciesParams> species_params;
 };
 
 SimulationConfig MakeUniformConfig(const UniformWorkloadParams& p);
@@ -60,6 +81,10 @@ struct LwfaWorkloadParams {
   // (charge-neutral plasma; ion motion matters for long pulses / heavy drivers).
   bool with_ions = false;
   Species ion = Species::Proton();
+  // Engine override for the ion species. Heavy ions barely change cells per
+  // step, so kHybridNoSort or a long fixed re-sort interval avoids paying GPMA
+  // maintenance for a species that never churns.
+  std::optional<EngineConfig> ion_engine;
 };
 
 SimulationConfig MakeLwfaConfig(const LwfaWorkloadParams& p);

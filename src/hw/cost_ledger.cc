@@ -32,6 +32,31 @@ void CostLedger::Reset() {
   phase_ = Phase::kOther;
 }
 
+void CostLedger::MergeParallel(const std::vector<const CostLedger*>& workers) {
+  for (int p = 0; p < kNumPhases; ++p) {
+    double critical = 0.0;
+    for (const CostLedger* w : workers) {
+      critical = w->cycles_[p] > critical ? w->cycles_[p] : critical;
+    }
+    cycles_[static_cast<size_t>(p)] += critical;
+  }
+  for (const CostLedger* w : workers) {
+    const LedgerCounters& c = w->counters_;
+    counters_.scalar_ops += c.scalar_ops;
+    counters_.scalar_mem += c.scalar_mem;
+    counters_.vpu_ops += c.vpu_ops;
+    counters_.vpu_mem += c.vpu_mem;
+    counters_.gathers += c.gathers;
+    counters_.scatters += c.scatters;
+    counters_.mopas += c.mopas;
+    counters_.atomics += c.atomics;
+    counters_.l1_hits += c.l1_hits;
+    counters_.l1_misses += c.l1_misses;
+    counters_.l2_hits += c.l2_hits;
+    counters_.l2_misses += c.l2_misses;
+  }
+}
+
 double CostLedger::TotalCycles() const {
   double total = 0.0;
   for (double c : cycles_) {

@@ -11,6 +11,7 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace mpic {
 
@@ -63,6 +64,12 @@ class CostLedger {
 
   LedgerCounters& counters() { return counters_; }
   const LedgerCounters& counters() const { return counters_; }
+
+  // Merges one parallel region's per-core ledgers into this one. Cycles are
+  // charged as the region's critical path — per phase, the max over cores,
+  // matching how cores overlap in time — while instruction and cache event
+  // counters sum, so throughput/efficiency accounting still sees all the work.
+  void MergeParallel(const std::vector<const CostLedger*>& workers);
 
   // Human-readable multi-line summary (debugging aid).
   std::string Summary() const;

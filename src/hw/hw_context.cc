@@ -15,6 +15,20 @@ HwContext::HwContext(const MachineConfig& cfg)
 void HwContext::ResetModel() {
   ledger_.Reset();
   cache_.Reset();
+  for (auto& w : workers_) {
+    w->ResetModel();
+  }
+}
+
+HwContext& HwContext::worker(int w) {
+  MPIC_CHECK(w >= 0 && w < num_cores());
+  while (static_cast<int>(workers_.size()) <= w) {
+    // Workers never fan out further themselves: their config models one core.
+    MachineConfig core_cfg = cfg_;
+    core_cfg.num_cores = 1;
+    workers_.push_back(std::make_unique<HwContext>(core_cfg));
+  }
+  return *workers_[static_cast<size_t>(w)];
 }
 
 void HwContext::ChargeMem(const void* p, size_t bytes, double issue_cycles,

@@ -15,6 +15,8 @@
 #define MPIC_SRC_HW_HW_CONTEXT_H_
 
 #include <cstdint>
+#include <memory>
+#include <vector>
 
 #include "src/hw/cache_model.h"
 #include "src/hw/cost_ledger.h"
@@ -119,6 +121,18 @@ class HwContext {
   // Seconds corresponding to the ledger's total cycles at the modeled clock.
   double TotalSeconds() const { return cfg_.CyclesToSeconds(ledger_.TotalCycles()); }
 
+  // ---- Multi-core execution (see src/hw/parallel_for.h) -------------------
+
+  // Modeled core count (>= 1).
+  int num_cores() const { return cfg_.num_cores < 1 ? 1 : cfg_.num_cores; }
+
+  // Per-core context used by ParallelForTiles when num_cores() > 1. Lazily
+  // created; workers share the machine parameters but own a private ledger
+  // (per-region scratch, merged by MergeParallel) and a private cache that
+  // persists across regions, modeling that core's cache hierarchy. Workers
+  // receive a snapshot of this context's memory map at each region start.
+  HwContext& worker(int w);
+
  private:
   void ChargeMem(const void* p, size_t bytes, double issue_cycles, bool write,
                  uint64_t count_as_vpu_mem);
@@ -129,6 +143,7 @@ class HwContext {
   MemMap mem_;
   double vpu_op_cycles_;
   double scalar_op_cycles_;
+  std::vector<std::unique_ptr<HwContext>> workers_;
 };
 
 }  // namespace mpic

@@ -35,6 +35,12 @@ struct CacheLevelConfig {
 struct MachineConfig {
   // --- Core (Sec. 5.1) ---
   double freq_ghz = 1.3;
+  // Modeled core count. Tile-parallel stages (gather/push, boundaries, the
+  // per-tile sort scan, deposition staging + kernel) are partitioned statically
+  // over this many cores, each with a private ledger and cache; region cycles
+  // merge into the main ledger as the critical path (max over cores) with
+  // event counters summed. 1 reproduces the single-core seed model exactly.
+  int num_cores = 1;
   // Scalar ALU micro-ops retired per cycle (superscalar width for the modeled
   // non-SIMD instruction stream).
   double scalar_ops_per_cycle = 3.0;
@@ -89,6 +95,14 @@ struct MachineConfig {
 
   // The modeled LX2 core (defaults above).
   static MachineConfig Lx2() { return MachineConfig{}; }
+
+  // An LX2 chip with `cores` identical cores (shared machine parameters,
+  // private per-core caches in the model).
+  static MachineConfig Lx2MultiCore(int cores) {
+    MachineConfig cfg;
+    cfg.num_cores = cores;
+    return cfg;
+  }
 
   // A VPU-only machine: identical except kernels may not use the MPU. Used by
   // tests to confirm MPU kernels fail loudly without an MPU.

@@ -1,6 +1,7 @@
 #include "src/hw/mem_map.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "src/common/check.h"
 
@@ -8,7 +9,15 @@ namespace mpic {
 namespace {
 constexpr uint64_t kPage = 4096;
 uint64_t RoundUpPage(uint64_t v) { return (v + kPage - 1) & ~(kPage - 1); }
+// Process-global stamp source: every mutation of any MemMap gets a unique
+// value, so version equality between two maps implies neither changed since
+// one was copy-assigned from the other (worker snapshots in parallel regions).
+std::atomic<uint64_t> g_mem_map_stamp{0};
 }  // namespace
+
+void MemMap::BumpVersion() {
+  version_ = g_mem_map_stamp.fetch_add(1, std::memory_order_relaxed) + 1;
+}
 
 uint64_t MemMap::Register(const void* base, size_t bytes) {
   const auto host = reinterpret_cast<uintptr_t>(base);
@@ -23,6 +32,7 @@ uint64_t MemMap::Register(const void* base, size_t bytes) {
       r.host_end = host + bytes;
       r.logical_base = next_logical_;
       next_logical_ += RoundUpPage(bytes) + kPage;
+      BumpVersion();
       return r.logical_base;
     }
   }
@@ -49,6 +59,7 @@ uint64_t MemMap::Register(const void* base, size_t bytes) {
                              });
   regions_.insert(it, r);
   mru_ = 0;
+  BumpVersion();
   return r.logical_base;
 }
 
@@ -87,6 +98,7 @@ void MemMap::Clear() {
   mru_ = 0;
   next_logical_ = 1 << 12;
   region_counter_ = 0;
+  BumpVersion();
 }
 
 }  // namespace mpic

@@ -34,7 +34,14 @@ class MemMap {
 
   size_t num_regions() const { return regions_.size(); }
 
+  // Mutation stamp, drawn from a process-global counter so two maps compare
+  // equal only if neither mutated since one was copied from the other. The
+  // parallel-region machinery uses it to skip redundant worker snapshots.
+  uint64_t version() const { return version_; }
+
  private:
+  void BumpVersion();
+
   struct Region {
     uintptr_t host_base;
     uintptr_t host_end;
@@ -46,6 +53,7 @@ class MemMap {
   size_t mru_ = 0;
   uint64_t next_logical_ = 1 << 12;
   uint64_t region_counter_ = 0;
+  uint64_t version_ = 0;
 
   static constexpr uint64_t kUnmappedBase = uint64_t{1} << 46;
 };

@@ -1,0 +1,62 @@
+#include "src/hw/parallel_for.h"
+
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace mpic {
+
+TileRange WorkerTileRange(int n, int num_workers, int worker) {
+  MPIC_CHECK(num_workers > 0 && worker >= 0 && worker < num_workers);
+  const int base = n / num_workers;
+  const int extra = n % num_workers;
+  TileRange r;
+  r.begin = worker * base + (worker < extra ? worker : extra);
+  r.end = r.begin + base + (worker < extra ? 1 : 0);
+  return r;
+}
+
+void ParallelForTiles(HwContext& hw, int n, const TileBody& body) {
+  const int num_workers = hw.num_cores();
+  if (num_workers <= 1) {
+    for (int i = 0; i < n; ++i) {
+      body(hw, 0, i);
+    }
+    return;
+  }
+
+  // Region setup (serial): make sure every worker context exists, give it the
+  // current memory map and a zeroed per-region ledger. Worker caches are NOT
+  // reset — they persist across regions, modeling each core's private cache.
+  // Equal version stamps mean neither map mutated since the last snapshot
+  // (worker-local in-region registrations bump the worker's stamp, forcing a
+  // refresh next region), so the O(num_regions) copy is usually skipped.
+  std::vector<const CostLedger*> region_ledgers;
+  region_ledgers.reserve(static_cast<size_t>(num_workers));
+  for (int w = 0; w < num_workers; ++w) {
+    HwContext& ctx = hw.worker(w);
+    ctx.ledger().Reset();
+    if (ctx.mem().version() != hw.mem().version()) {
+      ctx.mem() = hw.mem();
+    }
+    region_ledgers.push_back(&ctx.ledger());
+  }
+
+  // Static block partition: worker w always owns the same contiguous tile
+  // range, regardless of how OpenMP maps workers to threads, so both the
+  // physics and the modeled ledger are independent of the real thread count.
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static, 1)
+#endif
+  for (int w = 0; w < num_workers; ++w) {
+    HwContext& ctx = hw.worker(w);
+    const TileRange range = WorkerTileRange(n, num_workers, w);
+    for (int i = range.begin; i < range.end; ++i) {
+      body(ctx, w, i);
+    }
+  }
+
+  hw.ledger().MergeParallel(region_ledgers);
+}
+
+}  // namespace mpic

@@ -1,0 +1,56 @@
+// Tile-parallel execution over the modeled multi-core machine.
+//
+// ParallelForTiles runs `body(ctx, worker, index)` for every index in [0, n),
+// partitioned statically over cfg().num_cores modeled cores. Each worker gets
+// its own HwContext view — a private CostLedger and CacheModel plus a snapshot
+// of the main context's MemMap — so kernels charge costs exactly as they do
+// serially. When the region ends, per-worker cycles merge into the main ledger
+// as the critical path (max over workers, per phase) and counters sum, keeping
+// the Fig. 1 / 8-10 phase breakdowns meaningful at num_cores > 1.
+//
+// Determinism: the partition is a fixed contiguous block split (independent of
+// OpenMP scheduling), every tile's computation touches only tile-private state,
+// and callers merge any cross-tile results in tile order — so the physics
+// output is bit-identical to the serial run for any core or thread count. With
+// num_cores == 1 the body runs inline on the main context and the model
+// reproduces the single-core ledger exactly.
+//
+// Real parallelism comes from OpenMP: modeled workers map to OpenMP threads
+// (capped by OMP_NUM_THREADS). Without OpenMP the same partition runs serially
+// with identical results, including the multi-core ledger accounting.
+
+#ifndef MPIC_SRC_HW_PARALLEL_FOR_H_
+#define MPIC_SRC_HW_PARALLEL_FOR_H_
+
+#include <functional>
+
+#include "src/hw/hw_context.h"
+
+namespace mpic {
+
+// Contiguous index range [begin, end) assigned to one worker: a block split
+// with the remainder spread over the leading workers.
+struct TileRange {
+  int begin = 0;
+  int end = 0;
+};
+TileRange WorkerTileRange(int n, int num_workers, int worker);
+
+using TileBody = std::function<void(HwContext& ctx, int worker, int index)>;
+
+void ParallelForTiles(HwContext& hw, int n, const TileBody& body);
+
+// Per-worker accumulator slot padded to a cache line: callers index one slot
+// per worker, and the padding keeps concurrent per-particle increments from
+// false-sharing a line between real cores.
+template <typename T>
+struct alignas(64) PaddedSlot {
+  T value{};
+};
+
+// True when ParallelForTiles will fan out (modeled cores > 1).
+inline bool ParallelEnabled(const HwContext& hw) { return hw.num_cores() > 1; }
+
+}  // namespace mpic
+
+#endif  // MPIC_SRC_HW_PARALLEL_FOR_H_

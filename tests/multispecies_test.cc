@@ -231,6 +231,63 @@ TEST(TwoStream, FieldEnergyGrowsFromSeededPerturbation) {
   EXPECT_LT(fe_late, TotalKineticEnergy(*sim));
 }
 
+TEST(MultiSpecies, PerSpeciesEngineOverride) {
+  // Ions get a no-sort hybrid engine while electrons keep the full MatrixPIC
+  // pipeline: each block must run its own engine configuration.
+  UniformWorkloadParams p = ElectronProtonBox(0.01);
+  p.species.clear();
+  UniformSpeciesParams electrons;
+  UniformSpeciesParams ions;
+  ions.species = Species::Proton();
+  ions.variant = DepositVariant::kHybridNoSort;
+  p.species_params = {electrons, ions};
+
+  HwContext hw;
+  auto sim = MakeUniformSimulation(hw, p);
+  ASSERT_EQ(sim->num_species(), 2);
+  EXPECT_EQ(sim->block(0).engine.config().variant, DepositVariant::kFullOpt);
+  EXPECT_EQ(sim->block(1).engine.config().variant, DepositVariant::kHybridNoSort);
+  // A variant-only override inherits the workload's shape order.
+  EXPECT_EQ(sim->block(1).engine.config().order, p.order);
+
+  const int64_t n0 = sim->block(0).tiles.TotalLive();
+  const int64_t n1 = sim->block(1).tiles.TotalLive();
+  sim->Run(3);
+  EXPECT_EQ(sim->block(0).tiles.TotalLive(), n0);
+  EXPECT_EQ(sim->block(1).tiles.TotalLive(), n1);
+  // The sorting electron engine paid its initial global sort; the no-sort ion
+  // engine never sorts.
+  EXPECT_GE(sim->block(0).engine.total_global_sorts(), 1);
+  EXPECT_EQ(sim->block(1).engine.total_global_sorts(), 0);
+  for (double v : sim->fields().ez.vec()) {
+    ASSERT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST(MultiSpecies, PerSpeciesOrderOverride) {
+  // A QSP (order 3) species next to a CIC (order 1) species: gather/push and
+  // deposit must both use the per-block order.
+  UniformWorkloadParams p = ElectronProtonBox(0.01);
+  p.species.clear();
+  UniformSpeciesParams electrons;
+  UniformSpeciesParams ions;
+  ions.species = Species::Proton();
+  ions.order = 3;
+  p.species_params = {electrons, ions};
+
+  HwContext hw;
+  auto sim = MakeUniformSimulation(hw, p);
+  EXPECT_EQ(sim->block(0).engine.config().order, 1);
+  EXPECT_EQ(sim->block(1).engine.config().order, 3);
+  // An order-only override inherits the workload's variant.
+  EXPECT_EQ(sim->block(1).engine.config().variant, DepositVariant::kFullOpt);
+  sim->Run(3);
+  EXPECT_EQ(sim->step_count(), 3);
+  for (double v : sim->fields().ez.vec()) {
+    ASSERT_TRUE(std::isfinite(v));
+  }
+}
+
 TEST(TwoStream, VariantsAgreeWithTwoSpecies) {
   TwoStreamParams pa, pb;
   pa.variant = DepositVariant::kBaseline;

@@ -1,0 +1,259 @@
+// Tile-parallel execution tests: physics must be bit-identical to the serial
+// run for any modeled core / OpenMP thread count, and the multi-core ledger
+// must charge parallel regions as critical-path cycles (max over workers) with
+// event counters summed.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "src/core/diagnostics.h"
+#include "src/core/simulation.h"
+#include "src/core/workloads.h"
+#include "src/hw/parallel_for.h"
+
+namespace mpic {
+namespace {
+
+// Use more OpenMP threads than the host may have cores: results must not
+// depend on how modeled workers map onto real threads.
+void UseManyThreads() {
+#ifdef _OPENMP
+  omp_set_num_threads(4);
+#endif
+}
+
+void ExpectFieldsBitIdentical(const FieldSet& a, const FieldSet& b) {
+  auto cmp = [](const FieldArray& fa, const FieldArray& fb, const char* name) {
+    ASSERT_EQ(fa.vec().size(), fb.vec().size()) << name;
+    EXPECT_EQ(std::memcmp(fa.vec().data(), fb.vec().data(),
+                          fa.vec().size() * sizeof(double)),
+              0)
+        << name << " differs bitwise";
+  };
+  cmp(a.ex, b.ex, "ex");
+  cmp(a.ey, b.ey, "ey");
+  cmp(a.ez, b.ez, "ez");
+  cmp(a.bx, b.bx, "bx");
+  cmp(a.by, b.by, "by");
+  cmp(a.bz, b.bz, "bz");
+  cmp(a.jx, b.jx, "jx");
+  cmp(a.jy, b.jy, "jy");
+  cmp(a.jz, b.jz, "jz");
+}
+
+void ExpectParticlesBitIdentical(const TileSet& a, const TileSet& b) {
+  ASSERT_EQ(a.num_tiles(), b.num_tiles());
+  for (int t = 0; t < a.num_tiles(); ++t) {
+    const ParticleTile& ta = a.tile(t);
+    const ParticleTile& tb = b.tile(t);
+    ASSERT_EQ(ta.num_slots(), tb.num_slots()) << "tile " << t;
+    ASSERT_EQ(ta.num_live(), tb.num_live()) << "tile " << t;
+    const ParticleSoA& sa = ta.soa();
+    const ParticleSoA& sb = tb.soa();
+    for (int32_t pid = 0; pid < ta.num_slots(); ++pid) {
+      ASSERT_EQ(ta.IsLive(pid), tb.IsLive(pid)) << "tile " << t << " pid " << pid;
+      if (!ta.IsLive(pid)) {
+        continue;
+      }
+      const auto i = static_cast<size_t>(pid);
+      EXPECT_EQ(sa.x[i], sb.x[i]);
+      EXPECT_EQ(sa.y[i], sb.y[i]);
+      EXPECT_EQ(sa.z[i], sb.z[i]);
+      EXPECT_EQ(sa.ux[i], sb.ux[i]);
+      EXPECT_EQ(sa.uy[i], sb.uy[i]);
+      EXPECT_EQ(sa.uz[i], sb.uz[i]);
+      EXPECT_EQ(sa.w[i], sb.w[i]);
+    }
+  }
+}
+
+void ExpectSimsBitIdentical(Simulation& a, Simulation& b) {
+  ExpectFieldsBitIdentical(a.fields(), b.fields());
+  ASSERT_EQ(a.num_species(), b.num_species());
+  for (int sid = 0; sid < a.num_species(); ++sid) {
+    ExpectParticlesBitIdentical(a.block(sid).tiles, b.block(sid).tiles);
+  }
+}
+
+// ---- Ledger semantics ------------------------------------------------------
+
+TEST(ParallelLedger, RegionChargesMaxCyclesAndSumsCounters) {
+  UseManyThreads();
+  HwContext hw(MachineConfig::Lx2MultiCore(2));
+  // Two indices over two workers: the static partition gives index 0 to
+  // worker 0 and index 1 to worker 1.
+  ParallelForTiles(hw, 2, [&](HwContext& ctx, int worker, int index) {
+    EXPECT_EQ(worker, index);
+    if (index == 0) {
+      PhaseScope phase(ctx.ledger(), Phase::kCompute);
+      ctx.ChargeCycles(100.0);
+      ctx.ledger().counters().scalar_ops += 5;
+    } else {
+      {
+        PhaseScope phase(ctx.ledger(), Phase::kCompute);
+        ctx.ChargeCycles(60.0);
+      }
+      PhaseScope phase(ctx.ledger(), Phase::kPreproc);
+      ctx.ChargeCycles(50.0);
+      ctx.ledger().counters().scalar_ops += 7;
+    }
+  });
+  // Critical path per phase: max(100, 60) compute, max(0, 50) preproc.
+  EXPECT_DOUBLE_EQ(hw.ledger().PhaseCycles(Phase::kCompute), 100.0);
+  EXPECT_DOUBLE_EQ(hw.ledger().PhaseCycles(Phase::kPreproc), 50.0);
+  EXPECT_DOUBLE_EQ(hw.ledger().TotalCycles(), 150.0);
+  // Work counters sum across workers.
+  EXPECT_EQ(hw.ledger().counters().scalar_ops, 12u);
+}
+
+TEST(ParallelLedger, SingleCoreRunsInlineWithSerialAccounting) {
+  HwContext hw;  // num_cores = 1
+  ParallelForTiles(hw, 2, [&](HwContext& ctx, int worker, int) {
+    EXPECT_EQ(&ctx, &hw);  // inline on the main context, no fork/merge
+    EXPECT_EQ(worker, 0);
+    PhaseScope phase(ctx.ledger(), Phase::kCompute);
+    ctx.ChargeCycles(10.0);
+  });
+  // Serial semantics: charges accumulate, 2 * 10 cycles.
+  EXPECT_DOUBLE_EQ(hw.ledger().PhaseCycles(Phase::kCompute), 20.0);
+}
+
+TEST(ParallelLedger, StaticPartitionIsBalancedAndComplete) {
+  const int n = 10, workers = 4;
+  std::vector<int> owner(n, -1);
+  for (int w = 0; w < workers; ++w) {
+    const TileRange r = WorkerTileRange(n, workers, w);
+    EXPECT_GE(r.end - r.begin, n / workers);
+    EXPECT_LE(r.end - r.begin, n / workers + 1);
+    for (int i = r.begin; i < r.end; ++i) {
+      EXPECT_EQ(owner[static_cast<size_t>(i)], -1);
+      owner[static_cast<size_t>(i)] = w;
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NE(owner[static_cast<size_t>(i)], -1);
+  }
+}
+
+TEST(ParallelLedger, MultiCoreCountersSumToSerialWork) {
+  // Counters merge as sums across workers, so a multi-core run must report
+  // exactly the serial run's instruction mix — same physics, same work, just
+  // partitioned. (Cycles and cache events legitimately differ: private
+  // per-core caches and critical-path accounting.)
+  UseManyThreads();
+  auto run = [](int cores) {
+    HwContext hw(MachineConfig::Lx2MultiCore(cores));
+    UniformWorkloadParams p;
+    p.nx = p.ny = p.nz = 8;
+    p.ppc_x = p.ppc_y = p.ppc_z = 2;
+    p.tile = 4;
+    p.variant = DepositVariant::kFullOpt;
+    auto sim = MakeUniformSimulation(hw, p);
+    sim->Run(3);
+    return hw.ledger().counters();
+  };
+  const LedgerCounters serial = run(1);
+  const LedgerCounters parallel = run(4);
+  EXPECT_EQ(parallel.scalar_ops, serial.scalar_ops);
+  EXPECT_EQ(parallel.scalar_mem, serial.scalar_mem);
+  EXPECT_EQ(parallel.vpu_ops, serial.vpu_ops);
+  EXPECT_EQ(parallel.vpu_mem, serial.vpu_mem);
+  EXPECT_EQ(parallel.gathers, serial.gathers);
+  EXPECT_EQ(parallel.scatters, serial.scatters);
+  EXPECT_EQ(parallel.mopas, serial.mopas);
+  EXPECT_EQ(parallel.atomics, serial.atomics);
+  EXPECT_GT(parallel.mopas, 0u);
+}
+
+// ---- Bit-identical physics across core counts ------------------------------
+
+class ThreadCounts : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThreadCounts, UniformPlasmaBitIdentical) {
+  UseManyThreads();
+  UniformWorkloadParams p;
+  p.nx = p.ny = p.nz = 8;
+  p.ppc_x = p.ppc_y = p.ppc_z = 2;
+  p.tile = 4;
+  p.variant = DepositVariant::kFullOpt;
+
+  HwContext serial_hw;
+  auto serial = MakeUniformSimulation(serial_hw, p);
+  serial->Run(5);
+
+  HwContext par_hw(MachineConfig::Lx2MultiCore(GetParam()));
+  auto parallel = MakeUniformSimulation(par_hw, p);
+  parallel->Run(5);
+
+  ExpectSimsBitIdentical(*serial, *parallel);
+}
+
+TEST_P(ThreadCounts, TwoStreamBitIdentical) {
+  UseManyThreads();
+  TwoStreamParams p;
+  p.variant = DepositVariant::kFullOpt;
+
+  HwContext serial_hw;
+  auto serial = MakeTwoStreamSimulation(serial_hw, p);
+  serial->Run(5);
+
+  HwContext par_hw(MachineConfig::Lx2MultiCore(GetParam()));
+  auto parallel = MakeTwoStreamSimulation(par_hw, p);
+  parallel->Run(5);
+
+  ExpectSimsBitIdentical(*serial, *parallel);
+}
+
+TEST_P(ThreadCounts, LwfaMovingWindowBitIdentical) {
+  UseManyThreads();
+  LwfaWorkloadParams p;
+  p.nx = p.ny = 8;
+  p.nz = 32;
+  p.tile = 4;
+  p.tile_z = 8;
+  p.variant = DepositVariant::kFullOpt;
+  p.with_ions = true;
+
+  HwContext serial_hw;
+  auto serial = MakeLwfaSimulation(serial_hw, p);
+  serial->Run(8);
+
+  HwContext par_hw(MachineConfig::Lx2MultiCore(GetParam()));
+  auto parallel = MakeLwfaSimulation(par_hw, p);
+  parallel->Run(8);
+
+  ExpectSimsBitIdentical(*serial, *parallel);
+}
+
+// The unsorted baseline scatters straight into shared J and stays on the
+// serial path — it must still produce identical physics at num_cores > 1.
+TEST_P(ThreadCounts, BaselineVariantBitIdentical) {
+  UseManyThreads();
+  UniformWorkloadParams p;
+  p.nx = p.ny = p.nz = 8;
+  p.ppc_x = p.ppc_y = p.ppc_z = 2;
+  p.tile = 4;
+  p.variant = DepositVariant::kBaseline;
+
+  HwContext serial_hw;
+  auto serial = MakeUniformSimulation(serial_hw, p);
+  serial->Run(4);
+
+  HwContext par_hw(MachineConfig::Lx2MultiCore(GetParam()));
+  auto parallel = MakeUniformSimulation(par_hw, p);
+  parallel->Run(4);
+
+  ExpectSimsBitIdentical(*serial, *parallel);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cores, ThreadCounts, ::testing::Values(1, 2, 4));
+
+}  // namespace
+}  // namespace mpic

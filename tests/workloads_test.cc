@@ -31,6 +31,46 @@ TEST(UniformConfig, MirrorsPaperParameters) {
   EXPECT_LT(omega_p * dt, 0.5);
 }
 
+TEST(UniformConfig, WeightedPerSpeciesPpc) {
+  // Few heavy macro-ions, many light macro-electrons: per-species PPC at the
+  // same physical density must scale macro-particle weight inversely.
+  UniformWorkloadParams p;
+  p.nx = p.ny = p.nz = 8;
+  p.tile = 4;
+  p.ppc_x = p.ppc_y = p.ppc_z = 2;
+  UniformSpeciesParams electrons;
+  UniformSpeciesParams ions;
+  ions.species = Species::Proton();
+  ions.ppc_x = ions.ppc_y = ions.ppc_z = 1;
+  p.species_params = {electrons, ions};
+
+  HwContext hw;
+  auto sim = MakeUniformSimulation(hw, p);
+  ASSERT_EQ(sim->num_species(), 2);
+  const int64_t cells = 8 * 8 * 8;
+  EXPECT_EQ(sim->block(0).tiles.TotalLive(), cells * 8);  // PPC 8
+  EXPECT_EQ(sim->block(1).tiles.TotalLive(), cells * 1);  // PPC 1
+
+  double electron_w = 0.0, ion_w = 0.0;
+  for (int t = 0; t < sim->block(0).tiles.num_tiles() && electron_w == 0.0; ++t) {
+    const ParticleTile& tile = sim->block(0).tiles.tile(t);
+    if (tile.num_live() > 0) electron_w = tile.soa().w[0];
+  }
+  for (int t = 0; t < sim->block(1).tiles.num_tiles() && ion_w == 0.0; ++t) {
+    const ParticleTile& tile = sim->block(1).tiles.tile(t);
+    if (tile.num_live() > 0) ion_w = tile.soa().w[0];
+  }
+  ASSERT_GT(electron_w, 0.0);
+  // 8x fewer ions carrying the same density: 8x the weight.
+  EXPECT_DOUBLE_EQ(ion_w, 8.0 * electron_w);
+
+  // Neutral plasma end-to-end: the run stays finite.
+  sim->Run(2);
+  for (double v : sim->fields().ez.vec()) {
+    ASSERT_TRUE(std::isfinite(v));
+  }
+}
+
 TEST(LwfaConfig, LaserAndWindowConfigured) {
   LwfaWorkloadParams p;
   const SimulationConfig cfg = MakeLwfaConfig(p);
