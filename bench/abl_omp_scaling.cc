@@ -28,23 +28,6 @@
 namespace mpic {
 namespace {
 
-uint64_t Fnv1a(const void* data, size_t bytes, uint64_t h) {
-  const auto* p = static_cast<const unsigned char*>(data);
-  for (size_t i = 0; i < bytes; ++i) {
-    h ^= p[i];
-    h *= 1099511628211ull;
-  }
-  return h;
-}
-
-uint64_t FieldsDigest(const FieldSet& f) {
-  uint64_t h = 1469598103934665603ull;
-  for (const FieldArray* a : {&f.ex, &f.ey, &f.ez, &f.jx, &f.jy, &f.jz}) {
-    h = Fnv1a(a->vec().data(), a->vec().size() * sizeof(double), h);
-  }
-  return h;
-}
-
 struct ScalingPoint {
   double host_wall = 0.0;
   double model_wall = 0.0;

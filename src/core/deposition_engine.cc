@@ -12,9 +12,23 @@
 
 namespace mpic {
 
+void TouchPositionStreams(HwContext& hw, const ParticleSoA& soa, int32_t n_slots) {
+  for (int32_t base = 0; base < n_slots; base += kVpuLanes) {
+    const size_t batch = static_cast<size_t>(
+        std::min<int32_t>(kVpuLanes, n_slots - base));
+    hw.TouchRead(soa.x.data() + base, sizeof(double) * batch);
+    hw.TouchRead(soa.y.data() + base, sizeof(double) * batch);
+    hw.TouchRead(soa.z.data() + base, sizeof(double) * batch);
+  }
+}
+
+uint64_t DepositionEngine::TileKey(int t) const {
+  return MemRegionKey(mem_owner_id_, t, 0);
+}
+
 DepositionEngine::DepositionEngine(HwContext& hw, const EngineConfig& config)
     : hw_(hw), config_(config), traits_(TraitsOf(config.variant)),
-      policy_(config.policy) {
+      mem_owner_id_(NextMemOwnerId()), policy_(config.policy) {
   if (traits_.uses_rhocell || traits_.uses_mpu) {
     MPIC_CHECK_MSG(config_.order == 1 || config_.order == 3,
                    "rhocell/MPU kernels support CIC (1) and QSP (3) only");
@@ -30,6 +44,10 @@ void DepositionEngine::Initialize(TileSet& tiles, FieldSet& fields) {
       rhocells_[static_cast<size_t>(t)].Resize(std::max(1, tile.num_cells()),
                                                config_.order);
     }
+  }
+  reduce_coloring_.clear();
+  if (traits_.uses_rhocell) {
+    reduce_coloring_ = tiles.HaloDisjointColoring(RhocellHaloNodes(config_.order));
   }
   // The paper's baselines never sort; only sorting variants pay for (and
   // benefit from) the initial GlobalSortParticlesByCell.
@@ -71,7 +89,8 @@ void DepositionEngine::NotifyParticleAdded(TileSet& tiles, int tile_index,
     const int64_t words = tile.gpma().Rebuild();
     auto retry = tile.gpma().Insert(pid, cell);
     MPIC_CHECK(retry.ok);
-    hw_.ChargeCycles(static_cast<double>(words) * 0.25);
+    hw_.ChargeCycles(static_cast<double>(words) * 0.25 +
+                     static_cast<double>(retry.words_touched));
     tile.was_rebuilt_this_step = true;
     ++rank_stats_.local_rebuilds;
   }
@@ -92,155 +111,160 @@ void DepositionEngine::RemoveParticle(HwContext& hw, TileSet& tiles, int tile_in
   tile.RemoveParticle(pid);
 }
 
-void DepositionEngine::IncrementalSortPhase(TileSet& tiles, EngineStepStats* stats) {
-  const GridGeometry& geom = tiles.geom();
-  const int num_tiles = tiles.num_tiles();
-  tile_movers_.resize(static_cast<size_t>(num_tiles));
+// ---- Pass-1 scan -----------------------------------------------------------
 
-  // Per-tile scan: every mutation (GPMA remove/insert/rebuild, slot release)
-  // touches only the tile's own structures, so tiles run on separate modeled
-  // cores; leavers are staged per source tile for ordered delivery below.
-  struct ScanPartial {
-    int64_t crossed = 0;
-    int64_t moved = 0;
-    int64_t rebuilds = 0;
-  };
-  std::vector<PaddedSlot<ScanPartial>> partials(
-      static_cast<size_t>(hw_.num_cores()));
-  ParallelForTiles(hw_, num_tiles, [&](HwContext& hw, int worker, int t) {
-    PhaseScope phase(hw.ledger(), Phase::kSort);
-    ScanPartial& part = partials[static_cast<size_t>(worker)].value;
-    ParticleTile& tile = tiles.tile(t);
-    std::vector<Mover>& movers = tile_movers_[static_cast<size_t>(t)];
-    movers.clear();
-    tile.was_rebuilt_this_step = false;
-    Gpma& gpma = tile.gpma();
-    const int32_t n_slots = tile.num_slots();
-    // VPU scan: recompute the cell of each live particle and compare with its
-    // GPMA bin (Algorithm 1, Phase 1). ~3 vector ops per 8 slots plus the
-    // position loads (hot from the preceding push).
-    hw.ChargeCycles(static_cast<double>((n_slots + kVpuLanes - 1) / kVpuLanes) *
-                    3.0 / hw.cfg().vpu_pipes);
+void DepositionEngine::BeginStep(TileSet& tiles) {
+  tile_movers_.resize(static_cast<size_t>(tiles.num_tiles()));
+}
 
-    struct PendingMove {
-      int32_t pid;
-      int32_t new_cell;
-    };
-    std::vector<PendingMove> pending;
-    for (int32_t pid = 0; pid < n_slots; ++pid) {
-      if (!tile.IsLive(pid)) {
-        continue;
-      }
-      const auto i = static_cast<size_t>(pid);
-      const ParticleSoA& soa = tile.soa();
-      const int ix = geom.CellX(soa.x[i]);
-      const int iy = geom.CellY(soa.y[i]);
-      const int iz = geom.CellZ(soa.z[i]);
-      if (!tile.ContainsCell(ix, iy, iz)) {
-        // Leaves the tile: remove here, queue for its destination tile.
-        auto res = gpma.Remove(pid);
-        hw.ChargeCycles(static_cast<double>(res.words_touched));
-        movers.push_back({tile.soa().Get(pid), tiles.TileOfCell(ix, iy, iz)});
-        tile.RemoveParticle(pid);
-        ++part.crossed;
-        continue;
-      }
-      const int cell = tile.LocalCellId(ix, iy, iz);
-      if (gpma.CellOf(pid) != cell) {
-        pending.push_back({pid, static_cast<int32_t>(cell)});
-      }
-    }
-    // ApplyPendingMoves: deletions first, then insertions (gaps freed by the
-    // leavers become available to the arrivers).
-    for (const PendingMove& m : pending) {
-      auto res = gpma.Remove(m.pid);
-      hw.ChargeCycles(static_cast<double>(res.words_touched));
-    }
-    for (const PendingMove& m : pending) {
-      auto res = gpma.Insert(m.pid, m.new_cell);
-      hw.ChargeCycles(static_cast<double>(res.words_touched));
-      if (!res.ok) {
-        const int64_t words = gpma.Rebuild();
-        hw.ChargeCycles(static_cast<double>(words) * 0.25);
-        tile.was_rebuilt_this_step = true;
-        ++part.rebuilds;
-        auto retry = gpma.Insert(m.pid, m.new_cell);
-        MPIC_CHECK(retry.ok);
-        hw.ChargeCycles(static_cast<double>(retry.words_touched));
-      }
-      ++part.moved;
-    }
-  });
-  for (const PaddedSlot<ScanPartial>& slot : partials) {
-    stats->crossed_tiles += slot.value.crossed;
-    stats->moved_particles += slot.value.moved;
-    stats->gpma_rebuilds += slot.value.rebuilds;
-    rank_stats_.local_rebuilds += slot.value.rebuilds;
-  }
-
-  // Deliver cross-tile movers serially, in source-tile order: destination slot
-  // assignment (AddParticle recycles free slots in stack order) must not depend
-  // on the parallel schedule for results to stay bit-identical to serial.
-  PhaseScope phase(hw_.ledger(), Phase::kSort);
-  for (std::vector<Mover>& movers : tile_movers_) {
-    for (const Mover& m : movers) {
-      ParticleTile& dest = tiles.tile(m.dest_tile);
-      const int32_t pid = dest.AddParticle(m.p);
-      const int cell = dest.CellOfParticle(geom, pid);
-      auto res = dest.gpma().Insert(pid, cell);
-      hw_.ChargeCycles(static_cast<double>(res.words_touched) + 4.0);
-      if (!res.ok) {
-        const int64_t words = dest.gpma().Rebuild();
-        hw_.ChargeCycles(static_cast<double>(words) * 0.25);
-        dest.was_rebuilt_this_step = true;
-        ++rank_stats_.local_rebuilds;
-        ++stats->gpma_rebuilds;
-        auto retry = dest.gpma().Insert(pid, cell);
-        MPIC_CHECK(retry.ok);
-        hw_.ChargeCycles(static_cast<double>(retry.words_touched));
-      }
-    }
-    movers.clear();
+void DepositionEngine::ScanTile(HwContext& hw, TileSet& tiles, int t,
+                                TileScanPartial* partial) {
+  if (traits_.sort_mode == SortMode::kIncremental) {
+    ScanTileIncremental(hw, tiles, t, partial);
+  } else {
+    // Unsorted variants still need particles in their owning tiles (WarpX's
+    // Redistribute); kGlobalEachStep re-establishes ownership before its full
+    // sort. Charged outside the deposition kernel phases, mirroring the
+    // paper's accounting where the baseline has no "Sort" column.
+    ScanTileRedistribute(hw, tiles, t, partial);
   }
 }
 
-void DepositionEngine::RedistributeOnly(TileSet& tiles, EngineStepStats* stats) {
-  // Unsorted variants still need particles in their owning tiles (WarpX's
-  // Redistribute). Charged outside the deposition kernel phases, mirroring the
-  // paper's accounting where the baseline has no "Sort" column.
+void DepositionEngine::ScanTileIncremental(HwContext& hw, TileSet& tiles, int t,
+                                           TileScanPartial* partial) {
   const GridGeometry& geom = tiles.geom();
-  const int num_tiles = tiles.num_tiles();
-  tile_movers_.resize(static_cast<size_t>(num_tiles));
-  std::vector<PaddedSlot<int64_t>> crossed(static_cast<size_t>(hw_.num_cores()));
-  ParallelForTiles(hw_, num_tiles, [&](HwContext& hw, int worker, int t) {
-    PhaseScope phase(hw.ledger(), Phase::kOther);
-    ParticleTile& tile = tiles.tile(t);
-    std::vector<Mover>& movers = tile_movers_[static_cast<size_t>(t)];
-    movers.clear();
-    const int32_t n_slots = tile.num_slots();
-    hw.ChargeCycles(static_cast<double>((n_slots + kVpuLanes - 1) / kVpuLanes) *
-                    3.0 / hw.cfg().vpu_pipes);
-    for (int32_t pid = 0; pid < n_slots; ++pid) {
-      if (!tile.IsLive(pid)) {
-        continue;
-      }
-      const auto i = static_cast<size_t>(pid);
-      const ParticleSoA& soa = tile.soa();
-      const int ix = geom.CellX(soa.x[i]);
-      const int iy = geom.CellY(soa.y[i]);
-      const int iz = geom.CellZ(soa.z[i]);
-      if (!tile.ContainsCell(ix, iy, iz)) {
-        movers.push_back({tile.soa().Get(pid), tiles.TileOfCell(ix, iy, iz)});
-        tile.RemoveParticle(pid);
-        hw.ChargeCycles(8.0);
-        ++crossed[static_cast<size_t>(worker)].value;
-      }
+  PhaseScope phase(hw.ledger(), Phase::kSort);
+  ParticleTile& tile = tiles.tile(t);
+  std::vector<Mover>& movers = tile_movers_[static_cast<size_t>(t)];
+  movers.clear();
+  tile.was_rebuilt_this_step = false;
+  Gpma& gpma = tile.gpma();
+  const int32_t n_slots = tile.num_slots();
+  // VPU scan: recompute the cell of each live particle and compare with its
+  // GPMA bin (Algorithm 1, Phase 1). ~3 vector ops per 8 slots plus the
+  // position loads.
+  hw.ChargeCycles(static_cast<double>((n_slots + kVpuLanes - 1) / kVpuLanes) *
+                  3.0 / hw.cfg().vpu_pipes);
+  TouchPositionStreams(hw, tile.soa(), n_slots);
+
+  struct PendingMove {
+    int32_t pid;
+    int32_t new_cell;
+  };
+  std::vector<PendingMove> pending;
+  for (int32_t pid = 0; pid < n_slots; ++pid) {
+    if (!tile.IsLive(pid)) {
+      continue;
     }
-  });
-  for (const PaddedSlot<int64_t>& c : crossed) {
-    stats->crossed_tiles += c.value;
+    const auto i = static_cast<size_t>(pid);
+    const ParticleSoA& soa = tile.soa();
+    const int ix = geom.CellX(soa.x[i]);
+    const int iy = geom.CellY(soa.y[i]);
+    const int iz = geom.CellZ(soa.z[i]);
+    if (!tile.ContainsCell(ix, iy, iz)) {
+      // Leaves the tile: remove here, queue for its destination tile.
+      auto res = gpma.Remove(pid);
+      hw.ChargeCycles(static_cast<double>(res.words_touched));
+      movers.push_back({tile.soa().Get(pid), tiles.TileOfCell(ix, iy, iz)});
+      tile.RemoveParticle(pid);
+      ++partial->crossed;
+      continue;
+    }
+    const int cell = tile.LocalCellId(ix, iy, iz);
+    if (gpma.CellOf(pid) != cell) {
+      pending.push_back({pid, static_cast<int32_t>(cell)});
+    }
   }
-  // Serial delivery in source-tile order (see IncrementalSortPhase).
+  // ApplyPendingMoves: deletions first, then insertions (gaps freed by the
+  // leavers become available to the arrivers).
+  for (const PendingMove& m : pending) {
+    auto res = gpma.Remove(m.pid);
+    hw.ChargeCycles(static_cast<double>(res.words_touched));
+  }
+  for (const PendingMove& m : pending) {
+    auto res = gpma.Insert(m.pid, m.new_cell);
+    hw.ChargeCycles(static_cast<double>(res.words_touched));
+    if (!res.ok) {
+      const int64_t words = gpma.Rebuild();
+      hw.ChargeCycles(static_cast<double>(words) * 0.25);
+      tile.was_rebuilt_this_step = true;
+      ++partial->rebuilds;
+      auto retry = gpma.Insert(m.pid, m.new_cell);
+      MPIC_CHECK(retry.ok);
+      hw.ChargeCycles(static_cast<double>(retry.words_touched));
+    }
+    ++partial->moved;
+  }
+}
+
+void DepositionEngine::ScanTileRedistribute(HwContext& hw, TileSet& tiles, int t,
+                                            TileScanPartial* partial) {
+  const GridGeometry& geom = tiles.geom();
+  PhaseScope phase(hw.ledger(), Phase::kOther);
+  ParticleTile& tile = tiles.tile(t);
+  std::vector<Mover>& movers = tile_movers_[static_cast<size_t>(t)];
+  movers.clear();
+  const int32_t n_slots = tile.num_slots();
+  hw.ChargeCycles(static_cast<double>((n_slots + kVpuLanes - 1) / kVpuLanes) *
+                  3.0 / hw.cfg().vpu_pipes);
+  TouchPositionStreams(hw, tile.soa(), n_slots);
+  for (int32_t pid = 0; pid < n_slots; ++pid) {
+    if (!tile.IsLive(pid)) {
+      continue;
+    }
+    const auto i = static_cast<size_t>(pid);
+    const ParticleSoA& soa = tile.soa();
+    const int ix = geom.CellX(soa.x[i]);
+    const int iy = geom.CellY(soa.y[i]);
+    const int iz = geom.CellZ(soa.z[i]);
+    if (!tile.ContainsCell(ix, iy, iz)) {
+      movers.push_back({tile.soa().Get(pid), tiles.TileOfCell(ix, iy, iz)});
+      tile.RemoveParticle(pid);
+      hw.ChargeCycles(8.0);
+      ++partial->crossed;
+    }
+  }
+}
+
+void DepositionEngine::AccumulateScan(const TileScanPartial& partial,
+                                      EngineStepStats* stats) {
+  stats->crossed_tiles += partial.crossed;
+  stats->moved_particles += partial.moved;
+  stats->gpma_rebuilds += partial.rebuilds;
+  rank_stats_.local_rebuilds += partial.rebuilds;
+}
+
+void DepositionEngine::DeliverMovers(TileSet& tiles, EngineStepStats* stats) {
+  const GridGeometry& geom = tiles.geom();
+  if (traits_.sort_mode == SortMode::kIncremental) {
+    // Deliver cross-tile movers serially, in source-tile order: destination
+    // slot assignment (AddParticle recycles free slots in stack order) must
+    // not depend on the parallel schedule for results to stay bit-identical
+    // to serial.
+    PhaseScope phase(hw_.ledger(), Phase::kSort);
+    for (std::vector<Mover>& movers : tile_movers_) {
+      for (const Mover& m : movers) {
+        ParticleTile& dest = tiles.tile(m.dest_tile);
+        const int32_t pid = dest.AddParticle(m.p);
+        const int cell = dest.CellOfParticle(geom, pid);
+        auto res = dest.gpma().Insert(pid, cell);
+        hw_.ChargeCycles(static_cast<double>(res.words_touched) + 4.0);
+        if (!res.ok) {
+          const int64_t words = dest.gpma().Rebuild();
+          hw_.ChargeCycles(static_cast<double>(words) * 0.25);
+          dest.was_rebuilt_this_step = true;
+          ++rank_stats_.local_rebuilds;
+          ++stats->gpma_rebuilds;
+          auto retry = dest.gpma().Insert(pid, cell);
+          MPIC_CHECK(retry.ok);
+          hw_.ChargeCycles(static_cast<double>(retry.words_touched));
+        }
+      }
+      movers.clear();
+    }
+    return;
+  }
+  // Unsorted delivery: plain slot insertion, same ordering contract.
   PhaseScope phase(hw_.ledger(), Phase::kOther);
   for (std::vector<Mover>& movers : tile_movers_) {
     for (const Mover& m : movers) {
@@ -250,6 +274,150 @@ void DepositionEngine::RedistributeOnly(TileSet& tiles, EngineStepStats* stats) 
     movers.clear();
   }
 }
+
+void DepositionEngine::PostScanGlobalSort(TileSet& tiles, FieldSet& fields,
+                                          EngineStepStats* stats) {
+  if (traits_.sort_mode != SortMode::kGlobalEachStep) {
+    return;
+  }
+  PhaseScope phase(hw_.ledger(), Phase::kSort);
+  int64_t moved = 0;
+  for (int t = 0; t < tiles.num_tiles(); ++t) {
+    moved += tiles.tile(t).GlobalSortTile(tiles.geom(), config_.gpma);
+  }
+  hw_.ChargeBulk(0.0, static_cast<double>(moved) * (7.0 * 8.0 * 2.0 + 4.0 * 2.0));
+  hw_.ChargeCycles(static_cast<double>(moved) * 8.0);
+  RegisterRegions(tiles, fields);
+  stats->global_sorted = true;
+}
+
+// ---- Pass-2 staging + kernel + reduction -----------------------------------
+
+void DepositionEngine::RefreshTileRegistrations(TileSet& tiles) {
+  for (int t = 0; t < tiles.num_tiles(); ++t) {
+    ParticleTile& tile = tiles.tile(t);
+    if (tile.num_live() == 0) {
+      continue;
+    }
+    DepositScratch& scratch = scratch_[static_cast<size_t>(t)];
+    // Size the staging ahead of the region so the kernels' writes land in
+    // registered (deterministically mapped) memory from the first touch.
+    if (traits_.staging != StagingKind::kNone) {
+      scratch.Resize(tile.soa().size(), config_.order);
+    }
+    RegisterStagingRegions(hw_, TileKey(t), tile, scratch);
+  }
+}
+
+void DepositionEngine::StageAndDepositTile(HwContext& hw, TileSet& tiles,
+                                           FieldSet& fields, double charge, int t) {
+  ParticleTile& tile = tiles.tile(t);
+  if (tile.num_live() == 0) {
+    return;
+  }
+  DepositParams params;
+  params.geom = tiles.geom();
+  params.charge = charge;
+  DepositScratch& scratch = scratch_[static_cast<size_t>(t)];
+  RhocellBuffer& rhocell = rhocells_[static_cast<size_t>(t)];
+  switch (config_.order) {
+    case 1:
+      StageAndDepositTileImpl<1>(hw, TileKey(t), tile, fields, params, scratch,
+                                 rhocell);
+      break;
+    case 2:
+      StageAndDepositTileImpl<2>(hw, TileKey(t), tile, fields, params, scratch,
+                                 rhocell);
+      break;
+    case 3:
+      StageAndDepositTileImpl<3>(hw, TileKey(t), tile, fields, params, scratch,
+                                 rhocell);
+      break;
+    default:
+      MPIC_CHECK_MSG(false, "unsupported shape order");
+  }
+}
+
+template <int Order>
+void DepositionEngine::StageAndDepositTileImpl(HwContext& hw, uint64_t tile_key,
+                                               ParticleTile& tile, FieldSet& fields,
+                                               const DepositParams& params,
+                                               DepositScratch& scratch,
+                                               RhocellBuffer& rhocell) {
+  // Size the staging and bring the model's address space current BEFORE the
+  // kernels touch anything: scratch/SoA vectors may have (re)allocated since
+  // the last registration (cheap no-op otherwise), and the staging writes
+  // must land in registered memory to keep the modeled cache deterministic.
+  if (traits_.staging != StagingKind::kNone) {
+    scratch.Resize(tile.soa().size(), Order);
+  }
+  RegisterStagingRegions(hw, tile_key, tile, scratch);
+
+  switch (traits_.staging) {
+    case StagingKind::kScalarLoop:
+      StageTileScalar<Order>(hw, tile, params, scratch);
+      break;
+    case StagingKind::kVpu:
+      StageTileVpu<Order>(hw, tile, params, scratch);
+      break;
+    case StagingKind::kNone:
+      break;
+  }
+
+  switch (traits_.kernel) {
+    case KernelKind::kScalarReference:
+      DepositScalarTile<Order>(hw, tile, params, fields);
+      break;
+    case KernelKind::kBaselineScatter:
+      DepositBaselineTile<Order>(hw, tile, params, scratch, fields,
+                                 traits_.sorted_iteration);
+      break;
+    case KernelKind::kRhocellAutoVec:
+      if constexpr (Order == 1 || Order == 3) {
+        DepositRhocellAutoVec<Order>(hw, tile, params, scratch, rhocell,
+                                     traits_.sorted_iteration);
+      }
+      break;
+    case KernelKind::kRhocellVpu:
+      if constexpr (Order == 1 || Order == 3) {
+        DepositRhocellVpu<Order>(hw, tile, params, scratch, rhocell,
+                                 traits_.sorted_iteration);
+      }
+      break;
+    case KernelKind::kMpu:
+      if constexpr (Order == 1 || Order == 3) {
+        DepositMpu<Order>(hw, tile, params, scratch, rhocell,
+                          traits_.sorted_iteration ? MpuScheduling::kCellResident
+                                                   : MpuScheduling::kPairwise,
+                          config_.sparse_fallback_ppc);
+      }
+      break;
+  }
+}
+
+void DepositionEngine::ReduceTile(HwContext& hw, TileSet& tiles, FieldSet& fields,
+                                  int t) {
+  if (!traits_.uses_rhocell) {
+    return;
+  }
+  ParticleTile& tile = tiles.tile(t);
+  if (tile.num_live() == 0) {
+    return;
+  }
+  RhocellBuffer& rhocell = rhocells_[static_cast<size_t>(t)];
+  switch (config_.order) {
+    case 1:
+      ReduceRhocellToGrid<1>(hw, tile, rhocell, fields);
+      break;
+    case 3:
+      ReduceRhocellToGrid<3>(hw, tile, rhocell, fields);
+      break;
+    default:
+      MPIC_CHECK_MSG(false, "rhocell reduction requires order 1 or 3");
+  }
+}
+
+// ---- Step finalization -----------------------------------------------------
 
 void DepositionEngine::RegisterRegions(TileSet& tiles, FieldSet& fields) {
   auto reg_field = [this](const FieldArray& f) {
@@ -265,7 +433,8 @@ void DepositionEngine::RegisterRegions(TileSet& tiles, FieldSet& fields) {
   reg_field(fields.jy);
   reg_field(fields.jz);
   for (int t = 0; t < tiles.num_tiles(); ++t) {
-    RegisterStagingRegions(hw_, tiles.tile(t), scratch_[static_cast<size_t>(t)]);
+    RegisterStagingRegions(hw_, TileKey(t), tiles.tile(t),
+                           scratch_[static_cast<size_t>(t)]);
     RhocellBuffer& rc = rhocells_[static_cast<size_t>(t)];
     if (rc.num_cells() > 0) {
       hw_.RegisterRegion(rc.jx().data(), rc.jx().size() * sizeof(double));
@@ -294,116 +463,19 @@ void DepositionEngine::UpdateRankStats(TileSet& tiles, const EngineStepStats& st
   }
 }
 
-template <int Order>
-void DepositionEngine::StepImpl(TileSet& tiles, FieldSet& fields, double charge,
-                                EngineStepStats* stats) {
-  DepositParams params;
-  params.geom = tiles.geom();
-  params.charge = charge;
+void DepositionEngine::FinishStep(TileSet& tiles, FieldSet& fields,
+                                  double step_cycles, EngineStepStats* stats) {
+  UpdateRankStats(tiles, *stats, step_cycles, tiles.TotalLive());
 
-  auto stage_and_kernel = [&](HwContext& hw, ParticleTile& tile,
-                              DepositScratch& scratch, RhocellBuffer& rhocell) {
-    switch (traits_.staging) {
-      case StagingKind::kScalarLoop:
-        StageTileScalar<Order>(hw, tile, params, scratch);
-        break;
-      case StagingKind::kVpu:
-        StageTileVpu<Order>(hw, tile, params, scratch);
-        break;
-      case StagingKind::kNone:
-        break;
-    }
-    // Keep the model's address space current: scratch/SoA vectors may have
-    // (re)allocated since the last registration (cheap no-op otherwise).
-    RegisterStagingRegions(hw, tile, scratch);
-
-    switch (traits_.kernel) {
-      case KernelKind::kScalarReference:
-        DepositScalarTile<Order>(hw, tile, params, fields);
-        break;
-      case KernelKind::kBaselineScatter:
-        DepositBaselineTile<Order>(hw, tile, params, scratch, fields,
-                                   traits_.sorted_iteration);
-        break;
-      case KernelKind::kRhocellAutoVec:
-        if constexpr (Order == 1 || Order == 3) {
-          DepositRhocellAutoVec<Order>(hw, tile, params, scratch, rhocell,
-                                       traits_.sorted_iteration);
-        }
-        break;
-      case KernelKind::kRhocellVpu:
-        if constexpr (Order == 1 || Order == 3) {
-          DepositRhocellVpu<Order>(hw, tile, params, scratch, rhocell,
-                                   traits_.sorted_iteration);
-        }
-        break;
-      case KernelKind::kMpu:
-        if constexpr (Order == 1 || Order == 3) {
-          DepositMpu<Order>(hw, tile, params, scratch, rhocell,
-                            traits_.sorted_iteration
-                                ? MpuScheduling::kCellResident
-                                : MpuScheduling::kPairwise,
-                            config_.sparse_fallback_ppc);
-        }
-        break;
-    }
-  };
-
-  // Rhocell-backed kernels (rhocell VPU paths and the MPU) write only
-  // tile-private staging and rhocell blocks, so staging + kernel fan out over
-  // tiles; the O(num_cells) rhocell -> J reduction then runs as a serial pass
-  // because neighboring tiles' shape-function halos overlap on the shared J
-  // arrays. kBaselineScatter and kScalarReference scatter per particle straight
-  // into shared J and therefore stay entirely on the serial path.
-  if (ParallelEnabled(hw_) && traits_.uses_rhocell) {
-    // Serial pre-pass: (re)register the tiles' SoA/scratch with the MAIN
-    // context, whose map the workers snapshot. Worker-local registrations are
-    // dropped when the next region refreshes the snapshot, so arrays that
-    // (re)allocated since the last step (mover delivery, window injection)
-    // would otherwise fall back to nondeterministic identity mapping.
-    for (int t = 0; t < tiles.num_tiles(); ++t) {
-      if (tiles.tile(t).num_live() > 0) {
-        RegisterStagingRegions(hw_, tiles.tile(t),
-                               scratch_[static_cast<size_t>(t)]);
-      }
-    }
-    ParallelForTiles(hw_, tiles.num_tiles(), [&](HwContext& hw, int, int t) {
-      ParticleTile& tile = tiles.tile(t);
-      if (tile.num_live() == 0) {
-        return;
-      }
-      stage_and_kernel(hw, tile, scratch_[static_cast<size_t>(t)],
-                       rhocells_[static_cast<size_t>(t)]);
-    });
-    for (int t = 0; t < tiles.num_tiles(); ++t) {
-      ParticleTile& tile = tiles.tile(t);
-      if (tile.num_live() == 0) {
-        continue;
-      }
-      if constexpr (Order == 1 || Order == 3) {
-        ReduceRhocellToGrid<Order>(hw_, tile, rhocells_[static_cast<size_t>(t)],
-                                   fields);
-      }
-    }
-    (void)stats;
-    return;
-  }
-
-  for (int t = 0; t < tiles.num_tiles(); ++t) {
-    ParticleTile& tile = tiles.tile(t);
-    if (tile.num_live() == 0) {
-      continue;
-    }
-    DepositScratch& scratch = scratch_[static_cast<size_t>(t)];
-    RhocellBuffer& rhocell = rhocells_[static_cast<size_t>(t)];
-    stage_and_kernel(hw_, tile, scratch, rhocell);
-    if (traits_.uses_rhocell) {
-      if constexpr (Order == 1 || Order == 3) {
-        ReduceRhocellToGrid<Order>(hw_, tile, rhocell, fields);
-      }
+  // Global re-sorting policy (Sec. 4.4).
+  if (traits_.sort_mode == SortMode::kIncremental) {
+    stats->decision = policy_.Evaluate(rank_stats_);
+    if (ResortPolicy::ShouldSort(stats->decision)) {
+      GlobalSort(tiles);
+      RegisterRegions(tiles, fields);
+      stats->global_sorted = true;
     }
   }
-  (void)stats;
 }
 
 void DepositionEngine::FoldCurrentGuards(HwContext& hw, FieldSet& fields) {
@@ -416,49 +488,54 @@ void DepositionEngine::FoldCurrentGuards(HwContext& hw, FieldSet& fields) {
   hw.ChargeBulk(guard_nodes * 3.0, guard_nodes * 8.0 * 3.0 * 2.0);
 }
 
+// ---- Legacy sweep-per-stage orchestration ----------------------------------
+
 EngineStepStats DepositionEngine::DepositStep(TileSet& tiles, FieldSet& fields,
                                               double charge, bool fold_guards) {
   EngineStepStats stats;
-  const double cycles_before = hw_.ledger().TotalCycles();
+  // The resort policy's throughput window measures the deposition phases
+  // (Preproc+Compute+Sort+Reduce) — the same window the fused pipeline feeds
+  // FinishStep, so the two schedules' policy inputs differ only by the real
+  // modeled cost difference, not by accounting scope.
+  const double cycles_before = hw_.ledger().DepositionCycles();
 
-  // Phase 1: sorting / redistribution.
-  switch (traits_.sort_mode) {
-    case SortMode::kNone:
-      RedistributeOnly(tiles, &stats);
-      break;
-    case SortMode::kIncremental:
-      IncrementalSortPhase(tiles, &stats);
-      break;
-    case SortMode::kGlobalEachStep: {
-      // Tile ownership first, then the full per-tile counting sort.
-      RedistributeOnly(tiles, &stats);
-      PhaseScope phase(hw_.ledger(), Phase::kSort);
-      int64_t moved = 0;
-      for (int t = 0; t < tiles.num_tiles(); ++t) {
-        moved += tiles.tile(t).GlobalSortTile(tiles.geom(), config_.gpma);
-      }
-      hw_.ChargeBulk(0.0,
-                     static_cast<double>(moved) * (7.0 * 8.0 * 2.0 + 4.0 * 2.0));
-      hw_.ChargeCycles(static_cast<double>(moved) * 8.0);
-      RegisterRegions(tiles, fields);
-      stats.global_sorted = true;
-      break;
+  // Sweep 1: per-tile scan (every mutation — GPMA remove/insert/rebuild, slot
+  // release — touches only the tile's own structures, so tiles run on
+  // separate modeled cores), then the serial ordered delivery barrier.
+  BeginStep(tiles);
+  std::vector<PaddedSlot<TileScanPartial>> partials(
+      static_cast<size_t>(hw_.num_cores()));
+  ParallelForTiles(hw_, tiles.num_tiles(), [&](HwContext& hw, int worker, int t) {
+    ScanTile(hw, tiles, t, &partials[static_cast<size_t>(worker)].value);
+  });
+  for (const PaddedSlot<TileScanPartial>& slot : partials) {
+    AccumulateScan(slot.value, &stats);
+  }
+  DeliverMovers(tiles, &stats);
+  PostScanGlobalSort(tiles, fields, &stats);
+
+  // Sweep 2: staging + kernel. Rhocell-backed kernels write only tile-private
+  // staging and rhocell blocks, so they fan out over tiles; kBaselineScatter
+  // and kScalarReference scatter per particle straight into shared J and
+  // therefore stay entirely on the serial path.
+  if (ParallelEnabled(hw_) && deposit_is_tile_parallel()) {
+    RefreshTileRegistrations(tiles);
+    ParallelForTiles(hw_, tiles.num_tiles(), [&](HwContext& hw, int, int t) {
+      StageAndDepositTile(hw, tiles, fields, charge, t);
+    });
+  } else {
+    for (int t = 0; t < tiles.num_tiles(); ++t) {
+      StageAndDepositTile(hw_, tiles, fields, charge, t);
     }
   }
 
-  // Phases 2-3: staging, kernel, reduction.
-  switch (config_.order) {
-    case 1:
-      StepImpl<1>(tiles, fields, charge, &stats);
-      break;
-    case 2:
-      StepImpl<2>(tiles, fields, charge, &stats);
-      break;
-    case 3:
-      StepImpl<3>(tiles, fields, charge, &stats);
-      break;
-    default:
-      MPIC_CHECK_MSG(false, "unsupported shape order");
+  // Sweep 3: rhocell -> J reduction, serial here but in the same color-major
+  // tile order as the parallel colored schedule, so legacy and fused paths
+  // accumulate shared halo nodes identically.
+  for (const std::vector<int>& color_class : reduce_coloring_) {
+    for (int t : color_class) {
+      ReduceTile(hw_, tiles, fields, t);
+    }
   }
 
   // Fold periodic guard contributions into the interior (single-species mode;
@@ -467,18 +544,8 @@ EngineStepStats DepositionEngine::DepositStep(TileSet& tiles, FieldSet& fields,
     FoldCurrentGuards(hw_, fields);
   }
 
-  const double step_cycles = hw_.ledger().TotalCycles() - cycles_before;
-  UpdateRankStats(tiles, stats, step_cycles, tiles.TotalLive());
-
-  // Global re-sorting policy (Sec. 4.4).
-  if (traits_.sort_mode == SortMode::kIncremental) {
-    stats.decision = policy_.Evaluate(rank_stats_);
-    if (ResortPolicy::ShouldSort(stats.decision)) {
-      GlobalSort(tiles);
-      RegisterRegions(tiles, fields);
-      stats.global_sorted = true;
-    }
-  }
+  FinishStep(tiles, fields, hw_.ledger().DepositionCycles() - cycles_before,
+             &stats);
   return stats;
 }
 

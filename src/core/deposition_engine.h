@@ -1,15 +1,27 @@
-// DepositionEngine: the MatrixPIC framework proper (paper Algorithm 1).
+// DepositionEngine: the MatrixPIC framework proper (paper Algorithm 1),
+// exposed as composable per-tile pipeline stages.
 //
-// Per timestep and tile it runs
-//   Phase 1 — incremental sort preparation: detect particles whose cell
-//     changed (including tile leavers), apply the pending moves to the GPMA
-//     (O(1) amortized), rebuild a tile's GPMA when insertion pressure demands;
-//   Phase 2 — staging + the configured deposition kernel;
-//   Phase 3 — rhocell reduction onto the global J arrays;
-// and afterwards evaluates the adaptive global re-sorting policy (Sec. 4.4),
+// Per timestep a caller (core/step_pipeline.h) drives, per tile,
+//   ScanTile            — incremental sort preparation: detect particles whose
+//                         cell changed (including tile leavers), apply pending
+//                         moves to the GPMA (O(1) amortized), rebuild a tile's
+//                         GPMA when insertion pressure demands;
+//   [barrier] DeliverMovers / PostScanGlobalSort — serial, order-preserving
+//                         cross-tile delivery (and, for the global-sort-each-
+//                         step variant, the per-tile counting sort);
+//   StageAndDepositTile — staging + the configured deposition kernel;
+//   ReduceTile          — rhocell reduction onto the global J arrays, run
+//                         color class by color class (reduce_coloring());
+// and FinishStep evaluates the adaptive global re-sorting policy (Sec. 4.4),
 // performing GlobalSortParticlesByCell when a trigger fires.
 //
-// Every cost is charged to the shared HwContext under the paper's phases, so a
+// DepositStep composes the same stages into the legacy sweep-per-stage
+// orchestration (one pass over all tiles per stage); the fused pipeline
+// interleaves them tile-by-tile instead. Both orders are bit-identical: every
+// stage touches only tile-private state until the serial barriers, and the
+// reduction visits color classes in the same order either way.
+//
+// Every cost is charged to the active HwContext under the paper's phases, so a
 // bench can read Total/Preproc/Compute/Sort/Reduce straight off the ledger.
 
 #ifndef MPIC_SRC_CORE_DEPOSITION_ENGINE_H_
@@ -47,21 +59,101 @@ struct EngineStepStats {
   SortDecision decision = SortDecision::kNoSort;
 };
 
+// Models a stage's re-read of the x/y/z position streams: one batched vector
+// load per kVpuLanes slots. In the fused pipeline these lines are still
+// resident from the push that just wrote them; in a sweep-per-stage schedule
+// the intervening tiles have evicted them — the cache model sees exactly that
+// difference. Shared by the sort scan and the boundary stage so the two
+// stages' accounting can never drift apart.
+void TouchPositionStreams(HwContext& hw, const ParticleSoA& soa, int32_t n_slots);
+
+// Per-worker partial of the scan stage. Tile-parallel callers keep one slot
+// per worker and fold the totals into EngineStepStats with AccumulateScan
+// after the region (worker order is fixed, so the fold is deterministic).
+struct TileScanPartial {
+  int64_t crossed = 0;
+  int64_t moved = 0;
+  int64_t rebuilds = 0;
+};
+
 class DepositionEngine {
  public:
   DepositionEngine(HwContext& hw, const EngineConfig& config);
 
-  // One-time setup: global sort, GPMA build, region registration. Also used to
-  // re-initialize between bench configurations.
+  // One-time setup: global sort, GPMA build, region registration, reduction
+  // coloring. Also used to re-initialize between bench configurations.
   void Initialize(TileSet& tiles, FieldSet& fields);
 
-  // Runs the full deposition pipeline for one timestep for a species of the
-  // given charge [C]. J must be zeroed by the caller (Simulation does). With
-  // `fold_guards` (the single-species default) the periodic guard contributions
-  // are folded into the interior before returning; a multi-species caller
-  // passes false for every species and calls FoldCurrentGuards once after all
-  // of them have accumulated, because folding refills the guards with interior
-  // images and a second fold would double-count the earlier species.
+  // ---- Per-tile pipeline stages -------------------------------------------
+  //
+  // Protocol per timestep: BeginStep once; ScanTile for every tile (tiles may
+  // run concurrently — all mutations are tile-private); DeliverMovers then
+  // PostScanGlobalSort as serial barriers; StageAndDepositTile for every tile
+  // (concurrently only for rhocell-backed variants — see
+  // deposit_is_tile_parallel); ReduceTile for every tile, color class by
+  // color class; FinishStep once. J must be zeroed by the caller before the
+  // first StageAndDepositTile of a step (Simulation does).
+
+  // Sizes the per-tile mover staging for this step.
+  void BeginStep(TileSet& tiles);
+
+  // Pass-1 scan of one tile: recompute cells, apply within-tile GPMA moves,
+  // stage tile leavers for ordered delivery. For unsorted variants this is
+  // the plain redistribute scan. Charges `hw` (pass a worker context when
+  // tile-parallel).
+  void ScanTile(HwContext& hw, TileSet& tiles, int t, TileScanPartial* partial);
+
+  // Folds one worker's scan partial into the step stats and the rank-wide
+  // sort statistics. Call once per worker slot, in worker order.
+  void AccumulateScan(const TileScanPartial& partial, EngineStepStats* stats);
+
+  // Serial barrier: delivers cross-tile movers in source-tile order, so
+  // destination slot assignment never depends on the parallel schedule.
+  void DeliverMovers(TileSet& tiles, EngineStepStats* stats);
+
+  // Serial barrier for SortMode::kGlobalEachStep: the full per-tile counting
+  // sort (tile ownership is already current after DeliverMovers). No-op for
+  // the other sort modes.
+  void PostScanGlobalSort(TileSet& tiles, FieldSet& fields, EngineStepStats* stats);
+
+  // Serial pre-pass before a tile-parallel deposit region: (re)registers the
+  // tiles' SoA/scratch with the MAIN context, whose map the workers snapshot.
+  // Worker-local registrations are dropped when the next region refreshes the
+  // snapshot, so arrays that (re)allocated since the last step (mover
+  // delivery, window injection) would otherwise fall back to nondeterministic
+  // identity mapping.
+  void RefreshTileRegistrations(TileSet& tiles);
+
+  // Pass-2 stage of one tile: staging + the configured deposition kernel for
+  // a species of the given charge [C]. Rhocell-backed kernels write only
+  // tile-private staging and rhocell blocks and may run tile-parallel;
+  // kBaselineScatter/kScalarReference scatter straight into shared J and must
+  // be called serially (deposit_is_tile_parallel() distinguishes them).
+  void StageAndDepositTile(HwContext& hw, TileSet& tiles, FieldSet& fields,
+                           double charge, int t);
+
+  // Reduces one tile's rhocell blocks onto the global J arrays (no-op for
+  // non-rhocell variants). Tiles of one reduce_coloring() class have disjoint
+  // node footprints and may run concurrently; classes must run as sequential
+  // barriers, in class order, for the accumulation order onto shared nodes to
+  // be schedule-independent.
+  void ReduceTile(HwContext& hw, TileSet& tiles, FieldSet& fields, int t);
+
+  // Updates rank statistics from this step's deposition cycles and evaluates
+  // the global re-sorting policy, sorting now if a trigger fires.
+  void FinishStep(TileSet& tiles, FieldSet& fields, double step_cycles,
+                  EngineStepStats* stats);
+
+  // ---- Legacy sweep-per-stage orchestration --------------------------------
+
+  // Runs the full deposition pipeline for one timestep as separate all-tile
+  // sweeps (scan, delivery, staging+kernel, color-major reduce). J must be
+  // zeroed by the caller. With `fold_guards` (the single-species default) the
+  // periodic guard contributions are folded into the interior before
+  // returning; a multi-species caller passes false for every species and
+  // calls FoldCurrentGuards once after all of them have accumulated, because
+  // folding refills the guards with interior images and a second fold would
+  // double-count the earlier species.
   EngineStepStats DepositStep(TileSet& tiles, FieldSet& fields, double charge,
                               bool fold_guards = true);
 
@@ -83,29 +175,47 @@ class DepositionEngine {
   void GlobalSort(TileSet& tiles);
 
   const EngineConfig& config() const { return config_; }
+  const VariantTraits& traits() const { return traits_; }
+  // True when StageAndDepositTile may run tile-parallel (the kernel
+  // accumulates into tile-private rhocell blocks instead of shared J).
+  bool deposit_is_tile_parallel() const { return traits_.uses_rhocell; }
+  // Halo-disjoint color classes of the rhocell -> J reduction (empty for
+  // non-rhocell variants). Computed once at Initialize; the moving window
+  // keeps tile boxes fixed in index space, so the schedule never changes.
+  const std::vector<std::vector<int>>& reduce_coloring() const {
+    return reduce_coloring_;
+  }
   const RankSortStats& rank_stats() const { return rank_stats_; }
   int64_t total_global_sorts() const { return total_global_sorts_; }
 
  private:
   template <int Order>
-  void StepImpl(TileSet& tiles, FieldSet& fields, double charge,
-                EngineStepStats* stats);
-
-  void IncrementalSortPhase(TileSet& tiles, EngineStepStats* stats);
-  void RedistributeOnly(TileSet& tiles, EngineStepStats* stats);
+  void StageAndDepositTileImpl(HwContext& hw, uint64_t tile_key, ParticleTile& tile,
+                               FieldSet& fields, const DepositParams& params,
+                               DepositScratch& scratch, RhocellBuffer& rhocell);
+  void ScanTileIncremental(HwContext& hw, TileSet& tiles, int t,
+                           TileScanPartial* partial);
+  void ScanTileRedistribute(HwContext& hw, TileSet& tiles, int t,
+                            TileScanPartial* partial);
   void RegisterRegions(TileSet& tiles, FieldSet& fields);
   void UpdateRankStats(TileSet& tiles, const EngineStepStats& stats,
                        double step_cycles, int64_t live);
 
+  // Key base for this engine's keyed region registrations (SoA + staging of
+  // tile t use MemRegionKey(mem_owner_id_, t, 0..31)).
+  uint64_t TileKey(int t) const;
+
   HwContext& hw_;
   EngineConfig config_;
   VariantTraits traits_;
+  uint64_t mem_owner_id_;
   ResortPolicy policy_;
   RankSortStats rank_stats_;
   int64_t total_global_sorts_ = 0;
 
   std::vector<DepositScratch> scratch_;   // per tile
   std::vector<RhocellBuffer> rhocells_;   // per tile
+  std::vector<std::vector<int>> reduce_coloring_;
   struct Mover {
     Particle p;
     int dest_tile;

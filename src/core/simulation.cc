@@ -5,46 +5,15 @@
 
 #include "src/common/check.h"
 #include "src/hw/parallel_for.h"
-#include "src/push/boris_pusher.h"
-#include "src/push/field_gather.h"
 
 namespace mpic {
-
-int64_t SimStepStats::TotalLive() const {
-  int64_t sum = 0;
-  for (const SpeciesStepStats& s : species) {
-    sum += s.live;
-  }
-  return sum;
-}
-
-int64_t SimStepStats::TotalPushed() const {
-  int64_t sum = 0;
-  for (const SpeciesStepStats& s : species) {
-    sum += s.pushed;
-  }
-  return sum;
-}
-
-EngineStepStats SimStepStats::Aggregate() const {
-  EngineStepStats agg;
-  for (const SpeciesStepStats& s : species) {
-    agg.moved_particles += s.engine.moved_particles;
-    agg.crossed_tiles += s.engine.crossed_tiles;
-    agg.gpma_rebuilds += s.engine.gpma_rebuilds;
-    agg.global_sorted = agg.global_sorted || s.engine.global_sorted;
-    if (static_cast<int>(s.engine.decision) > static_cast<int>(agg.decision)) {
-      agg.decision = s.engine.decision;
-    }
-  }
-  return agg;
-}
 
 Simulation::Simulation(HwContext& hw, const SimulationConfig& config)
     : hw_(hw),
       config_(config),
       fields_(config.geom, config.guard_cells),
-      solver_(config.solver, config.geom) {
+      solver_(config.solver, config.geom),
+      pipeline_(hw, config.fuse_stages) {
   MPIC_CHECK(config.guard_cells >= 2);
   MPIC_CHECK_MSG(!config.species.empty(), "at least one species required");
   for (const SpeciesConfig& sc : config.species) {
@@ -93,6 +62,17 @@ void Simulation::Initialize() {
     b->gather_scratch.assign(static_cast<size_t>(b->tiles.num_tiles()),
                              GatherScratch{});
     b->engine.Initialize(b->tiles, fields_);
+    // Pre-size and register the gather staging so the very first step's
+    // fan-out already runs against a fully mapped address space.
+    for (int t = 0; t < b->tiles.num_tiles(); ++t) {
+      ParticleTile& tile = b->tiles.tile(t);
+      if (tile.num_live() == 0) {
+        continue;
+      }
+      GatherScratch& gs = b->gather_scratch[static_cast<size_t>(t)];
+      gs.Resize(tile.soa().size());
+      RegisterGatherRegions(hw_, MemRegionKey(b->mem_owner_id, t, 0), gs);
+    }
   }
   fields_.ex.FillGuardsPeriodic();
   fields_.ey.FillGuardsPeriodic();
@@ -111,65 +91,6 @@ int64_t Simulation::particles_pushed() const {
   return sum;
 }
 
-template <int Order>
-void Simulation::GatherAndPush(SpeciesBlock& block) {
-  PushParams pp;
-  pp.dt = dt_;
-  pp.charge = block.species.charge;
-  pp.mass = block.species.mass;
-  // Gather and push read the shared fields and write only the tile's SoA and
-  // scratch, so tiles fan out over the modeled cores.
-  std::vector<PaddedSlot<int64_t>> pushed(static_cast<size_t>(hw_.num_cores()));
-  ParallelForTiles(hw_, block.tiles.num_tiles(), [&](HwContext& hw, int worker,
-                                                     int t) {
-    ParticleTile& tile = block.tiles.tile(t);
-    if (tile.num_live() == 0) {
-      return;
-    }
-    GatherScratch& gs = block.gather_scratch[static_cast<size_t>(t)];
-    GatherFieldsTile<Order>(hw, tile, fields_, gs);
-    PushTileBoris(hw, tile, gs, pp);
-    pushed[static_cast<size_t>(worker)].value += tile.num_live();
-  });
-  block.pushed_last_step = 0;
-  for (const PaddedSlot<int64_t>& p : pushed) {
-    block.pushed_last_step += p.value;
-  }
-  block.particles_pushed += block.pushed_last_step;
-}
-
-void Simulation::ApplyParticleBoundaries() {
-  const bool drop_behind_window = config_.moving_window;
-  for (auto& b : blocks_) {
-    const GridGeometry& g = b->tiles.geom();
-    // Wrapping rewrites the tile's own positions and a window drop only touches
-    // the tile's own GPMA and slot stack, so tiles fan out over the cores.
-    ParallelForTiles(hw_, b->tiles.num_tiles(), [&](HwContext& hw, int, int t) {
-      PhaseScope phase(hw.ledger(), Phase::kOther);
-      ParticleTile& tile = b->tiles.tile(t);
-      ParticleSoA& soa = tile.soa();
-      const int32_t n = tile.num_slots();
-      hw.ChargeCycles(static_cast<double>((n + kVpuLanes - 1) / kVpuLanes) * 6.0 /
-                      hw.cfg().vpu_pipes);
-      for (int32_t pid = 0; pid < n; ++pid) {
-        if (!tile.IsLive(pid)) {
-          continue;
-        }
-        const auto i = static_cast<size_t>(pid);
-        soa.x[i] = g.WrapX(soa.x[i]);
-        soa.y[i] = g.WrapY(soa.y[i]);
-        if (drop_behind_window) {
-          if (soa.z[i] < g.z0 || soa.z[i] >= g.z0 + g.LengthZ()) {
-            b->engine.RemoveParticle(hw, b->tiles, t, pid);
-          }
-        } else {
-          soa.z[i] = g.WrapZ(soa.z[i]);
-        }
-      }
-    });
-  }
-}
-
 void Simulation::AdvanceWindow() {
   if (!window_.has_value()) {
     return;
@@ -182,20 +103,30 @@ void Simulation::AdvanceWindow() {
     config_.geom = g;
     for (auto& b : blocks_) {
       b->tiles.SetGeometry(g);
-      // Drop particles that fell behind the new window tail.
-      {
-        PhaseScope phase(hw_.ledger(), Phase::kOther);
-        for (int t = 0; t < b->tiles.num_tiles(); ++t) {
-          ParticleTile& tile = b->tiles.tile(t);
-          const int32_t n = tile.num_slots();
-          for (int32_t pid = 0; pid < n; ++pid) {
-            if (tile.IsLive(pid) &&
-                tile.soa().z[static_cast<size_t>(pid)] < g.z0) {
-              b->engine.RemoveParticle(b->tiles, t, pid);
-            }
+      // Drop particles that fell behind the new window tail. Every removal
+      // (GPMA remove, slot release) touches only the tile's own structures,
+      // so tiles fan out over the modeled cores, each worker charging its own
+      // ledger through the RemoveParticle(HwContext&, ...) overload.
+      ParallelForTiles(hw_, b->tiles.num_tiles(), [&](HwContext& hw, int, int t) {
+        PhaseScope phase(hw.ledger(), Phase::kOther);
+        ParticleTile& tile = b->tiles.tile(t);
+        const ParticleSoA& soa = tile.soa();
+        const int32_t n = tile.num_slots();
+        // One vector compare per batch of slots against the new tail, plus
+        // the z-stream reads.
+        hw.ChargeCycles(static_cast<double>((n + kVpuLanes - 1) / kVpuLanes) /
+                        hw.cfg().vpu_pipes);
+        for (int32_t base = 0; base < n; base += kVpuLanes) {
+          const size_t batch =
+              static_cast<size_t>(std::min<int32_t>(kVpuLanes, n - base));
+          hw.TouchRead(soa.z.data() + base, sizeof(double) * batch);
+        }
+        for (int32_t pid = 0; pid < n; ++pid) {
+          if (tile.IsLive(pid) && soa.z[static_cast<size_t>(pid)] < g.z0) {
+            b->engine.RemoveParticle(hw, b->tiles, t, pid);
           }
         }
-      }
+      });
       // Refill the freshly exposed head slab.
       if (b->window_injection.has_value()) {
         ProfiledPlasmaConfig inj = *b->window_injection;
@@ -213,50 +144,10 @@ void Simulation::AdvanceWindow() {
 }
 
 void Simulation::Step() {
-  // Zero current accumulators (once; species accumulate into the shared J).
-  {
-    PhaseScope phase(hw_.ledger(), Phase::kOther);
-    fields_.ZeroCurrents();
-    hw_.ChargeBulk(0.0, static_cast<double>(fields_.jx.size()) * 8.0 * 3.0);
-  }
-
-  // Each block runs at its own engine's shape order: a species with an
-  // EngineConfig override gathers, pushes, and deposits consistently with it.
-  for (auto& b : blocks_) {
-    switch (b->engine.config().order) {
-      case 1:
-        GatherAndPush<1>(*b);
-        break;
-      case 2:
-        GatherAndPush<2>(*b);
-        break;
-      case 3:
-        GatherAndPush<3>(*b);
-        break;
-      default:
-        MPIC_CHECK_MSG(false, "unsupported shape order");
-    }
-  }
-
-  ApplyParticleBoundaries();
-
-  // Deposit every species into the shared J. With one species the engine folds
-  // the periodic guards itself (the seed behavior); with several, folding must
-  // wait until all species have accumulated, because a fold refills the guards
-  // with interior images that a later fold would count again.
-  const bool shared_fold = blocks_.size() > 1;
-  last_sim_stats_.species.clear();
-  for (auto& b : blocks_) {
-    SpeciesStepStats ss;
-    ss.name = b->species.name;
-    ss.engine = b->engine.DepositStep(b->tiles, fields_, b->species.charge,
-                                      /*fold_guards=*/!shared_fold);
-    ss.pushed = b->pushed_last_step;
-    last_sim_stats_.species.push_back(std::move(ss));
-  }
-  if (shared_fold) {
-    DepositionEngine::FoldCurrentGuards(hw_, fields_);
-  }
+  StepPipelineInputs in;
+  in.dt = dt_;
+  in.drop_behind_window = config_.moving_window;
+  pipeline_.RunParticleStages(in, blocks_, fields_, &last_sim_stats_);
   last_step_stats_ = last_sim_stats_.Aggregate();
 
   if (laser_.has_value()) {

@@ -3,13 +3,19 @@
 // CIC/QSP shapes, periodic uniform-plasma or moving-window LWFA workloads.
 //
 // Particles are organized as a registry of SpeciesBlocks (electrons, ions,
-// counter-streaming beams, ...). Every particle stage loops over the blocks;
-// the FieldSet is shared, with each species' engine accumulating into the same
-// J arrays (zeroed once per step, guard-folded once after all species).
+// counter-streaming beams, ...). The per-step particle schedule lives in
+// core/step_pipeline.h: by default every species runs as two fused
+// cache-resident tile passes (gather -> push -> boundaries -> sort scan, then
+// staging -> kernel -> colored reduction) with the serial mover delivery as
+// the barrier between them; `SimulationConfig::fuse_stages = false` selects
+// the legacy sweep-per-stage schedule, which is bit-identical in physics and
+// differs only in modeled cost. The FieldSet is shared, with each species'
+// engine accumulating into the same J arrays (zeroed once per step,
+// guard-folded once after all species).
 //
 // Step order (standard leapfrog PIC cycle):
-//   zero J -> per species: gather -> push -> particle BCs
-//   -> per species: sort + deposit (engine) -> shared guard fold
+//   zero J -> per species: fused pass 1 -> delivery barrier -> fused pass 2
+//   -> shared guard fold
 //   -> laser drive -> moving window -> B half-step, E full-step, B half-step.
 //
 // All stages charge the shared HwContext, so total wall time and the per-phase
@@ -25,6 +31,7 @@
 
 #include "src/core/deposition_engine.h"
 #include "src/core/species_block.h"
+#include "src/core/step_pipeline.h"
 #include "src/grid/field_set.h"
 #include "src/hw/hw_context.h"
 #include "src/laser/laser.h"
@@ -48,30 +55,16 @@ struct SimulationConfig {
   SolverKind solver = SolverKind::kCkc;
   int guard_cells = 2;
 
+  // Per-step schedule: fused two-pass pipeline (default) or the legacy
+  // sweep-per-stage schedule. Physics is bit-identical either way; only the
+  // modeled cycle cost differs (see core/step_pipeline.h).
+  bool fuse_stages = true;
+
   // LWFA options.
   bool laser_enabled = false;
   LaserConfig laser;
   bool moving_window = false;
   double window_velocity = kSpeedOfLight;
-};
-
-// Per-species slice of one Step()'s accounting.
-struct SpeciesStepStats {
-  std::string name;
-  int64_t live = 0;    // live macro-particles after the step
-  int64_t pushed = 0;  // particles pushed this step
-  EngineStepStats engine;
-};
-
-// Aggregated per-step accounting across all species.
-struct SimStepStats {
-  std::vector<SpeciesStepStats> species;
-
-  int64_t TotalLive() const;
-  int64_t TotalPushed() const;
-  // Counter sums across species; global_sorted is true if any species sorted,
-  // and decision reports the most severe species decision this step.
-  EngineStepStats Aggregate() const;
 };
 
 class Simulation {
@@ -121,16 +114,14 @@ class Simulation {
   int64_t particles_pushed() const;
 
  private:
-  void ApplyParticleBoundaries();
   void AdvanceWindow();
-  template <int Order>
-  void GatherAndPush(SpeciesBlock& block);
 
   HwContext& hw_;
   SimulationConfig config_;
   FieldSet fields_;
   std::vector<std::unique_ptr<SpeciesBlock>> blocks_;
   MaxwellSolver solver_;
+  StepPipeline pipeline_;
   std::optional<LaserAntenna> laser_;
   std::optional<MovingWindow> window_;
   EngineStepStats last_step_stats_;

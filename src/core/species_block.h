@@ -49,6 +49,9 @@ struct SpeciesBlock {
   TileSet tiles;
   DepositionEngine engine;
   std::vector<GatherScratch> gather_scratch;  // per tile
+  // Key base for the gather scratch's keyed region registrations (tile t uses
+  // MemRegionKey(mem_owner_id, t, 0..5)).
+  uint64_t mem_owner_id = NextMemOwnerId();
 
   // Particle-push census: lifetime total and the most recent step's count.
   int64_t particles_pushed = 0;

@@ -1,0 +1,327 @@
+#include "src/core/step_pipeline.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/push/boris_pusher.h"
+#include "src/push/field_gather.h"
+
+namespace mpic {
+
+int64_t SimStepStats::TotalLive() const {
+  int64_t sum = 0;
+  for (const SpeciesStepStats& s : species) {
+    sum += s.live;
+  }
+  return sum;
+}
+
+int64_t SimStepStats::TotalPushed() const {
+  int64_t sum = 0;
+  for (const SpeciesStepStats& s : species) {
+    sum += s.pushed;
+  }
+  return sum;
+}
+
+EngineStepStats SimStepStats::Aggregate() const {
+  EngineStepStats agg;
+  for (const SpeciesStepStats& s : species) {
+    agg.moved_particles += s.engine.moved_particles;
+    agg.crossed_tiles += s.engine.crossed_tiles;
+    agg.gpma_rebuilds += s.engine.gpma_rebuilds;
+    agg.global_sorted = agg.global_sorted || s.engine.global_sorted;
+    if (static_cast<int>(s.engine.decision) > static_cast<int>(agg.decision)) {
+      agg.decision = s.engine.decision;
+    }
+  }
+  return agg;
+}
+
+// ---- Shared per-tile stages -------------------------------------------------
+
+void StepPipeline::ZeroCurrentsStage(FieldSet& fields) {
+  const double bytes = static_cast<double>(fields.jx.size()) * 8.0 * 3.0;
+  if (!fuse_stages_ || !ParallelEnabled(hw_)) {
+    // Legacy: one serial streaming-store block.
+    PhaseScope phase(hw_.ledger(), Phase::kOther);
+    fields.ZeroCurrents();
+    hw_.ChargeBulk(0.0, bytes);
+    return;
+  }
+  // Dedicated fan-out: each core zeroes a contiguous chunk of jx/jy/jz
+  // (disjoint writes), so the charge overlaps across cores like every other
+  // tile-parallel stage instead of serializing at the top of the step.
+  const int n = static_cast<int>(fields.jx.size());
+  const int chunks = hw_.num_cores();
+  ParallelForTiles(hw_, chunks, [&](HwContext& hw, int, int c) {
+    PhaseScope phase(hw.ledger(), Phase::kOther);
+    const TileRange r = WorkerTileRange(n, chunks, c);
+    for (FieldArray* f : {&fields.jx, &fields.jy, &fields.jz}) {
+      std::fill(f->vec().begin() + r.begin, f->vec().begin() + r.end, 0.0);
+    }
+    hw.ChargeBulk(0.0, static_cast<double>(r.end - r.begin) * 8.0 * 3.0);
+  });
+}
+
+void StepPipeline::PrepareTileRegions(SpeciesBlock& block) {
+  block.engine.RefreshTileRegistrations(block.tiles);
+  for (int t = 0; t < block.tiles.num_tiles(); ++t) {
+    ParticleTile& tile = block.tiles.tile(t);
+    if (tile.num_live() == 0) {
+      continue;
+    }
+    GatherScratch& gs = block.gather_scratch[static_cast<size_t>(t)];
+    gs.Resize(tile.soa().size());
+    RegisterGatherRegions(hw_, MemRegionKey(block.mem_owner_id, t, 0), gs);
+  }
+}
+
+void StepPipeline::BoundaryTile(HwContext& hw, SpeciesBlock& block,
+                                bool drop_behind_window, int t) {
+  PhaseScope phase(hw.ledger(), Phase::kOther);
+  const GridGeometry& g = block.tiles.geom();
+  ParticleTile& tile = block.tiles.tile(t);
+  ParticleSoA& soa = tile.soa();
+  const int32_t n = tile.num_slots();
+  hw.ChargeCycles(static_cast<double>((n + kVpuLanes - 1) / kVpuLanes) * 6.0 /
+                  hw.cfg().vpu_pipes);
+  TouchPositionStreams(hw, soa, n);
+  for (int32_t pid = 0; pid < n; ++pid) {
+    if (!tile.IsLive(pid)) {
+      continue;
+    }
+    const auto i = static_cast<size_t>(pid);
+    soa.x[i] = g.WrapX(soa.x[i]);
+    soa.y[i] = g.WrapY(soa.y[i]);
+    if (drop_behind_window) {
+      if (soa.z[i] < g.z0 || soa.z[i] >= g.z0 + g.LengthZ()) {
+        block.engine.RemoveParticle(hw, block.tiles, t, pid);
+      }
+    } else {
+      soa.z[i] = g.WrapZ(soa.z[i]);
+    }
+  }
+}
+
+// ---- Fused two-pass schedule ------------------------------------------------
+
+void StepPipeline::FusedPass1(const StepPipelineInputs& in, SpeciesBlock& block,
+                              const FieldSet& fields, SpeciesStepStats* ss) {
+  switch (block.engine.config().order) {
+    case 1:
+      FusedPass1Impl<1>(in, block, fields, ss);
+      break;
+    case 2:
+      FusedPass1Impl<2>(in, block, fields, ss);
+      break;
+    case 3:
+      FusedPass1Impl<3>(in, block, fields, ss);
+      break;
+    default:
+      MPIC_CHECK_MSG(false, "unsupported shape order");
+  }
+}
+
+template <int Order>
+void StepPipeline::FusedPass1Impl(const StepPipelineInputs& in, SpeciesBlock& block,
+                                  const FieldSet& fields, SpeciesStepStats* ss) {
+  PushParams pp;
+  pp.dt = in.dt;
+  pp.charge = block.species.charge;
+  pp.mass = block.species.mass;
+  // One region fuses four stages per tile. Everything is tile-private (the
+  // fields are read-only, boundary drops and GPMA mutations touch only the
+  // tile's own structures, leavers stage into the tile's mover list), so the
+  // fusion changes nothing about which operations run — only their order, and
+  // with it the modeled cache residency of the tile's SoA streams.
+  std::vector<PaddedSlot<Pass1Partial>> partials(
+      static_cast<size_t>(hw_.num_cores()));
+  ParallelForTiles(
+      hw_, block.tiles.num_tiles(),
+      [&](HwContext& hw, int worker, int t) {
+        ParticleTile& tile = block.tiles.tile(t);
+        Pass1Partial& part = partials[static_cast<size_t>(worker)].value;
+        if (tile.num_live() > 0) {
+          GatherScratch& gs = block.gather_scratch[static_cast<size_t>(t)];
+          GatherFieldsTile<Order>(hw, tile, fields, gs);
+          PushTileBoris(hw, tile, gs, pp);
+          part.pushed += tile.num_live();
+        }
+        BoundaryTile(hw, block, in.drop_behind_window, t);
+        block.engine.ScanTile(hw, block.tiles, t, &part.scan);
+      },
+      RegionMerge::kFusedStages);
+
+  block.pushed_last_step = 0;
+  for (const PaddedSlot<Pass1Partial>& slot : partials) {
+    block.pushed_last_step += slot.value.pushed;
+    block.engine.AccumulateScan(slot.value.scan, &ss->engine);
+  }
+  block.particles_pushed += block.pushed_last_step;
+  ss->pushed = block.pushed_last_step;
+}
+
+void StepPipeline::DepositTiles(SpeciesBlock& block, FieldSet& fields) {
+  DepositionEngine& engine = block.engine;
+  TileSet& tiles = block.tiles;
+  const double charge = block.species.charge;
+
+  // Pass 2: staging + kernel. Rhocell-backed kernels accumulate into
+  // tile-private blocks and fan out; the baseline/scalar kernels scatter
+  // straight into shared J and stay serial.
+  if (ParallelEnabled(hw_) && engine.deposit_is_tile_parallel()) {
+    engine.RefreshTileRegistrations(tiles);
+    ParallelForTiles(
+        hw_, tiles.num_tiles(),
+        [&](HwContext& hw, int, int t) {
+          engine.StageAndDepositTile(hw, tiles, fields, charge, t);
+        },
+        RegionMerge::kFusedStages);
+  } else {
+    for (int t = 0; t < tiles.num_tiles(); ++t) {
+      engine.StageAndDepositTile(hw_, tiles, fields, charge, t);
+    }
+  }
+
+  // Rhocell -> J reduction on the halo-disjoint colored schedule: tiles of
+  // one class write disjoint node sets and fan out; the classes run as
+  // sequential barriers, in the same class order the legacy serial sweep
+  // uses, so shared halo nodes accumulate identically either way.
+  for (const std::vector<int>& color_class : engine.reduce_coloring()) {
+    // A singleton class (common under the thin-tile per-coordinate fallback)
+    // has nothing to overlap with — run it inline rather than paying a
+    // fork/join for a one-tile region.
+    if (ParallelEnabled(hw_) && engine.deposit_is_tile_parallel() &&
+        color_class.size() > 1) {
+      ParallelForTileList(hw_, color_class, [&](HwContext& hw, int, int t) {
+        engine.ReduceTile(hw, tiles, fields, t);
+      });
+    } else {
+      for (int t : color_class) {
+        engine.ReduceTile(hw_, tiles, fields, t);
+      }
+    }
+  }
+}
+
+// ---- Legacy sweep-per-stage schedule ----------------------------------------
+
+void StepPipeline::LegacyGatherAndPush(SpeciesBlock& block, double dt,
+                                       const FieldSet& fields) {
+  switch (block.engine.config().order) {
+    case 1:
+      LegacyGatherAndPushImpl<1>(block, dt, fields);
+      break;
+    case 2:
+      LegacyGatherAndPushImpl<2>(block, dt, fields);
+      break;
+    case 3:
+      LegacyGatherAndPushImpl<3>(block, dt, fields);
+      break;
+    default:
+      MPIC_CHECK_MSG(false, "unsupported shape order");
+  }
+}
+
+template <int Order>
+void StepPipeline::LegacyGatherAndPushImpl(SpeciesBlock& block, double dt,
+                                           const FieldSet& fields) {
+  PushParams pp;
+  pp.dt = dt;
+  pp.charge = block.species.charge;
+  pp.mass = block.species.mass;
+  // Gather and push read the shared fields and write only the tile's SoA and
+  // scratch, so tiles fan out over the modeled cores.
+  std::vector<PaddedSlot<int64_t>> pushed(static_cast<size_t>(hw_.num_cores()));
+  ParallelForTiles(hw_, block.tiles.num_tiles(),
+                   [&](HwContext& hw, int worker, int t) {
+                     ParticleTile& tile = block.tiles.tile(t);
+                     if (tile.num_live() == 0) {
+                       return;
+                     }
+                     GatherScratch& gs =
+                         block.gather_scratch[static_cast<size_t>(t)];
+                     GatherFieldsTile<Order>(hw, tile, fields, gs);
+                     PushTileBoris(hw, tile, gs, pp);
+                     pushed[static_cast<size_t>(worker)].value += tile.num_live();
+                   });
+  block.pushed_last_step = 0;
+  for (const PaddedSlot<int64_t>& p : pushed) {
+    block.pushed_last_step += p.value;
+  }
+  block.particles_pushed += block.pushed_last_step;
+}
+
+void StepPipeline::LegacyBoundaries(SpeciesBlock& block, bool drop_behind_window) {
+  // Wrapping rewrites the tile's own positions and a window drop only touches
+  // the tile's own GPMA and slot stack, so tiles fan out over the cores.
+  ParallelForTiles(hw_, block.tiles.num_tiles(), [&](HwContext& hw, int, int t) {
+    BoundaryTile(hw, block, drop_behind_window, t);
+  });
+}
+
+// ---- Step orchestration -----------------------------------------------------
+
+void StepPipeline::RunParticleStages(const StepPipelineInputs& in,
+                                     std::vector<std::unique_ptr<SpeciesBlock>>& blocks,
+                                     FieldSet& fields, SimStepStats* stats) {
+  // Zero current accumulators (once; species accumulate into the shared J).
+  ZeroCurrentsStage(fields);
+
+  // Every species accumulates into the shared J. With one species the guard
+  // fold happens right after its deposit (the seed behavior); with several,
+  // folding must wait until all species have accumulated, because a fold
+  // refills the guards with interior images that a later fold would count
+  // again.
+  const bool shared_fold = blocks.size() > 1;
+  stats->species.clear();
+
+  if (fuse_stages_) {
+    for (auto& b : blocks) {
+      SpeciesStepStats ss;
+      ss.name = b->species.name;
+      PrepareTileRegions(*b);
+      b->engine.BeginStep(b->tiles);
+      const double dep_before = hw_.ledger().DepositionCycles();
+      FusedPass1(in, *b, fields, &ss);
+      b->engine.DeliverMovers(b->tiles, &ss.engine);
+      b->engine.PostScanGlobalSort(b->tiles, fields, &ss.engine);
+      DepositTiles(*b, fields);
+      if (!shared_fold) {
+        DepositionEngine::FoldCurrentGuards(hw_, fields);
+      }
+      // The policy's throughput trigger sees this species' deposition-phase
+      // cycles (Preproc+Compute+Sort+Reduce) — the fused analogue of the
+      // legacy DepositStep's own cycle window.
+      b->engine.FinishStep(b->tiles, fields,
+                           hw_.ledger().DepositionCycles() - dep_before,
+                           &ss.engine);
+      stats->species.push_back(std::move(ss));
+    }
+  } else {
+    // Each block runs at its own engine's shape order: a species with an
+    // EngineConfig override gathers, pushes, and deposits consistently with it.
+    for (auto& b : blocks) {
+      PrepareTileRegions(*b);
+      LegacyGatherAndPush(*b, in.dt, fields);
+    }
+    for (auto& b : blocks) {
+      LegacyBoundaries(*b, in.drop_behind_window);
+    }
+    for (auto& b : blocks) {
+      SpeciesStepStats ss;
+      ss.name = b->species.name;
+      ss.engine = b->engine.DepositStep(b->tiles, fields, b->species.charge,
+                                        /*fold_guards=*/!shared_fold);
+      ss.pushed = b->pushed_last_step;
+      stats->species.push_back(std::move(ss));
+    }
+  }
+
+  if (shared_fold) {
+    DepositionEngine::FoldCurrentGuards(hw_, fields);
+  }
+}
+
+}  // namespace mpic

@@ -1,0 +1,136 @@
+// StepPipeline: the per-step particle schedule — which tile stages run in
+// which fan-out regions, and in what order.
+//
+// Fused mode (the default) runs each species in two cache-resident passes:
+//
+//   pass 1 (one ParallelForTiles region): per tile, gather -> push ->
+//          boundary wrap / window drop -> incremental-sort scan, so the
+//          tile's SoA streams stay hot in the core's modeled private cache
+//          across all four stages;
+//   barrier: serial, order-preserving cross-tile mover delivery (and the
+//          per-tile counting sort for the global-sort-each-step variant);
+//   pass 2 (one ParallelForTiles region): per tile, staging + deposition
+//          kernel; followed by the rhocell -> J reduction executed as a
+//          halo-disjoint colored schedule — every color class fans out, the
+//          classes run as sequential barriers.
+//
+// Legacy mode (fuse_stages = false) reproduces the five-sweep schedule the
+// seed used — one full tile sweep per stage (gather+push, boundaries, scan,
+// staging+kernel, serial reduce) — as the bit-identical reference: both modes
+// execute exactly the same per-tile operations, all tile-private until the
+// serial barriers, and both visit the reduction's color classes in the same
+// order, so physics output matches bitwise on any workload, species count,
+// core count, and thread count. Only the modeled cycle cost differs: the
+// fused pipeline touches each tile's SoA twice per step instead of five
+// times, pays two fork/joins per species instead of five, and parallelizes
+// the previously serial reduction (bench_abl_fusion quantifies all three).
+//
+// One caveat bounds the bit-identity guarantee: the resort policy's
+// *performance* trigger (Sec. 4.4, strategy 5) responds to each schedule's
+// own modeled deposition throughput, and since fusion makes deposition
+// genuinely cheaper, a long run skating along the degradation threshold can
+// in principle schedule a global sort on different steps in the two modes
+// (never within min_sort_interval steps of the last sort). The other
+// triggers — fixed interval, rebuild count, empty-slot ratio — are
+// physics-driven and schedule-independent.
+//
+// J zeroing is charged under its own fan-out in fused mode (each core zeroes
+// a contiguous chunk) instead of the serial Phase::kOther block legacy uses.
+
+#ifndef MPIC_SRC_CORE_STEP_PIPELINE_H_
+#define MPIC_SRC_CORE_STEP_PIPELINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/species_block.h"
+#include "src/grid/field_set.h"
+#include "src/hw/hw_context.h"
+#include "src/hw/parallel_for.h"
+
+namespace mpic {
+
+// Per-species slice of one Step()'s accounting.
+struct SpeciesStepStats {
+  std::string name;
+  int64_t live = 0;    // live macro-particles after the step
+  int64_t pushed = 0;  // particles pushed this step
+  EngineStepStats engine;
+};
+
+// Aggregated per-step accounting across all species.
+struct SimStepStats {
+  std::vector<SpeciesStepStats> species;
+
+  int64_t TotalLive() const;
+  int64_t TotalPushed() const;
+  // Counter sums across species; global_sorted is true if any species sorted,
+  // and decision reports the most severe species decision this step.
+  EngineStepStats Aggregate() const;
+};
+
+struct StepPipelineInputs {
+  double dt = 0.0;
+  // Moving-window runs: particles ahead of/behind the window are dropped at
+  // the boundary stage instead of wrapped in z.
+  bool drop_behind_window = false;
+};
+
+class StepPipeline {
+ public:
+  StepPipeline(HwContext& hw, bool fuse_stages)
+      : hw_(hw), fuse_stages_(fuse_stages) {}
+
+  bool fused() const { return fuse_stages_; }
+
+  // Runs the particle stages of one step for every block — zero J, gather,
+  // push, particle boundaries, sort scan + ordered delivery, staging +
+  // deposition kernel, rhocell reduction, guard fold, and each species'
+  // re-sort policy — and fills `stats` with one SpeciesStepStats per block
+  // (`live` is left at 0 for the caller to census after the moving window).
+  void RunParticleStages(const StepPipelineInputs& in,
+                         std::vector<std::unique_ptr<SpeciesBlock>>& blocks,
+                         FieldSet& fields, SimStepStats* stats);
+
+ private:
+  struct Pass1Partial {
+    int64_t pushed = 0;
+    TileScanPartial scan;
+  };
+
+  void ZeroCurrentsStage(FieldSet& fields);
+  // Serial pre-pass before a species' first fan-out of the step: sizes the
+  // gather scratch and (re)registers it and the tiles' SoA/staging arrays
+  // with the main context's address map, so in-region accesses never fall
+  // back to nondeterministic identity mapping after a reallocation.
+  void PrepareTileRegions(SpeciesBlock& block);
+  // Boundary wrap / window drop for one tile (Phase::kOther).
+  void BoundaryTile(HwContext& hw, SpeciesBlock& block, bool drop_behind_window,
+                    int t);
+
+  // Fused pass 1 for one species: a single region fusing gather, push,
+  // boundaries, and the sort scan per tile.
+  void FusedPass1(const StepPipelineInputs& in, SpeciesBlock& block,
+                  const FieldSet& fields, SpeciesStepStats* ss);
+  template <int Order>
+  void FusedPass1Impl(const StepPipelineInputs& in, SpeciesBlock& block,
+                      const FieldSet& fields, SpeciesStepStats* ss);
+
+  // Staging + kernel (+ colored reduction) for one species — fused pass 2.
+  void DepositTiles(SpeciesBlock& block, FieldSet& fields);
+
+  // Legacy sweeps (one stage per region), preserving the seed schedule.
+  void LegacyGatherAndPush(SpeciesBlock& block, double dt, const FieldSet& fields);
+  template <int Order>
+  void LegacyGatherAndPushImpl(SpeciesBlock& block, double dt,
+                               const FieldSet& fields);
+  void LegacyBoundaries(SpeciesBlock& block, bool drop_behind_window);
+
+  HwContext& hw_;
+  bool fuse_stages_;
+};
+
+}  // namespace mpic
+
+#endif  // MPIC_SRC_CORE_STEP_PIPELINE_H_

@@ -84,6 +84,7 @@ SimulationConfig MakeUniformConfig(const UniformWorkloadParams& p) {
   }
   cfg.cfl = 0.95;
   cfg.solver = SolverKind::kCkc;
+  cfg.fuse_stages = p.fuse_stages;
   return cfg;
 }
 
@@ -127,6 +128,7 @@ SimulationConfig MakeLwfaConfig(const LwfaWorkloadParams& p) {
   cfg.engine.order = 1;  // paper: LWFA uses the CIC scheme
   cfg.cfl = 0.98;
   cfg.solver = SolverKind::kCkc;
+  cfg.fuse_stages = p.fuse_stages;
 
   cfg.laser_enabled = true;
   cfg.laser.a0 = p.a0;
@@ -195,6 +197,7 @@ std::unique_ptr<Simulation> MakeTwoStreamSimulation(HwContext& hw,
   cfg.engine.order = 1;
   cfg.cfl = 0.95;
   cfg.solver = SolverKind::kCkc;
+  cfg.fuse_stages = p.fuse_stages;
   cfg.species.clear();
   cfg.species.push_back(
       SpeciesConfig{Species{"e_beam_fwd", kElectronCharge, kElectronMass},

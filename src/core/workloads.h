@@ -54,6 +54,9 @@ struct UniformWorkloadParams {
   double u_th = 0.01;     // thermal proper velocity / c
   int tile = 8;           // particles.tile_size (cubic)
   uint64_t seed = 42;
+  // Fused two-pass step pipeline (default) vs. the legacy sweep-per-stage
+  // schedule; physics is bit-identical, only modeled cost differs.
+  bool fuse_stages = true;
   // Every listed species is seeded with the same density/PPC/u_th (e.g.
   // {Electron, Proton} gives a neutral two-species plasma).
   std::vector<Species> species = {Species::Electron()};
@@ -77,6 +80,8 @@ struct LwfaWorkloadParams {
   int tile = 8;
   int tile_z = 16;  // paper uses elongated tiles (8 x 8 x 64) for LWFA
   uint64_t seed = 42;
+  // See UniformWorkloadParams::fuse_stages.
+  bool fuse_stages = true;
   // Adds a mobile-ion background species with the same density profile
   // (charge-neutral plasma; ion motion matters for long pulses / heavy drivers).
   bool with_ions = false;
@@ -104,6 +109,8 @@ struct TwoStreamParams {
   double u_perturb = 5e-3; // seeded velocity perturbation amplitude / u_drift
   int tile = 4;
   uint64_t seed = 42;
+  // See UniformWorkloadParams::fuse_stages.
+  bool fuse_stages = true;
 };
 
 std::unique_ptr<Simulation> MakeTwoStreamSimulation(HwContext& hw,

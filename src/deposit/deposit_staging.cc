@@ -143,15 +143,17 @@ void StageTileVpu(HwContext& hw, const ParticleTile& tile, const DepositParams& 
   }
 }
 
-void RegisterStagingRegions(HwContext& hw, const ParticleTile& tile,
-                            const DepositScratch& scratch) {
+void RegisterStagingRegions(HwContext& hw, uint64_t tile_key_base,
+                            const ParticleTile& tile, const DepositScratch& scratch) {
   const ParticleSoA& soa = tile.soa();
   if (soa.size() == 0) {
     return;
   }
-  auto reg = [&hw](const auto& v) {
+  uint64_t key = tile_key_base;
+  auto reg = [&hw, &key](const auto& v) {
+    const uint64_t k = key++;
     if (!v.empty()) {
-      hw.RegisterRegion(v.data(), v.size() * sizeof(v[0]));
+      hw.RegisterRegionKeyed(k, v.data(), v.size() * sizeof(v[0]));
     }
   };
   reg(soa.x);

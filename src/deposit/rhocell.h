@@ -23,6 +23,11 @@
 
 namespace mpic {
 
+// How many nodes a tile's rhocell reduction writes beyond its cell box on each
+// side: the shape support starts at cell-1 for QSP (order 3) and at the cell
+// itself for CIC (order 1). Used to build the halo-disjoint reduction schedule.
+inline constexpr int RhocellHaloNodes(int order) { return order >= 3 ? 1 : 0; }
+
 class RhocellBuffer {
  public:
   RhocellBuffer() = default;

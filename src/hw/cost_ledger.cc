@@ -40,6 +40,30 @@ void CostLedger::MergeParallel(const std::vector<const CostLedger*>& workers) {
     }
     cycles_[static_cast<size_t>(p)] += critical;
   }
+  SumWorkerCounters(workers);
+}
+
+void CostLedger::MergeParallelFused(const std::vector<const CostLedger*>& workers) {
+  // Critical core = max total cycles; ties resolve to the lowest worker index
+  // so the attribution is deterministic for any thread schedule.
+  const CostLedger* critical = nullptr;
+  double best = -1.0;
+  for (const CostLedger* w : workers) {
+    const double total = w->TotalCycles();
+    if (total > best) {
+      best = total;
+      critical = w;
+    }
+  }
+  if (critical != nullptr) {
+    for (int p = 0; p < kNumPhases; ++p) {
+      cycles_[static_cast<size_t>(p)] += critical->cycles_[static_cast<size_t>(p)];
+    }
+  }
+  SumWorkerCounters(workers);
+}
+
+void CostLedger::SumWorkerCounters(const std::vector<const CostLedger*>& workers) {
   for (const CostLedger* w : workers) {
     const LedgerCounters& c = w->counters_;
     counters_.scalar_ops += c.scalar_ops;

@@ -71,10 +71,21 @@ class CostLedger {
   // counters sum, so throughput/efficiency accounting still sees all the work.
   void MergeParallel(const std::vector<const CostLedger*>& workers);
 
+  // Merge for a *fused* multi-stage region (several pipeline stages run
+  // back-to-back on each core inside one fan-out). Per-phase max would bill
+  // each stage at its own slowest core even though a core slow in one stage
+  // overlaps another core's slow stage; here the region's wall time is the
+  // slowest core's TOTAL cycles, attributed per phase according to that
+  // critical core's own stage split — so the phase breakdown still sums
+  // exactly to the region's charged cycles. Counters sum over all cores.
+  void MergeParallelFused(const std::vector<const CostLedger*>& workers);
+
   // Human-readable multi-line summary (debugging aid).
   std::string Summary() const;
 
  private:
+  void SumWorkerCounters(const std::vector<const CostLedger*>& workers);
+
   Phase phase_ = Phase::kOther;
   std::array<double, kNumPhases> cycles_{};
   LedgerCounters counters_;

@@ -40,6 +40,11 @@ class HwContext {
   // register every array they model accesses to (particles, J, rhocells, GPMA
   // index arrays) once per configuration.
   void RegisterRegion(const void* p, size_t bytes) { mem_.Register(p, bytes); }
+  // Keyed registration for arrays that may reallocate over the run (particle
+  // SoA streams, staging scratch): see MemMap::RegisterKeyed.
+  void RegisterRegionKeyed(uint64_t key, const void* p, size_t bytes) {
+    mem_.RegisterKeyed(key, p, bytes);
+  }
 
   // Resets modeled state between bench configurations (cold caches, zero
   // cycles). Region registrations survive; call mem().Clear() to drop them.

@@ -1,26 +1,19 @@
 #include "src/hw/parallel_for.h"
 
-#include <vector>
-
 #include "src/common/check.h"
 
 namespace mpic {
+namespace {
 
-TileRange WorkerTileRange(int n, int num_workers, int worker) {
-  MPIC_CHECK(num_workers > 0 && worker >= 0 && worker < num_workers);
-  const int base = n / num_workers;
-  const int extra = n % num_workers;
-  TileRange r;
-  r.begin = worker * base + (worker < extra ? worker : extra);
-  r.end = r.begin + base + (worker < extra ? 1 : 0);
-  return r;
-}
-
-void ParallelForTiles(HwContext& hw, int n, const TileBody& body) {
+// Shared fan-out: `n` logical positions, position i mapped to a tile index by
+// `index_of`. Serial inline on the main context when the machine has one core.
+template <typename IndexOf>
+void RunRegion(HwContext& hw, int n, const TileBody& body, RegionMerge merge,
+               const IndexOf& index_of) {
   const int num_workers = hw.num_cores();
   if (num_workers <= 1) {
     for (int i = 0; i < n; ++i) {
-      body(hw, 0, i);
+      body(hw, 0, index_of(i));
     }
     return;
   }
@@ -42,7 +35,7 @@ void ParallelForTiles(HwContext& hw, int n, const TileBody& body) {
     region_ledgers.push_back(&ctx.ledger());
   }
 
-  // Static block partition: worker w always owns the same contiguous tile
+  // Static block partition: worker w always owns the same contiguous position
   // range, regardless of how OpenMP maps workers to threads, so both the
   // physics and the modeled ledger are independent of the real thread count.
 #ifdef _OPENMP
@@ -52,11 +45,45 @@ void ParallelForTiles(HwContext& hw, int n, const TileBody& body) {
     HwContext& ctx = hw.worker(w);
     const TileRange range = WorkerTileRange(n, num_workers, w);
     for (int i = range.begin; i < range.end; ++i) {
-      body(ctx, w, i);
+      body(ctx, w, index_of(i));
     }
   }
 
-  hw.ledger().MergeParallel(region_ledgers);
+  switch (merge) {
+    case RegionMerge::kPhaseMax:
+      hw.ledger().MergeParallel(region_ledgers);
+      break;
+    case RegionMerge::kFusedStages:
+      hw.ledger().MergeParallelFused(region_ledgers);
+      break;
+  }
+  // Thread wake-up + join barrier for this fan-out (serial on the main
+  // context, so the cost lands once per region, not per core).
+  PhaseScope phase(hw.ledger(), Phase::kOther);
+  hw.ChargeCycles(hw.cfg().parallel_region_fork_join_cycles);
+}
+
+}  // namespace
+
+TileRange WorkerTileRange(int n, int num_workers, int worker) {
+  MPIC_CHECK(num_workers > 0 && worker >= 0 && worker < num_workers);
+  const int base = n / num_workers;
+  const int extra = n % num_workers;
+  TileRange r;
+  r.begin = worker * base + (worker < extra ? worker : extra);
+  r.end = r.begin + base + (worker < extra ? 1 : 0);
+  return r;
+}
+
+void ParallelForTiles(HwContext& hw, int n, const TileBody& body,
+                      RegionMerge merge) {
+  RunRegion(hw, n, body, merge, [](int i) { return i; });
+}
+
+void ParallelForTileList(HwContext& hw, const std::vector<int>& tiles,
+                         const TileBody& body, RegionMerge merge) {
+  RunRegion(hw, static_cast<int>(tiles.size()), body, merge,
+            [&tiles](int i) { return tiles[static_cast<size_t>(i)]; });
 }
 
 }  // namespace mpic

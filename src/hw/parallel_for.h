@@ -5,15 +5,16 @@
 // its own HwContext view — a private CostLedger and CacheModel plus a snapshot
 // of the main context's MemMap — so kernels charge costs exactly as they do
 // serially. When the region ends, per-worker cycles merge into the main ledger
-// as the critical path (max over workers, per phase) and counters sum, keeping
-// the Fig. 1 / 8-10 phase breakdowns meaningful at num_cores > 1.
+// (see RegionMerge below) and a fixed fork/join cost
+// (MachineConfig::parallel_region_fork_join_cycles) is charged per fan-out,
+// keeping the Fig. 1 / 8-10 phase breakdowns meaningful at num_cores > 1.
 //
 // Determinism: the partition is a fixed contiguous block split (independent of
 // OpenMP scheduling), every tile's computation touches only tile-private state,
 // and callers merge any cross-tile results in tile order — so the physics
 // output is bit-identical to the serial run for any core or thread count. With
 // num_cores == 1 the body runs inline on the main context and the model
-// reproduces the single-core ledger exactly.
+// reproduces the single-core ledger exactly (no fork/join charge).
 //
 // Real parallelism comes from OpenMP: modeled workers map to OpenMP threads
 // (capped by OMP_NUM_THREADS). Without OpenMP the same partition runs serially
@@ -23,6 +24,7 @@
 #define MPIC_SRC_HW_PARALLEL_FOR_H_
 
 #include <functional>
+#include <vector>
 
 #include "src/hw/hw_context.h"
 
@@ -38,7 +40,26 @@ TileRange WorkerTileRange(int n, int num_workers, int worker);
 
 using TileBody = std::function<void(HwContext& ctx, int worker, int index)>;
 
-void ParallelForTiles(HwContext& hw, int n, const TileBody& body);
+// How a region's per-worker ledgers merge into the main ledger.
+enum class RegionMerge {
+  // Per phase, max over workers (the region runs one logical stage; a core's
+  // cycles in that stage overlap every other core's). The seed semantics.
+  kPhaseMax,
+  // Fused multi-stage region: the region's wall time is the slowest core's
+  // TOTAL cycles, attributed with that core's own per-phase split (stages run
+  // back-to-back per core, so per-phase max would double-bill imbalance).
+  kFusedStages,
+};
+
+void ParallelForTiles(HwContext& hw, int n, const TileBody& body,
+                      RegionMerge merge = RegionMerge::kPhaseMax);
+
+// Fan-out over an explicit tile list (e.g. one color class of the reduction
+// schedule): `body(ctx, worker, tiles[i])` for every i, with the same static
+// contiguous partition — over list positions — as ParallelForTiles.
+void ParallelForTileList(HwContext& hw, const std::vector<int>& tiles,
+                         const TileBody& body,
+                         RegionMerge merge = RegionMerge::kPhaseMax);
 
 // Per-worker accumulator slot padded to a cache line: callers index one slot
 // per worker, and the padding keeps concurrent per-particle increments from

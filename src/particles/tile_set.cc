@@ -1,5 +1,7 @@
 #include "src/particles/tile_set.h"
 
+#include <algorithm>
+
 #include "src/common/check.h"
 
 namespace mpic {
@@ -48,6 +50,46 @@ TileSet::Handle TileSet::AddParticle(const Particle& p) {
   const int t = TileOfPosition(p.x, p.y, p.z);
   const int32_t pid = tiles_[static_cast<size_t>(t)].AddParticle(p);
   return Handle{t, pid};
+}
+
+std::vector<std::vector<int>> TileSet::HaloDisjointColoring(int halo_nodes) const {
+  MPIC_CHECK(halo_nodes >= 0);
+  // Parity separates tiles t and t+2 along an axis iff the tile between them
+  // is wider than both footprint overhangs combined. Edge tiles can be ragged,
+  // so check every interior extent; a too-thin axis falls back to one color
+  // per coordinate (serializing that axis, still correct for any geometry).
+  auto colors_along = [&](int n_tiles, int nominal, int domain) {
+    if (n_tiles <= 1) {
+      return 1;
+    }
+    for (int i = 1; i + 1 < n_tiles; ++i) {
+      const int extent = std::min(nominal, domain - i * nominal);
+      if (extent <= 2 * halo_nodes) {
+        return n_tiles;
+      }
+    }
+    return 2;
+  };
+  const int cx = colors_along(ntx_, tile_x_, geom_.nx);
+  const int cy = colors_along(nty_, tile_y_, geom_.ny);
+  const int cz = colors_along(ntz_, tile_z_, geom_.nz);
+
+  std::vector<std::vector<int>> classes(
+      static_cast<size_t>(cx) * static_cast<size_t>(cy) * static_cast<size_t>(cz));
+  for (int tz = 0; tz < ntz_; ++tz) {
+    for (int ty = 0; ty < nty_; ++ty) {
+      for (int tx = 0; tx < ntx_; ++tx) {
+        const int color = (tx % cx) + cx * ((ty % cy) + cy * (tz % cz));
+        classes[static_cast<size_t>(color)].push_back(tx + ntx_ * (ty + nty_ * tz));
+      }
+    }
+  }
+  // Drop empty classes (possible when an axis falls back to per-coordinate
+  // colors); tile order within a class is ascending by construction.
+  classes.erase(std::remove_if(classes.begin(), classes.end(),
+                               [](const std::vector<int>& c) { return c.empty(); }),
+                classes.end());
+  return classes;
 }
 
 int64_t TileSet::TotalLive() const {

@@ -33,6 +33,21 @@ class TileSet {
 
   int64_t TotalLive() const;
 
+  // Partitions the tiles into color classes whose members' *node footprints*
+  // are pairwise disjoint, where a tile's footprint extends `halo_nodes` nodes
+  // beyond its cell box on every side (the reach of the deposition shape:
+  // 0 for CIC, 1 for QSP). Tiles within one class may therefore scatter onto
+  // shared grid arrays concurrently; classes must run as sequential barriers.
+  //
+  // Per axis the schedule is the classic 2-coloring by tile-coordinate parity
+  // (checkerboard); an axis whose interior tiles are too thin for parity to
+  // separate same-color footprints (extent <= 2 * halo_nodes) degrades to one
+  // color per coordinate on that axis, which is always safe. Classes are
+  // ordered by color id and each class lists tiles in ascending index, so a
+  // serial color-major sweep visits every shared node's contributors in the
+  // same order as the parallel schedule.
+  std::vector<std::vector<int>> HaloDisjointColoring(int halo_nodes) const;
+
   const GridGeometry& geom() const { return geom_; }
   // Moving-window support: the cell boxes stay fixed in index space while the
   // origin advances.

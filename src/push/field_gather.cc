@@ -93,6 +93,19 @@ void GatherFieldsTile(HwContext& hw, const ParticleTile& tile, const FieldSet& f
   }
 }
 
+void RegisterGatherRegions(HwContext& hw, uint64_t tile_key_base,
+                           const GatherScratch& scratch) {
+  uint64_t key = tile_key_base;
+  for (const std::vector<double>* v :
+       {&scratch.ex, &scratch.ey, &scratch.ez, &scratch.bx, &scratch.by,
+        &scratch.bz}) {
+    const uint64_t k = key++;
+    if (!v->empty()) {
+      hw.RegisterRegionKeyed(k, v->data(), v->size() * sizeof(double));
+    }
+  }
+}
+
 template void GatherFieldsTile<1>(HwContext&, const ParticleTile&, const FieldSet&,
                                   GatherScratch&);
 template void GatherFieldsTile<2>(HwContext&, const ParticleTile&, const FieldSet&,

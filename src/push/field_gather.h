@@ -34,10 +34,22 @@ struct GatherScratch {
 };
 
 // Gathers E and B for every live particle of the tile. Guard cells of the
-// field arrays must be filled (periodic images) before calling.
+// field arrays must be filled (periodic images) before calling. The scratch
+// must already be sized to the tile's slot count and registered with the
+// model's address space (RegisterGatherRegions) by the serial pre-pass.
 template <int Order>
 void GatherFieldsTile(HwContext& hw, const ParticleTile& tile, const FieldSet& fields,
                       GatherScratch& scratch);
+
+// Registers the six gathered-field staging arrays with the hardware model's
+// address space under stable keys (`tile_key_base` from MemRegionKey; streams
+// 0..5). Without this the gather's scratch writes (and the pusher's reads)
+// fall back to identity-mapped host addresses, making the modeled cache
+// behavior depend on where the allocator happened to place the vectors — the
+// source of the former run-to-run cycle noise. Cheap no-op while the vectors
+// keep their allocation.
+void RegisterGatherRegions(HwContext& hw, uint64_t tile_key_base,
+                           const GatherScratch& scratch);
 
 }  // namespace mpic
 

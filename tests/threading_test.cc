@@ -105,12 +105,44 @@ TEST(ParallelLedger, RegionChargesMaxCyclesAndSumsCounters) {
       ctx.ledger().counters().scalar_ops += 7;
     }
   });
-  // Critical path per phase: max(100, 60) compute, max(0, 50) preproc.
+  // Critical path per phase: max(100, 60) compute, max(0, 50) preproc, plus
+  // the region's fork/join charge under kOther.
+  const double fork_join = hw.cfg().parallel_region_fork_join_cycles;
   EXPECT_DOUBLE_EQ(hw.ledger().PhaseCycles(Phase::kCompute), 100.0);
   EXPECT_DOUBLE_EQ(hw.ledger().PhaseCycles(Phase::kPreproc), 50.0);
-  EXPECT_DOUBLE_EQ(hw.ledger().TotalCycles(), 150.0);
+  EXPECT_DOUBLE_EQ(hw.ledger().PhaseCycles(Phase::kOther), fork_join);
+  EXPECT_DOUBLE_EQ(hw.ledger().TotalCycles(), 150.0 + fork_join);
   // Work counters sum across workers.
   EXPECT_EQ(hw.ledger().counters().scalar_ops, 12u);
+}
+
+TEST(ParallelLedger, FusedRegionChargesCriticalWorkerTotal) {
+  UseManyThreads();
+  HwContext hw(MachineConfig::Lx2MultiCore(2));
+  // Worker 0: 100 compute. Worker 1: 60 compute + 50 preproc = 110 total — the
+  // critical core. A per-phase max would charge 100 + 50 = 150; the fused
+  // merge charges the critical core's own split, so the breakdown still sums
+  // exactly to the region's wall time.
+  ParallelForTiles(
+      hw, 2,
+      [&](HwContext& ctx, int, int index) {
+        if (index == 0) {
+          PhaseScope phase(ctx.ledger(), Phase::kCompute);
+          ctx.ChargeCycles(100.0);
+        } else {
+          {
+            PhaseScope phase(ctx.ledger(), Phase::kCompute);
+            ctx.ChargeCycles(60.0);
+          }
+          PhaseScope phase(ctx.ledger(), Phase::kPreproc);
+          ctx.ChargeCycles(50.0);
+        }
+      },
+      RegionMerge::kFusedStages);
+  const double fork_join = hw.cfg().parallel_region_fork_join_cycles;
+  EXPECT_DOUBLE_EQ(hw.ledger().PhaseCycles(Phase::kCompute), 60.0);
+  EXPECT_DOUBLE_EQ(hw.ledger().PhaseCycles(Phase::kPreproc), 50.0);
+  EXPECT_DOUBLE_EQ(hw.ledger().TotalCycles(), 110.0 + fork_join);
 }
 
 TEST(ParallelLedger, SingleCoreRunsInlineWithSerialAccounting) {
