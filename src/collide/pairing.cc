@@ -1,0 +1,41 @@
+#include "src/collide/pairing.h"
+
+namespace mpic {
+
+void AppendIntraCellPairs(int32_t n, std::vector<CellPair>* out) {
+  if (n < 2) {
+    return;
+  }
+  int32_t first = 0;
+  if (n % 2 != 0) {
+    // Takizuka-Abe triplet rule: the odd particle out joins the first pair as
+    // three half-strength pairs, so every particle still scatters with the
+    // full-step collisionality.
+    out->push_back({0, 1, 0.5});
+    out->push_back({0, 2, 0.5});
+    out->push_back({1, 2, 0.5});
+    first = 3;
+  }
+  for (int32_t i = first; i + 1 < n; i += 2) {
+    out->push_back({i, i + 1, 1.0});
+  }
+}
+
+void AppendInterCellPairs(int32_t na, int32_t nb, std::vector<CellPair>* out) {
+  if (na < 1 || nb < 1) {
+    return;
+  }
+  // Wrap-around pairing: each particle of the larger group collides exactly
+  // once; smaller-group particles take ceil/floor(n_large/n_small) partners.
+  if (na >= nb) {
+    for (int32_t i = 0; i < na; ++i) {
+      out->push_back({i, i % nb, 1.0});
+    }
+  } else {
+    for (int32_t i = 0; i < nb; ++i) {
+      out->push_back({i % na, i, 1.0});
+    }
+  }
+}
+
+}  // namespace mpic

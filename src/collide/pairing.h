@@ -1,0 +1,48 @@
+// Takizuka-Abe pair selection rules (J. Comput. Phys. 25, 1977) for binary
+// Monte-Carlo Coulomb collisions within one cell.
+//
+// The rules are pure index arithmetic over a (pre-shuffled) list of the cell's
+// particles, kept free of any particle or hardware state so property tests can
+// pin them exhaustively:
+//
+//   * Intra-species, n even:  (0,1), (2,3), ... — every particle in exactly
+//     one pair at the full time step.
+//   * Intra-species, n odd:   the first three particles form the TA triplet
+//     (0,1), (0,2), (1,2), each at HALF the time step (each triplet member is
+//     scattered twice, so its total collisionality matches one full-step
+//     pair); the remainder pairs (3,4), (5,6), ... at the full step.
+//   * Inter-species:          every particle of the larger group is paired
+//     exactly once with a wrap-around partner from the smaller group
+//     (pair i = (i, i mod n_small)); smaller-group particles are reused
+//     ceil/floor(n_large/n_small) times.
+//
+// A cell with fewer than two intra-species particles (or an empty partner
+// species) produces no pairs — the caller counts those particles as unpaired.
+
+#ifndef MPIC_SRC_COLLIDE_PAIRING_H_
+#define MPIC_SRC_COLLIDE_PAIRING_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace mpic {
+
+// One collision pair: indices into the (shuffled) per-cell particle lists of
+// the two colliding groups (for intra-species pairing both index the same
+// list). dt_scale scales the collision time step (0.5 for TA triplet pairs).
+struct CellPair {
+  int32_t a = 0;
+  int32_t b = 0;
+  double dt_scale = 1.0;
+};
+
+// Appends the intra-species pairs for a cell holding n particles.
+void AppendIntraCellPairs(int32_t n, std::vector<CellPair>* out);
+
+// Appends the inter-species pairs for a cell holding na A-particles and nb
+// B-particles. CellPair::a indexes the A list and CellPair::b the B list.
+void AppendInterCellPairs(int32_t na, int32_t nb, std::vector<CellPair>* out);
+
+}  // namespace mpic
+
+#endif  // MPIC_SRC_COLLIDE_PAIRING_H_

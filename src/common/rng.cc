@@ -9,21 +9,35 @@ namespace {
 
 uint64_t SplitMix64(uint64_t& state) {
   state += 0x9E3779B97F4A7C15ull;
-  uint64_t z = state;
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
-  return z ^ (z >> 31);
+  return Mix64(state);
 }
 
 uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 
 }  // namespace
 
+uint64_t Mix64(uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
 Rng::Rng(uint64_t seed) {
   uint64_t sm = seed;
   for (auto& s : s_) {
     s = SplitMix64(sm);
   }
+}
+
+Rng Rng::ForStream(uint64_t seed, uint64_t k0, uint64_t k1, uint64_t k2) {
+  // Absorb each key through the finalizer with distinct round constants, so
+  // (s, a, b, c) and any permutation/shift of the keys land in unrelated
+  // states.
+  uint64_t h = Mix64(seed + 0x9E3779B97F4A7C15ull);
+  h = Mix64(h ^ Mix64(k0 + 0xBF58476D1CE4E5B9ull));
+  h = Mix64(h ^ Mix64(k1 + 0x94D049BB133111EBull));
+  h = Mix64(h ^ Mix64(k2 + 0xD6E8FEB86659FD93ull));
+  return Rng(h);
 }
 
 uint64_t Rng::NextU64() {

@@ -51,6 +51,67 @@ double KineticEnergy(const TileSet& tiles, const Species& species) {
   return energy;
 }
 
+void SpeciesMomentum(const TileSet& tiles, const Species& species, double out[3]) {
+  double px = 0.0, py = 0.0, pz = 0.0;
+  for (int t = 0; t < tiles.num_tiles(); ++t) {
+    const ParticleTile& tile = tiles.tile(t);
+    const ParticleSoA& soa = tile.soa();
+    for (int32_t pid = 0; pid < tile.num_slots(); ++pid) {
+      if (!tile.IsLive(pid)) {
+        continue;
+      }
+      const auto i = static_cast<size_t>(pid);
+      px += soa.w[i] * soa.ux[i];
+      py += soa.w[i] * soa.uy[i];
+      pz += soa.w[i] * soa.uz[i];
+    }
+  }
+  out[0] = species.mass * px;
+  out[1] = species.mass * py;
+  out[2] = species.mass * pz;
+}
+
+double SpeciesTemperature(const TileSet& tiles, const Species& species) {
+  double sw = 0.0;
+  double mean[3] = {0.0, 0.0, 0.0};
+  for (int t = 0; t < tiles.num_tiles(); ++t) {
+    const ParticleTile& tile = tiles.tile(t);
+    const ParticleSoA& soa = tile.soa();
+    for (int32_t pid = 0; pid < tile.num_slots(); ++pid) {
+      if (!tile.IsLive(pid)) {
+        continue;
+      }
+      const auto i = static_cast<size_t>(pid);
+      sw += soa.w[i];
+      mean[0] += soa.w[i] * soa.ux[i];
+      mean[1] += soa.w[i] * soa.uy[i];
+      mean[2] += soa.w[i] * soa.uz[i];
+    }
+  }
+  if (sw <= 0.0) {
+    return 0.0;
+  }
+  for (double& m : mean) {
+    m /= sw;
+  }
+  double var = 0.0;
+  for (int t = 0; t < tiles.num_tiles(); ++t) {
+    const ParticleTile& tile = tiles.tile(t);
+    const ParticleSoA& soa = tile.soa();
+    for (int32_t pid = 0; pid < tile.num_slots(); ++pid) {
+      if (!tile.IsLive(pid)) {
+        continue;
+      }
+      const auto i = static_cast<size_t>(pid);
+      const double dx = soa.ux[i] - mean[0];
+      const double dy = soa.uy[i] - mean[1];
+      const double dz = soa.uz[i] - mean[2];
+      var += soa.w[i] * (dx * dx + dy * dy + dz * dz);
+    }
+  }
+  return species.mass * var / (3.0 * sw);
+}
+
 double TotalKineticEnergy(const Simulation& sim) {
   double energy = 0.0;
   for (int sid = 0; sid < sim.num_species(); ++sid) {

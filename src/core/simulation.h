@@ -15,7 +15,7 @@
 //
 // Step order (standard leapfrog PIC cycle):
 //   zero J -> per species: fused pass 1 -> delivery barrier -> fused pass 2
-//   -> shared guard fold
+//   -> shared guard fold -> collisions (when configured)
 //   -> laser drive -> moving window -> B half-step, E full-step, B half-step.
 //
 // All stages charge the shared HwContext, so total wall time and the per-phase
@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "src/collide/collision.h"
 #include "src/core/deposition_engine.h"
 #include "src/core/species_block.h"
 #include "src/core/step_pipeline.h"
@@ -59,6 +60,12 @@ struct SimulationConfig {
   // sweep-per-stage schedule. Physics is bit-identical either way; only the
   // modeled cycle cost differs (see core/step_pipeline.h).
   bool fuse_stages = true;
+
+  // Binary Monte-Carlo Coulomb collisions (src/collide/collision.h). The
+  // effective pair list is this config's inter-species pairs plus one intra
+  // pair per species with SpeciesConfig::collide_self; the module runs only
+  // when `collisions.enabled` and that list is non-empty.
+  CollisionConfig collisions;
 
   // LWFA options.
   bool laser_enabled = false;
@@ -106,6 +113,10 @@ class Simulation {
   FieldSet& fields() { return fields_; }
   HwContext& hw() { return hw_; }
   const SimulationConfig& config() const { return config_; }
+  // The collision module, or null when no collisions are configured.
+  const CollisionModule* collisions() const {
+    return collide_.has_value() ? &*collide_ : nullptr;
+  }
   // Aggregate engine stats of the last step (sums across species).
   const EngineStepStats& last_step_stats() const { return last_step_stats_; }
   // Per-species breakdown of the last step.
@@ -122,6 +133,7 @@ class Simulation {
   std::vector<std::unique_ptr<SpeciesBlock>> blocks_;
   MaxwellSolver solver_;
   StepPipeline pipeline_;
+  std::optional<CollisionModule> collide_;
   std::optional<LaserAntenna> laser_;
   std::optional<MovingWindow> window_;
   EngineStepStats last_step_stats_;

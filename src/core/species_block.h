@@ -34,6 +34,11 @@ struct SpeciesConfig {
   // want kHybridNoSort or a long re-sort interval while electrons keep the
   // full incremental-sort pipeline.
   std::optional<EngineConfig> engine;
+  // Intra-species Coulomb collisions (Takizuka-Abe pairing within each cell,
+  // src/collide/collision.h). Requires a GPMA-maintaining sort mode.
+  // Inter-species pairs are listed in SimulationConfig::collisions instead.
+  bool collide_self = false;
+  double self_coulomb_log = 10.0;
 };
 
 struct SpeciesBlock {

@@ -322,6 +322,19 @@ void StepPipeline::RunParticleStages(const StepPipelineInputs& in,
   if (shared_fold) {
     DepositionEngine::FoldCurrentGuards(hw_, fields);
   }
+
+  // Collision stage (shared by both orchestrations): after every species has
+  // deposited, so this step's J reflects the pre-collision momenta, and after
+  // the sort barriers, so the GPMA bins hold each cell's current occupants.
+  // Scattering rewrites only momenta — positions, slots, and GPMA structures
+  // are untouched — making the stage a pure tail that cannot perturb the
+  // fused-vs-legacy bit identity of the stages before it.
+  if (in.collisions != nullptr) {
+    in.collisions->Apply(in.step, in.dt);
+    stats->collisions = in.collisions->last_step_stats();
+  } else {
+    stats->collisions = CollisionStepStats{};
+  }
 }
 
 }  // namespace mpic

@@ -36,6 +36,12 @@
 //
 // J zeroing is charged under its own fan-out in fused mode (each core zeroes
 // a contiguous chunk) instead of the serial Phase::kOther block legacy uses.
+//
+// When collisions are configured, a tile-parallel Takizuka-Abe collision
+// stage (src/collide/collision.h, Phase::kCollide) runs as the shared tail of
+// both orchestrations, after every species has deposited: the step's J sees
+// the pre-collision momenta, and the GPMA bins — current after the sort
+// barriers — provide the per-cell pairing.
 
 #ifndef MPIC_SRC_CORE_STEP_PIPELINE_H_
 #define MPIC_SRC_CORE_STEP_PIPELINE_H_
@@ -44,6 +50,7 @@
 #include <string>
 #include <vector>
 
+#include "src/collide/collision.h"
 #include "src/core/species_block.h"
 #include "src/grid/field_set.h"
 #include "src/hw/hw_context.h"
@@ -62,6 +69,8 @@ struct SpeciesStepStats {
 // Aggregated per-step accounting across all species.
 struct SimStepStats {
   std::vector<SpeciesStepStats> species;
+  // Collision-stage census of the step (zero when collisions are disabled).
+  CollisionStepStats collisions;
 
   int64_t TotalLive() const;
   int64_t TotalPushed() const;
@@ -75,6 +84,12 @@ struct StepPipelineInputs {
   // Moving-window runs: particles ahead of/behind the window are dropped at
   // the boundary stage instead of wrapped in z.
   bool drop_behind_window = false;
+  // Step index keying the collision RNG streams.
+  int64_t step = 0;
+  // Optional collision stage, applied after every species has deposited (so
+  // this step's J reflects the pre-collision momenta in both orchestrations).
+  // Null disables collisions.
+  CollisionModule* collisions = nullptr;
 };
 
 class StepPipeline {

@@ -12,7 +12,8 @@
 // components land at their Yee locations (Jx at i+1/2 etc.); rho is nodal.
 //
 // The implementation is the scalar canonical form (charged like the baseline);
-// mapping it onto the MPU is an open research direction noted in DESIGN.md.
+// mapping it onto the MPU is an open research direction noted in ROADMAP.md
+// ("Esirkepov current deposition"; see also the README's architecture notes).
 
 #ifndef MPIC_SRC_DEPOSIT_ESIRKEPOV_H_
 #define MPIC_SRC_DEPOSIT_ESIRKEPOV_H_

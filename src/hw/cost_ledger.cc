@@ -20,6 +20,8 @@ const char* PhaseName(Phase p) {
       return "push";
     case Phase::kSolver:
       return "solver";
+    case Phase::kCollide:
+      return "collide";
     case Phase::kOther:
       return "other";
   }

@@ -24,9 +24,10 @@ enum class Phase : int {
   kGather,       // field gather (grid -> particle)
   kPush,         // particle push
   kSolver,       // Maxwell field solve
+  kCollide,      // binary Monte-Carlo collisions (cell pairing + scattering)
   kOther,
 };
-inline constexpr int kNumPhases = 8;
+inline constexpr int kNumPhases = 9;
 
 const char* PhaseName(Phase p);
 

@@ -161,7 +161,9 @@ TEST(MultiSpecies, ElectronOnlyDefaultMatchesLegacyPath) {
   SimulationConfig cfg = MakeUniformConfig(p2);
   cfg.species.resize(1);
   Simulation sim2(hw2, cfg);
-  const int ion_id = sim2.AddSpecies(SpeciesConfig{Species::Proton(), std::nullopt});
+  SpeciesConfig ion_cfg;
+  ion_cfg.species = Species::Proton();
+  const int ion_id = sim2.AddSpecies(ion_cfg);
   EXPECT_EQ(ion_id, 1);
   UniformPlasmaConfig plasma;
   plasma.ppc_x = plasma.ppc_y = plasma.ppc_z = 2;
