@@ -94,4 +94,14 @@ const char* VariantName(DepositVariant v) {
   return "?";
 }
 
+const char* CurrentSchemeName(CurrentScheme s) {
+  switch (s) {
+    case CurrentScheme::kDirect:
+      return "Direct";
+    case CurrentScheme::kEsirkepov:
+      return "Esirkepov";
+  }
+  return "?";
+}
+
 }  // namespace mpic

@@ -24,6 +24,26 @@ enum class DepositVariant {
   kFullOpt,             // MatrixPIC: hybrid kernel + incremental sort + policy
 };
 
+// Which current deposition the engine runs — orthogonal to DepositVariant.
+// The variant picks the execution machinery (sorting, staging cost profile,
+// kernel); the scheme picks the physics of how J is formed from the particles:
+//
+//   kDirect    — J from the instantaneous velocity, q*v*S(x). Fast and the
+//                paper's configuration, but it does not satisfy the discrete
+//                continuity equation, so div E - rho/eps0 drifts over time.
+//   kEsirkepov — charge-conserving density decomposition (Esirkepov, CPC 135,
+//                2001): J from each particle's *motion* between its pre-push
+//                and post-push position, so (rho_new - rho_old)/dt + div J = 0
+//                holds to rounding for any shape order. Requires the pipeline
+//                to capture pre-push positions (ParticleSoA old-position
+//                lanes) and replaces the variant's J kernel with the staged
+//                tile-local Esirkepov kernel; the variant's sort machinery,
+//                staging cost profile, and re-sort policy still apply.
+enum class CurrentScheme {
+  kDirect,
+  kEsirkepov,
+};
+
 enum class SortMode {
   kNone,
   kIncremental,     // GPMA maintenance + adaptive global resort policy
@@ -57,6 +77,7 @@ struct VariantTraits {
 
 VariantTraits TraitsOf(DepositVariant v);
 const char* VariantName(DepositVariant v);
+const char* CurrentSchemeName(CurrentScheme s);
 
 }  // namespace mpic
 

@@ -22,31 +22,63 @@ void TouchPositionStreams(HwContext& hw, const ParticleSoA& soa, int32_t n_slots
   }
 }
 
+void TouchOldPositionStreams(HwContext& hw, ParticleSoA& soa, int32_t n_slots) {
+  for (int32_t base = 0; base < n_slots; base += kVpuLanes) {
+    const size_t batch = static_cast<size_t>(
+        std::min<int32_t>(kVpuLanes, n_slots - base));
+    hw.TouchRead(soa.xo.data() + base, sizeof(double) * batch);
+    hw.TouchRead(soa.yo.data() + base, sizeof(double) * batch);
+    hw.TouchRead(soa.zo.data() + base, sizeof(double) * batch);
+    hw.TouchWrite(soa.xo.data() + base, sizeof(double) * batch);
+    hw.TouchWrite(soa.yo.data() + base, sizeof(double) * batch);
+    hw.TouchWrite(soa.zo.data() + base, sizeof(double) * batch);
+    hw.ledger().counters().vpu_mem += 6;
+  }
+}
+
 uint64_t DepositionEngine::TileKey(int t) const {
   return MemRegionKey(mem_owner_id_, t, 0);
+}
+
+uint64_t DepositionEngine::EsirkepovKey(int t) const {
+  return MemRegionKey(mem_owner_id_, t, 32);
 }
 
 DepositionEngine::DepositionEngine(HwContext& hw, const EngineConfig& config)
     : hw_(hw), config_(config), traits_(TraitsOf(config.variant)),
       mem_owner_id_(NextMemOwnerId()), policy_(config.policy) {
-  if (traits_.uses_rhocell || traits_.uses_mpu) {
+  // The Esirkepov scheme replaces the variant's J kernel with its own staged
+  // tile kernel, which supports every order — the odd-order restriction binds
+  // only when the rhocell/MPU kernels actually run.
+  if ((traits_.uses_rhocell || traits_.uses_mpu) &&
+      config_.current_scheme == CurrentScheme::kDirect) {
     MPIC_CHECK_MSG(config_.order == 1 || config_.order == 3,
                    "rhocell/MPU kernels support CIC (1) and QSP (3) only");
   }
+  MPIC_CHECK_MSG(config_.order >= 1 && config_.order <= 3,
+                 "shape order must be 1, 2, or 3");
 }
 
 void DepositionEngine::Initialize(TileSet& tiles, FieldSet& fields) {
   scratch_.assign(static_cast<size_t>(tiles.num_tiles()), DepositScratch{});
   rhocells_.assign(static_cast<size_t>(tiles.num_tiles()), RhocellBuffer{});
+  esirk_scratch_.assign(static_cast<size_t>(tiles.num_tiles()), EsirkepovScratch{});
+  tile_currents_.assign(static_cast<size_t>(tiles.num_tiles()), TileCurrent{});
   for (int t = 0; t < tiles.num_tiles(); ++t) {
     ParticleTile& tile = tiles.tile(t);
-    if (traits_.uses_rhocell) {
+    if (esirkepov()) {
+      // Per-tile Yee-staggered J scratch: fixed dimensions for the whole run
+      // (the moving window keeps tile boxes fixed in index space).
+      tile_currents_[static_cast<size_t>(t)].Resize(tile, config_.order);
+    } else if (traits_.uses_rhocell) {
       rhocells_[static_cast<size_t>(t)].Resize(std::max(1, tile.num_cells()),
                                                config_.order);
     }
   }
   reduce_coloring_.clear();
-  if (traits_.uses_rhocell) {
+  if (esirkepov()) {
+    reduce_coloring_ = tiles.HaloDisjointColoring(EsirkepovHaloNodes(config_.order));
+  } else if (traits_.uses_rhocell) {
     reduce_coloring_ = tiles.HaloDisjointColoring(RhocellHaloNodes(config_.order));
   }
   // The paper's baselines never sort; only sorting variants pay for (and
@@ -64,10 +96,11 @@ void DepositionEngine::GlobalSort(TileSet& tiles) {
   for (int t = 0; t < tiles.num_tiles(); ++t) {
     moved += tiles.tile(t).GlobalSortTile(tiles.geom(), config_.gpma);
   }
-  // Counting sort: streaming writes of the seven SoA components plus two index
-  // passes, and — the expensive part — the permutation gather, whose reads are
-  // random per particle.
-  hw_.ChargeBulk(0.0, static_cast<double>(moved) * (7.0 * 8.0 * 2.0 + 4.0 * 2.0));
+  // Counting sort: streaming writes of the ten SoA components (positions,
+  // momenta, weight, and the old-position lanes all permute together) plus
+  // two index passes, and — the expensive part — the permutation gather,
+  // whose reads are random per particle.
+  hw_.ChargeBulk(0.0, static_cast<double>(moved) * (10.0 * 8.0 * 2.0 + 4.0 * 2.0));
   hw_.ChargeCycles(static_cast<double>(moved) * 8.0);
   ++total_global_sorts_;
   rank_stats_.steps_since_sort = 0;
@@ -77,23 +110,39 @@ void DepositionEngine::GlobalSort(TileSet& tiles) {
 
 void DepositionEngine::NotifyParticleAdded(TileSet& tiles, int tile_index,
                                            int32_t pid) {
+  NotifyParticleAdded(hw_, tiles, tile_index, pid, nullptr);
+}
+
+void DepositionEngine::NotifyParticleAdded(HwContext& hw, TileSet& tiles,
+                                           int tile_index, int32_t pid,
+                                           int64_t* rebuilds) {
   if (traits_.sort_mode == SortMode::kNone) {
     return;
   }
-  PhaseScope phase(hw_.ledger(), Phase::kSort);
+  PhaseScope phase(hw.ledger(), Phase::kSort);
   ParticleTile& tile = tiles.tile(tile_index);
   const int cell = tile.CellOfParticle(tiles.geom(), pid);
   auto res = tile.gpma().Insert(pid, cell);
-  hw_.ChargeCycles(static_cast<double>(res.words_touched));
+  hw.ChargeCycles(static_cast<double>(res.words_touched));
   if (!res.ok) {
     const int64_t words = tile.gpma().Rebuild();
     auto retry = tile.gpma().Insert(pid, cell);
     MPIC_CHECK(retry.ok);
-    hw_.ChargeCycles(static_cast<double>(words) * 0.25 +
-                     static_cast<double>(retry.words_touched));
+    hw.ChargeCycles(static_cast<double>(words) * 0.25 +
+                    static_cast<double>(retry.words_touched));
     tile.was_rebuilt_this_step = true;
-    ++rank_stats_.local_rebuilds;
+    // Tile-parallel callers count into their worker slot (rank stats are
+    // engine-shared); the serial path updates the rank stats directly.
+    if (rebuilds != nullptr) {
+      ++*rebuilds;
+    } else {
+      ++rank_stats_.local_rebuilds;
+    }
   }
+}
+
+void DepositionEngine::AccumulateInjectionRebuilds(int64_t rebuilds) {
+  rank_stats_.local_rebuilds += rebuilds;
 }
 
 void DepositionEngine::RemoveParticle(TileSet& tiles, int tile_index, int32_t pid) {
@@ -113,8 +162,9 @@ void DepositionEngine::RemoveParticle(HwContext& hw, TileSet& tiles, int tile_in
 
 // ---- Pass-1 scan -----------------------------------------------------------
 
-void DepositionEngine::BeginStep(TileSet& tiles) {
+void DepositionEngine::BeginStep(TileSet& tiles, double dt) {
   tile_movers_.resize(static_cast<size_t>(tiles.num_tiles()));
+  step_dt_ = dt;
 }
 
 void DepositionEngine::ScanTile(HwContext& hw, TileSet& tiles, int t,
@@ -285,7 +335,7 @@ void DepositionEngine::PostScanGlobalSort(TileSet& tiles, FieldSet& fields,
   for (int t = 0; t < tiles.num_tiles(); ++t) {
     moved += tiles.tile(t).GlobalSortTile(tiles.geom(), config_.gpma);
   }
-  hw_.ChargeBulk(0.0, static_cast<double>(moved) * (7.0 * 8.0 * 2.0 + 4.0 * 2.0));
+  hw_.ChargeBulk(0.0, static_cast<double>(moved) * (10.0 * 8.0 * 2.0 + 4.0 * 2.0));
   hw_.ChargeCycles(static_cast<double>(moved) * 8.0);
   RegisterRegions(tiles, fields);
   stats->global_sorted = true;
@@ -301,8 +351,15 @@ void DepositionEngine::RefreshTileRegistrations(TileSet& tiles) {
     }
     DepositScratch& scratch = scratch_[static_cast<size_t>(t)];
     // Size the staging ahead of the region so the kernels' writes land in
-    // registered (deterministically mapped) memory from the first touch.
-    if (traits_.staging != StagingKind::kNone) {
+    // registered (deterministically mapped) memory from the first touch. The
+    // Esirkepov scheme stages into its own scratch; the variant's staging
+    // arrays stay empty then.
+    if (esirkepov()) {
+      EsirkepovScratch& es = esirk_scratch_[static_cast<size_t>(t)];
+      es.Resize(tile.soa().size(), config_.order);
+      RegisterEsirkepovRegions(hw_, EsirkepovKey(t), es,
+                               tile_currents_[static_cast<size_t>(t)]);
+    } else if (traits_.staging != StagingKind::kNone) {
       scratch.Resize(tile.soa().size(), config_.order);
     }
     RegisterStagingRegions(hw_, TileKey(t), tile, scratch);
@@ -318,6 +375,25 @@ void DepositionEngine::StageAndDepositTile(HwContext& hw, TileSet& tiles,
   DepositParams params;
   params.geom = tiles.geom();
   params.charge = charge;
+  params.dt = step_dt_;
+  if (esirkepov()) {
+    EsirkepovScratch& es = esirk_scratch_[static_cast<size_t>(t)];
+    TileCurrent& tj = tile_currents_[static_cast<size_t>(t)];
+    switch (config_.order) {
+      case 1:
+        EsirkepovDepositTileImpl<1>(hw, EsirkepovKey(t), tile, params, es, tj);
+        break;
+      case 2:
+        EsirkepovDepositTileImpl<2>(hw, EsirkepovKey(t), tile, params, es, tj);
+        break;
+      case 3:
+        EsirkepovDepositTileImpl<3>(hw, EsirkepovKey(t), tile, params, es, tj);
+        break;
+      default:
+        MPIC_CHECK_MSG(false, "unsupported shape order");
+    }
+    return;
+  }
   DepositScratch& scratch = scratch_[static_cast<size_t>(t)];
   RhocellBuffer& rhocell = rhocells_[static_cast<size_t>(t)];
   switch (config_.order) {
@@ -336,6 +412,24 @@ void DepositionEngine::StageAndDepositTile(HwContext& hw, TileSet& tiles,
     default:
       MPIC_CHECK_MSG(false, "unsupported shape order");
   }
+}
+
+template <int Order>
+void DepositionEngine::EsirkepovDepositTileImpl(HwContext& hw, uint64_t key_base,
+                                                ParticleTile& tile,
+                                                const DepositParams& params,
+                                                EsirkepovScratch& scratch,
+                                                TileCurrent& tile_j) {
+  // Size and register the staging before anything touches it (same contract
+  // as the direct path: writes must land in deterministically mapped memory).
+  scratch.Resize(tile.soa().size(), Order);
+  RegisterEsirkepovRegions(hw, key_base, scratch, tile_j);
+  // The variant's staging cost profile carries over: VPU-staged variants
+  // charge batched staging, the others the scalar loop.
+  StageEsirkepovTile<Order>(hw, tile, params, traits_.staging == StagingKind::kVpu,
+                            scratch);
+  DepositEsirkepovTile<Order>(hw, tile, params, traits_.sorted_iteration, scratch,
+                              tile_j);
 }
 
 template <int Order>
@@ -397,11 +491,15 @@ void DepositionEngine::StageAndDepositTileImpl(HwContext& hw, uint64_t tile_key,
 
 void DepositionEngine::ReduceTile(HwContext& hw, TileSet& tiles, FieldSet& fields,
                                   int t) {
-  if (!traits_.uses_rhocell) {
-    return;
-  }
   ParticleTile& tile = tiles.tile(t);
   if (tile.num_live() == 0) {
+    return;
+  }
+  if (esirkepov()) {
+    ReduceEsirkepovToGrid(hw, tile_currents_[static_cast<size_t>(t)], fields);
+    return;
+  }
+  if (!traits_.uses_rhocell) {
     return;
   }
   RhocellBuffer& rhocell = rhocells_[static_cast<size_t>(t)];
@@ -440,6 +538,11 @@ void DepositionEngine::RegisterRegions(TileSet& tiles, FieldSet& fields) {
       hw_.RegisterRegion(rc.jx().data(), rc.jx().size() * sizeof(double));
       hw_.RegisterRegion(rc.jy().data(), rc.jy().size() * sizeof(double));
       hw_.RegisterRegion(rc.jz().data(), rc.jz().size() * sizeof(double));
+    }
+    if (esirkepov()) {
+      RegisterEsirkepovRegions(hw_, EsirkepovKey(t),
+                               esirk_scratch_[static_cast<size_t>(t)],
+                               tile_currents_[static_cast<size_t>(t)]);
     }
   }
 }
@@ -491,7 +594,8 @@ void DepositionEngine::FoldCurrentGuards(HwContext& hw, FieldSet& fields) {
 // ---- Legacy sweep-per-stage orchestration ----------------------------------
 
 EngineStepStats DepositionEngine::DepositStep(TileSet& tiles, FieldSet& fields,
-                                              double charge, bool fold_guards) {
+                                              double charge, bool fold_guards,
+                                              double dt) {
   EngineStepStats stats;
   // The resort policy's throughput window measures the deposition phases
   // (Preproc+Compute+Sort+Reduce) — the same window the fused pipeline feeds
@@ -502,7 +606,7 @@ EngineStepStats DepositionEngine::DepositStep(TileSet& tiles, FieldSet& fields,
   // Sweep 1: per-tile scan (every mutation — GPMA remove/insert/rebuild, slot
   // release — touches only the tile's own structures, so tiles run on
   // separate modeled cores), then the serial ordered delivery barrier.
-  BeginStep(tiles);
+  BeginStep(tiles, dt);
   std::vector<PaddedSlot<TileScanPartial>> partials(
       static_cast<size_t>(hw_.num_cores()));
   ParallelForTiles(hw_, tiles.num_tiles(), [&](HwContext& hw, int worker, int t) {

@@ -9,9 +9,13 @@
 //   [barrier] DeliverMovers / PostScanGlobalSort — serial, order-preserving
 //                         cross-tile delivery (and, for the global-sort-each-
 //                         step variant, the per-tile counting sort);
-//   StageAndDepositTile — staging + the configured deposition kernel;
-//   ReduceTile          — rhocell reduction onto the global J arrays, run
-//                         color class by color class (reduce_coloring());
+//   StageAndDepositTile — staging + the configured deposition kernel (or, in
+//                         CurrentScheme::kEsirkepov, the staged
+//                         charge-conserving kernel into the per-tile
+//                         TileCurrent scratch);
+//   ReduceTile          — rhocell / Esirkepov-scratch reduction onto the
+//                         global J arrays, run color class by color class
+//                         (reduce_coloring());
 // and FinishStep evaluates the adaptive global re-sorting policy (Sec. 4.4),
 // performing GlobalSortParticlesByCell when a trigger fires.
 //
@@ -32,6 +36,7 @@
 
 #include "src/core/deposit_variant.h"
 #include "src/deposit/deposit_params.h"
+#include "src/deposit/esirkepov.h"
 #include "src/deposit/rhocell.h"
 #include "src/grid/field_set.h"
 #include "src/hw/hw_context.h"
@@ -43,6 +48,12 @@ namespace mpic {
 struct EngineConfig {
   DepositVariant variant = DepositVariant::kFullOpt;
   int order = 1;  // 1 (CIC), 2 (TSC: scalar/baseline only), 3 (QSP)
+  // Physics of the J deposition, orthogonal to the variant: kDirect runs the
+  // variant's own kernel (q*v*S); kEsirkepov replaces it with the staged
+  // charge-conserving tile kernel (src/deposit/esirkepov.h) while keeping the
+  // variant's sort machinery, staging cost profile, and re-sort policy.
+  // kEsirkepov supports every order 1-3 with any variant.
+  CurrentScheme current_scheme = CurrentScheme::kDirect;
   GpmaConfig gpma;
   ResortPolicyConfig policy;
   // Adaptive low-density fallback (paper Sec. 6.1): cells with fewer live
@@ -66,6 +77,11 @@ struct EngineStepStats {
 // difference. Shared by the sort scan and the boundary stage so the two
 // stages' accounting can never drift apart.
 void TouchPositionStreams(HwContext& hw, const ParticleSoA& soa, int32_t n_slots);
+
+// Models a read-modify-write sweep of the old-position lanes (one batched
+// vector load + store per kVpuLanes slots per axis). Shared by the capture
+// stage and the boundary wrap so the old-lane accounting cannot drift apart.
+void TouchOldPositionStreams(HwContext& hw, ParticleSoA& soa, int32_t n_slots);
 
 // Per-worker partial of the scan stage. Tile-parallel callers keep one slot
 // per worker and fold the totals into EngineStepStats with AccumulateScan
@@ -94,8 +110,9 @@ class DepositionEngine {
   // color class; FinishStep once. J must be zeroed by the caller before the
   // first StageAndDepositTile of a step (Simulation does).
 
-  // Sizes the per-tile mover staging for this step.
-  void BeginStep(TileSet& tiles);
+  // Sizes the per-tile mover staging for this step and records the step dt
+  // (consumed by the Esirkepov scheme; callers running kDirect may omit it).
+  void BeginStep(TileSet& tiles, double dt = 0.0);
 
   // Pass-1 scan of one tile: recompute cells, apply within-tile GPMA moves,
   // stage tile leavers for ordered delivery. For unsorted variants this is
@@ -125,18 +142,19 @@ class DepositionEngine {
   void RefreshTileRegistrations(TileSet& tiles);
 
   // Pass-2 stage of one tile: staging + the configured deposition kernel for
-  // a species of the given charge [C]. Rhocell-backed kernels write only
-  // tile-private staging and rhocell blocks and may run tile-parallel;
-  // kBaselineScatter/kScalarReference scatter straight into shared J and must
-  // be called serially (deposit_is_tile_parallel() distinguishes them).
+  // a species of the given charge [C]. Rhocell-backed kernels and the
+  // Esirkepov scheme write only tile-private staging and scratch blocks and
+  // may run tile-parallel; the direct kBaselineScatter/kScalarReference
+  // kernels scatter straight into shared J and must be called serially
+  // (deposit_is_tile_parallel() distinguishes them).
   void StageAndDepositTile(HwContext& hw, TileSet& tiles, FieldSet& fields,
                            double charge, int t);
 
-  // Reduces one tile's rhocell blocks onto the global J arrays (no-op for
-  // non-rhocell variants). Tiles of one reduce_coloring() class have disjoint
-  // node footprints and may run concurrently; classes must run as sequential
-  // barriers, in class order, for the accumulation order onto shared nodes to
-  // be schedule-independent.
+  // Reduces one tile's scratch — rhocell blocks, or the Esirkepov TileCurrent
+  // — onto the global J arrays (no-op for direct non-rhocell variants). Tiles
+  // of one reduce_coloring() class have disjoint node footprints and may run
+  // concurrently; classes must run as sequential barriers, in class order,
+  // for the accumulation order onto shared nodes to be schedule-independent.
   void ReduceTile(HwContext& hw, TileSet& tiles, FieldSet& fields, int t);
 
   // Updates rank statistics from this step's deposition cycles and evaluates
@@ -153,17 +171,25 @@ class DepositionEngine {
   // returning; a multi-species caller passes false for every species and
   // calls FoldCurrentGuards once after all of them have accumulated, because
   // folding refills the guards with interior images and a second fold would
-  // double-count the earlier species.
+  // double-count the earlier species. `dt` is required (non-zero) by the
+  // Esirkepov scheme only.
   EngineStepStats DepositStep(TileSet& tiles, FieldSet& fields, double charge,
-                              bool fold_guards = true);
+                              bool fold_guards = true, double dt = 0.0);
 
   // Folds the periodic guard contributions of jx/jy/jz into the interior and
   // charges the reduction to the ledger (Phase::kReduce).
   static void FoldCurrentGuards(HwContext& hw, FieldSet& fields);
 
   // Registers a freshly added particle with the sorting structures (moving
-  // window injection). The particle must already be inside its tile.
+  // window injection). The particle must already be inside its tile. The
+  // overload taking an HwContext charges that context instead of the engine's
+  // own — tile-parallel injection passes its worker context (the GPMA insert
+  // touches only the destination tile's structures) and a per-worker rebuild
+  // counter, folded back with AccumulateInjectionRebuilds in worker order.
   void NotifyParticleAdded(TileSet& tiles, int tile_index, int32_t pid);
+  void NotifyParticleAdded(HwContext& hw, TileSet& tiles, int tile_index,
+                           int32_t pid, int64_t* rebuilds);
+  void AccumulateInjectionRebuilds(int64_t rebuilds);
 
   // Removes a particle (absorbed / left the window). The overload taking an
   // HwContext charges that context instead of the engine's own — tile-parallel
@@ -176,12 +202,21 @@ class DepositionEngine {
 
   const EngineConfig& config() const { return config_; }
   const VariantTraits& traits() const { return traits_; }
+  // True when the engine runs the charge-conserving Esirkepov current scheme.
+  bool esirkepov() const {
+    return config_.current_scheme == CurrentScheme::kEsirkepov;
+  }
   // True when StageAndDepositTile may run tile-parallel (the kernel
-  // accumulates into tile-private rhocell blocks instead of shared J).
-  bool deposit_is_tile_parallel() const { return traits_.uses_rhocell; }
-  // Halo-disjoint color classes of the rhocell -> J reduction (empty for
-  // non-rhocell variants). Computed once at Initialize; the moving window
-  // keeps tile boxes fixed in index space, so the schedule never changes.
+  // accumulates into tile-private rhocell blocks or the Esirkepov TileCurrent
+  // instead of shared J).
+  bool deposit_is_tile_parallel() const {
+    return traits_.uses_rhocell || esirkepov();
+  }
+  // Halo-disjoint color classes of the scratch -> J reduction (empty when no
+  // reduction runs). Computed once at Initialize; the moving window keeps
+  // tile boxes fixed in index space, so the schedule never changes. The halo
+  // is the reach of the active scheme: RhocellHaloNodes for direct rhocell
+  // kernels, the wider EsirkepovHaloNodes for the Esirkepov scheme.
   const std::vector<std::vector<int>>& reduce_coloring() const {
     return reduce_coloring_;
   }
@@ -201,9 +236,15 @@ class DepositionEngine {
   void UpdateRankStats(TileSet& tiles, const EngineStepStats& stats,
                        double step_cycles, int64_t live);
 
-  // Key base for this engine's keyed region registrations (SoA + staging of
-  // tile t use MemRegionKey(mem_owner_id_, t, 0..31)).
+  // Key bases for this engine's keyed region registrations: SoA + staging of
+  // tile t use MemRegionKey(mem_owner_id_, t, 0..31), the Esirkepov scratch
+  // streams 32..68.
   uint64_t TileKey(int t) const;
+  uint64_t EsirkepovKey(int t) const;
+  template <int Order>
+  void EsirkepovDepositTileImpl(HwContext& hw, uint64_t key_base,
+                                ParticleTile& tile, const DepositParams& params,
+                                EsirkepovScratch& scratch, TileCurrent& tile_j);
 
   HwContext& hw_;
   EngineConfig config_;
@@ -215,6 +256,11 @@ class DepositionEngine {
 
   std::vector<DepositScratch> scratch_;   // per tile
   std::vector<RhocellBuffer> rhocells_;   // per tile
+  // Esirkepov-scheme staging + per-tile J scratch (allocated only when the
+  // scheme is kEsirkepov).
+  std::vector<EsirkepovScratch> esirk_scratch_;  // per tile
+  std::vector<TileCurrent> tile_currents_;       // per tile
+  double step_dt_ = 0.0;  // recorded by BeginStep for the deposit stages
   std::vector<std::vector<int>> reduce_coloring_;
   struct Mover {
     Particle p;

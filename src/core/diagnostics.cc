@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "src/deposit/deposit_scalar.h"
+#include "src/deposit/esirkepov.h"
 #include "src/particles/species.h"
 
 namespace mpic {
@@ -110,6 +111,72 @@ double SpeciesTemperature(const TileSet& tiles, const Species& species) {
     }
   }
   return species.mass * var / (3.0 * sw);
+}
+
+FieldArray DepositChargeDensity(Simulation& sim) {
+  const GridGeometry& g = sim.fields().geom;
+  FieldArray rho(g.nx, g.ny, g.nz, 2);
+  for (int sid = 0; sid < sim.num_species(); ++sid) {
+    SpeciesBlock& b = sim.block(sid);
+    DepositParams dp;
+    dp.geom = b.tiles.geom();
+    dp.charge = b.species.charge;
+    for (int t = 0; t < b.tiles.num_tiles(); ++t) {
+      switch (b.engine.config().order) {
+        case 1:
+          DepositCharge<1>(sim.hw(), b.tiles.tile(t), dp, rho);
+          break;
+        case 2:
+          DepositCharge<2>(sim.hw(), b.tiles.tile(t), dp, rho);
+          break;
+        case 3:
+          DepositCharge<3>(sim.hw(), b.tiles.tile(t), dp, rho);
+          break;
+        default:
+          MPIC_CHECK_MSG(false, "unsupported shape order");
+      }
+    }
+  }
+  rho.FoldGuardsPeriodic();
+  return rho;
+}
+
+void GaussResidualField(const FieldSet& fields, const FieldArray& rho,
+                        FieldArray* out) {
+  const GridGeometry& g = fields.geom;
+  for (int k = 1; k < g.nz - 1; ++k) {
+    for (int j = 1; j < g.ny - 1; ++j) {
+      for (int i = 1; i < g.nx - 1; ++i) {
+        const double div_e =
+            (fields.ex.At(i, j, k) - fields.ex.At(i - 1, j, k)) / g.dx +
+            (fields.ey.At(i, j, k) - fields.ey.At(i, j - 1, k)) / g.dy +
+            (fields.ez.At(i, j, k) - fields.ez.At(i, j, k - 1)) / g.dz;
+        out->At(i, j, k) = div_e - rho.At(i, j, k) / kEpsilon0;
+      }
+    }
+  }
+}
+
+double MaxResidualChange(const FieldArray& a, const FieldArray& b, double scale) {
+  MPIC_CHECK(a.vec().size() == b.vec().size());
+  MPIC_CHECK(scale > 0.0);
+  double max_change = 0.0;
+  for (size_t i = 0; i < a.vec().size(); ++i) {
+    max_change = std::max(max_change, std::fabs(a.vec()[i] - b.vec()[i]));
+  }
+  return max_change / scale;
+}
+
+double GaussResidualScale(const FieldArray& rho) {
+  double scale = 0.0;
+  for (int k = 1; k < rho.nz() - 1; ++k) {
+    for (int j = 1; j < rho.ny() - 1; ++j) {
+      for (int i = 1; i < rho.nx() - 1; ++i) {
+        scale = std::max(scale, std::fabs(rho.At(i, j, k) / kEpsilon0));
+      }
+    }
+  }
+  return scale;
 }
 
 double TotalKineticEnergy(const Simulation& sim) {

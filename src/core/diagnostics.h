@@ -33,6 +33,28 @@ void SpeciesMomentum(const TileSet& tiles, const Species& species, double out[3]
 // weighted means (non-relativistic; the collision workloads run at u << c).
 double SpeciesTemperature(const TileSet& tiles, const Species& species);
 
+// Nodal charge density of every species, each deposited at its own engine's
+// shape order, with periodic guard folding. `rho` is created with the
+// simulation's geometry and two guard nodes.
+FieldArray DepositChargeDensity(Simulation& sim);
+
+// Fills `out` (same geometry/guards as rho) with the Gauss-law residual
+// div E - rho/eps0 over the interior nodes [1, n-1) of each axis (the
+// backward difference needs the node below; guard nodes are left at zero).
+// Charge conservation diagnostics compare this field at two times: the
+// Esirkepov scheme keeps it frozen to rounding, direct deposition lets it
+// drift (tests/physics_test.cc, bench_abl_esirkepov).
+void GaussResidualField(const FieldSet& fields, const FieldArray& rho,
+                        FieldArray* out);
+
+// Max |a - b| over the interior nodes both residual fields cover, divided by
+// `scale` (pass e.g. max |rho0|/eps0). The headline charge-conservation
+// metric.
+double MaxResidualChange(const FieldArray& a, const FieldArray& b, double scale);
+
+// Max |rho|/eps0 over interior nodes — the natural scale for residual drift.
+double GaussResidualScale(const FieldArray& rho);
+
 // Snapshot of per-phase ledger cycles, used to diff across a run.
 using PhaseCycles = std::array<double, kNumPhases>;
 PhaseCycles SnapshotCycles(const CostLedger& ledger);

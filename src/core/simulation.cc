@@ -58,6 +58,18 @@ int64_t Simulation::SeedProfiledPlasma(int sid, const ProfiledPlasmaConfig& cfg)
 }
 
 void Simulation::Initialize() {
+  // The field solver interprets the shared J arrays globally: node-centered
+  // (direct deposition, averaged onto the Yee faces) or face-centered
+  // (Esirkepov). Species cannot mix the two into one J.
+  int n_esirkepov = 0;
+  for (auto& b : blocks_) {
+    n_esirkepov += b->engine.esirkepov() ? 1 : 0;
+  }
+  MPIC_CHECK_MSG(n_esirkepov == 0 ||
+                     n_esirkepov == static_cast<int>(blocks_.size()),
+                 "CurrentScheme must match across species: the shared J is "
+                 "either node-centered (direct) or Yee-staggered (Esirkepov)");
+  staggered_j_ = n_esirkepov > 0;
   for (auto& b : blocks_) {
     b->gather_scratch.assign(static_cast<size_t>(b->tiles.num_tiles()),
                              GatherScratch{});
@@ -152,16 +164,34 @@ void Simulation::AdvanceWindow() {
           }
         }
       });
-      // Refill the freshly exposed head slab.
+      // Refill the freshly exposed head slab: serial generation into per-tile
+      // injection lists (the RNG sequence stays the canonical global cell
+      // order), then a tile-parallel insertion sweep mirroring the
+      // mover-delivery pattern — every AddParticle and GPMA insert touches
+      // only the destination tile's structures, and each tile consumes its
+      // list in generation order, so slot assignment is bit-identical to the
+      // serial injector for any core/thread count.
       if (b->window_injection.has_value()) {
         ProfiledPlasmaConfig inj = *b->window_injection;
         inj.z_cell_lo = g.nz - 1;
         inj.z_cell_hi = g.nz;
         inj.seed = injection_seed_++;
-        std::vector<TileSet::Handle> handles;
-        InjectProfiledPlasma(b->tiles, inj, &handles);
-        for (const auto& h : handles) {
-          b->engine.NotifyParticleAdded(b->tiles, h.tile, h.pid);
+        const std::vector<std::vector<Particle>> lists =
+            BuildProfiledPlasmaTileLists(b->tiles, inj);
+        std::vector<PaddedSlot<int64_t>> rebuilds(
+            static_cast<size_t>(hw_.num_cores()));
+        ParallelForTiles(
+            hw_, b->tiles.num_tiles(), [&](HwContext& hw, int worker, int t) {
+              ParticleTile& tile = b->tiles.tile(t);
+              for (const Particle& p : lists[static_cast<size_t>(t)]) {
+                const int32_t pid = tile.AddParticle(p);
+                b->engine.NotifyParticleAdded(
+                    hw, b->tiles, t, pid,
+                    &rebuilds[static_cast<size_t>(worker)].value);
+              }
+            });
+        for (const PaddedSlot<int64_t>& slot : rebuilds) {
+          b->engine.AccumulateInjectionRebuilds(slot.value);
         }
       }
     }
@@ -189,7 +219,7 @@ void Simulation::Step() {
   }
 
   solver_.UpdateB(hw_, fields_, 0.5 * dt_);
-  solver_.UpdateE(hw_, fields_, dt_);
+  solver_.UpdateE(hw_, fields_, dt_, staggered_j_);
   solver_.UpdateB(hw_, fields_, 0.5 * dt_);
 
   time_ += dt_;

@@ -140,6 +140,10 @@ class Simulation {
   SimStepStats last_sim_stats_;
 
   bool initialized_ = false;
+  // True when the species run the Esirkepov scheme: J is Yee-staggered and
+  // the solver consumes it without node->face averaging. Set at Initialize
+  // (the scheme must match across species).
+  bool staggered_j_ = false;
   double dt_ = 0.0;
   double time_ = 0.0;
   int64_t step_count_ = 0;

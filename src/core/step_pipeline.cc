@@ -77,29 +77,71 @@ void StepPipeline::PrepareTileRegions(SpeciesBlock& block) {
   }
 }
 
+void StepPipeline::CaptureOldPositionsTile(HwContext& hw, ParticleTile& tile) {
+  // Pre-push position capture for the Esirkepov scheme: a streaming copy of
+  // the three position streams into the old-position lanes, so the deposit
+  // stage can form each particle's displacement after push, wrap, and
+  // cross-tile migration. Charged with the push it prefixes.
+  PhaseScope phase(hw.ledger(), Phase::kPush);
+  ParticleSoA& soa = tile.soa();
+  const int32_t n = tile.num_slots();
+  std::copy(soa.x.begin(), soa.x.end(), soa.xo.begin());
+  std::copy(soa.y.begin(), soa.y.end(), soa.yo.begin());
+  std::copy(soa.z.begin(), soa.z.end(), soa.zo.begin());
+  for (int32_t base = 0; base < n; base += kVpuLanes) {
+    const size_t batch =
+        static_cast<size_t>(std::min<int32_t>(kVpuLanes, n - base));
+    hw.TouchRead(soa.x.data() + base, sizeof(double) * batch);
+    hw.TouchRead(soa.y.data() + base, sizeof(double) * batch);
+    hw.TouchRead(soa.z.data() + base, sizeof(double) * batch);
+    hw.TouchWrite(soa.xo.data() + base, sizeof(double) * batch);
+    hw.TouchWrite(soa.yo.data() + base, sizeof(double) * batch);
+    hw.TouchWrite(soa.zo.data() + base, sizeof(double) * batch);
+    hw.ledger().counters().vpu_mem += 6;
+  }
+}
+
 void StepPipeline::BoundaryTile(HwContext& hw, SpeciesBlock& block,
                                 bool drop_behind_window, int t) {
   PhaseScope phase(hw.ledger(), Phase::kOther);
   const GridGeometry& g = block.tiles.geom();
   ParticleTile& tile = block.tiles.tile(t);
   ParticleSoA& soa = tile.soa();
+  // Under the Esirkepov scheme a periodic wrap must shift the old position by
+  // the same offset, so the displacement — the physical quantity the scheme
+  // deposits — is unchanged by the coordinate jump.
+  const bool track_old = block.engine.esirkepov();
   const int32_t n = tile.num_slots();
-  hw.ChargeCycles(static_cast<double>((n + kVpuLanes - 1) / kVpuLanes) * 6.0 /
-                  hw.cfg().vpu_pipes);
+  hw.ChargeCycles(static_cast<double>((n + kVpuLanes - 1) / kVpuLanes) *
+                  (track_old ? 9.0 : 6.0) / hw.cfg().vpu_pipes);
   TouchPositionStreams(hw, soa, n);
+  if (track_old) {
+    // The old-position lanes stream through alongside (read-modify-write).
+    TouchOldPositionStreams(hw, soa, n);
+  }
   for (int32_t pid = 0; pid < n; ++pid) {
     if (!tile.IsLive(pid)) {
       continue;
     }
     const auto i = static_cast<size_t>(pid);
-    soa.x[i] = g.WrapX(soa.x[i]);
-    soa.y[i] = g.WrapY(soa.y[i]);
+    const double wx = g.WrapX(soa.x[i]);
+    const double wy = g.WrapY(soa.y[i]);
+    if (track_old) {
+      soa.xo[i] += wx - soa.x[i];
+      soa.yo[i] += wy - soa.y[i];
+    }
+    soa.x[i] = wx;
+    soa.y[i] = wy;
     if (drop_behind_window) {
       if (soa.z[i] < g.z0 || soa.z[i] >= g.z0 + g.LengthZ()) {
         block.engine.RemoveParticle(hw, block.tiles, t, pid);
       }
     } else {
-      soa.z[i] = g.WrapZ(soa.z[i]);
+      const double wz = g.WrapZ(soa.z[i]);
+      if (track_old) {
+        soa.zo[i] += wz - soa.z[i];
+      }
+      soa.z[i] = wz;
     }
   }
 }
@@ -143,6 +185,9 @@ void StepPipeline::FusedPass1Impl(const StepPipelineInputs& in, SpeciesBlock& bl
         ParticleTile& tile = block.tiles.tile(t);
         Pass1Partial& part = partials[static_cast<size_t>(worker)].value;
         if (tile.num_live() > 0) {
+          if (block.engine.esirkepov()) {
+            CaptureOldPositionsTile(hw, tile);
+          }
           GatherScratch& gs = block.gather_scratch[static_cast<size_t>(t)];
           GatherFieldsTile<Order>(hw, tile, fields, gs);
           PushTileBoris(hw, tile, gs, pp);
@@ -240,6 +285,9 @@ void StepPipeline::LegacyGatherAndPushImpl(SpeciesBlock& block, double dt,
                      if (tile.num_live() == 0) {
                        return;
                      }
+                     if (block.engine.esirkepov()) {
+                       CaptureOldPositionsTile(hw, tile);
+                     }
                      GatherScratch& gs =
                          block.gather_scratch[static_cast<size_t>(t)];
                      GatherFieldsTile<Order>(hw, tile, fields, gs);
@@ -282,7 +330,7 @@ void StepPipeline::RunParticleStages(const StepPipelineInputs& in,
       SpeciesStepStats ss;
       ss.name = b->species.name;
       PrepareTileRegions(*b);
-      b->engine.BeginStep(b->tiles);
+      b->engine.BeginStep(b->tiles, in.dt);
       const double dep_before = hw_.ledger().DepositionCycles();
       FusedPass1(in, *b, fields, &ss);
       b->engine.DeliverMovers(b->tiles, &ss.engine);
@@ -313,7 +361,7 @@ void StepPipeline::RunParticleStages(const StepPipelineInputs& in,
       SpeciesStepStats ss;
       ss.name = b->species.name;
       ss.engine = b->engine.DepositStep(b->tiles, fields, b->species.charge,
-                                        /*fold_guards=*/!shared_fold);
+                                        /*fold_guards=*/!shared_fold, in.dt);
       ss.pushed = b->pushed_last_step;
       stats->species.push_back(std::move(ss));
     }

@@ -120,7 +120,12 @@ class StepPipeline {
   // with the main context's address map, so in-region accesses never fall
   // back to nondeterministic identity mapping after a reallocation.
   void PrepareTileRegions(SpeciesBlock& block);
-  // Boundary wrap / window drop for one tile (Phase::kOther).
+  // Pre-push position capture into the SoA old-position lanes, for species
+  // whose engine runs the Esirkepov current scheme (Phase::kPush).
+  void CaptureOldPositionsTile(HwContext& hw, ParticleTile& tile);
+  // Boundary wrap / window drop for one tile (Phase::kOther). Under the
+  // Esirkepov scheme the old-position lanes shift with the wrap so the
+  // displacement survives the coordinate jump.
   void BoundaryTile(HwContext& hw, SpeciesBlock& block, bool drop_behind_window,
                     int t);
 

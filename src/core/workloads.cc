@@ -69,15 +69,17 @@ SimulationConfig MakeUniformConfig(const UniformWorkloadParams& p) {
   cfg.tile_x = cfg.tile_y = cfg.tile_z = p.tile;
   cfg.engine.variant = p.variant;
   cfg.engine.order = p.order;
+  cfg.engine.current_scheme = p.scheme;
   cfg.species.clear();
   for (const UniformSpeciesParams& sp : EffectiveUniformSpecies(p)) {
     // Overrides merge onto the workload-wide engine config field by field, so
     // e.g. a variant-only override still runs at the workload's shape order.
     std::optional<EngineConfig> engine;
-    if (sp.variant.has_value() || sp.order > 0) {
+    if (sp.variant.has_value() || sp.order > 0 || sp.scheme.has_value()) {
       EngineConfig e = cfg.engine;
       if (sp.variant.has_value()) e.variant = *sp.variant;
       if (sp.order > 0) e.order = sp.order;
+      if (sp.scheme.has_value()) e.current_scheme = *sp.scheme;
       engine = e;
     }
     SpeciesConfig sc;
@@ -129,6 +131,7 @@ SimulationConfig MakeLwfaConfig(const LwfaWorkloadParams& p) {
   cfg.tile_z = p.tile_z;
   cfg.engine.variant = p.variant;
   cfg.engine.order = 1;  // paper: LWFA uses the CIC scheme
+  cfg.engine.current_scheme = p.scheme;
   cfg.cfl = 0.98;
   cfg.solver = SolverKind::kCkc;
   cfg.fuse_stages = p.fuse_stages;

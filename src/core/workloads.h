@@ -39,17 +39,20 @@ struct UniformSpeciesParams {
   double u_th = -1.0;                   // < 0 = workload base u_th
   // Per-species engine overrides, merged onto the workload-wide engine config
   // like the fields above (e.g. kHybridNoSort for slow heavy ions). Unset
-  // values inherit the workload's variant/order.
+  // values inherit the workload's variant/order/scheme.
   std::optional<DepositVariant> variant;
   int order = 0;  // 0 = workload base order
+  std::optional<CurrentScheme> scheme;
 };
 
 struct UniformWorkloadParams {
   int nx = 16, ny = 8, nz = 8;
   // Particles per cell per dimension; paper sweeps [1,1,1] .. [8,4,4].
   int ppc_x = 4, ppc_y = 4, ppc_z = 4;
-  int order = 1;  // 1 (CIC) or 3 (QSP)
+  int order = 1;  // 1 (CIC) or 3 (QSP); the Esirkepov scheme also takes 2 (TSC)
   DepositVariant variant = DepositVariant::kFullOpt;
+  // Direct (paper configuration) or charge-conserving Esirkepov deposition.
+  CurrentScheme scheme = CurrentScheme::kDirect;
   double density = 1e25;  // m^-3, per species
   double u_th = 0.01;     // thermal proper velocity / c
   int tile = 8;           // particles.tile_size (cubic)
@@ -75,6 +78,8 @@ struct LwfaWorkloadParams {
   int nx = 16, ny = 16, nz = 64;
   int ppc_x = 2, ppc_y = 2, ppc_z = 2;
   DepositVariant variant = DepositVariant::kFullOpt;
+  // Direct (paper configuration) or charge-conserving Esirkepov deposition.
+  CurrentScheme scheme = CurrentScheme::kDirect;
   double density = 2e23;  // background plasma density, m^-3
   double a0 = 4.0;
   int tile = 8;

@@ -14,6 +14,9 @@ struct DepositParams {
   GridGeometry geom;
   // Species charge [C]. Current density J gets q * v * w * S / cell_volume.
   double charge = 0.0;
+  // Timestep [s]. Consumed only by the Esirkepov current scheme, whose J is
+  // charge motion per unit time; the direct kernels ignore it.
+  double dt = 0.0;
 
   double InvCellVolume() const { return 1.0 / (geom.dx * geom.dy * geom.dz); }
 };

@@ -163,6 +163,9 @@ void RegisterStagingRegions(HwContext& hw, uint64_t tile_key_base,
   reg(soa.uy);
   reg(soa.uz);
   reg(soa.w);
+  reg(soa.xo);
+  reg(soa.yo);
+  reg(soa.zo);
   reg(scratch.ix);
   reg(scratch.iy);
   reg(scratch.iz);

@@ -30,11 +30,13 @@ template <int Order>
 void StageTileVpu(HwContext& hw, const ParticleTile& tile,
                   const DepositParams& params, DepositScratch& scratch);
 
-// Registers the tile's SoA arrays and the scratch arrays with the hardware
-// model's address space under stable keys (`tile_key_base` from MemRegionKey
-// with stream 0; streams 0..31 are reserved for these arrays), so the logical
-// layout stays deterministic across reallocations. Call whenever the arrays
-// may have moved since the last registration (cheap no-op otherwise).
+// Registers the tile's SoA arrays (including the old-position lanes) and the
+// scratch arrays with the hardware model's address space under stable keys
+// (`tile_key_base` from MemRegionKey with stream 0; streams 0..31 are
+// reserved for these arrays, 32..68 for the Esirkepov scheme's scratch — see
+// RegisterEsirkepovRegions), so the logical layout stays deterministic across
+// reallocations. Call whenever the arrays may have moved since the last
+// registration (cheap no-op otherwise).
 void RegisterStagingRegions(HwContext& hw, uint64_t tile_key_base,
                             const ParticleTile& tile, const DepositScratch& scratch);
 

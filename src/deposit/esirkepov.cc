@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "src/common/check.h"
+#include "src/deposit/particle_iteration.h"
 #include "src/shape/shape_function.h"
 
 namespace mpic {
@@ -40,18 +40,306 @@ struct AxisPair {
   }
 };
 
+// The staged form of the same window: midpoint weights m = (s0+s1)/2 and
+// difference weights d = s1-s0. The transverse factor of the Esirkepov
+// decomposition (Eq. 38) then becomes the rank-2 outer-product sum
+//   T[b][c] = m_b * m_c + (1/12) * d_b * d_c,
+// algebraically identical to the s0/ds mixing the reference kernel uses.
+template <int Order>
+struct AxisWindow {
+  static constexpr int kWindow = Order + 2;
+  int base = 0;
+  double m[Order + 2];
+  double d[Order + 2];
+
+  void Eval(double g_old, double g_new) {
+    AxisPair<Order> pair;
+    pair.Eval(g_old, g_new);
+    base = pair.base;
+    for (int t = 0; t < kWindow; ++t) {
+      m[t] = 0.5 * (pair.s0[t] + pair.s1[t]);
+      d[t] = pair.ds[t];
+    }
+  }
+};
+
+// ALU estimates for one particle's Esirkepov staging: two position->grid
+// conversions, two shape evaluations, and the m/d combine per axis.
+template <int Order>
+constexpr int ScalarEsirkepovStagingOps() {
+  constexpr int kIndexOps = 18;  // gx and floor per axis, old + new
+  constexpr int kShapeOps = 2 * (Order == 1 ? 3 : (Order == 2 ? 15 : 27));
+  constexpr int kCombineOps = 6 * (Order + 2);  // m and d per window lane
+  return kIndexOps + kShapeOps + kCombineOps + 2;  // + charge factor
+}
+
+template <int Order>
+constexpr int VpuEsirkepovStagingOps() {
+  constexpr int kIndexOps = 24;
+  constexpr int kShapeOps = 2 * (Order == 1 ? 3 : (Order == 2 ? 12 : 21));
+  constexpr int kCombineOps = 3 * (Order + 2);  // fused m/d vector combine
+  return kIndexOps + kShapeOps + kCombineOps + 2;
+}
+
+template <int Order>
+void StageOneEsirkepov(const ParticleSoA& soa, size_t i, const DepositParams& params,
+                       EsirkepovScratch& scratch) {
+  constexpr int kW = Order + 2;
+  const GridGeometry& g = params.geom;
+  AxisWindow<Order> ax, ay, az;
+  ax.Eval(g.GridX(soa.xo[i]), g.GridX(soa.x[i]));
+  ay.Eval(g.GridY(soa.yo[i]), g.GridY(soa.y[i]));
+  az.Eval(g.GridZ(soa.zo[i]), g.GridZ(soa.z[i]));
+  scratch.bx[i] = static_cast<int32_t>(ax.base);
+  scratch.by[i] = static_cast<int32_t>(ay.base);
+  scratch.bz[i] = static_cast<int32_t>(az.base);
+  for (int t = 0; t < kW; ++t) {
+    scratch.mx[t][i] = ax.m[t];
+    scratch.my[t][i] = ay.m[t];
+    scratch.mz[t][i] = az.m[t];
+    scratch.dx[t][i] = ax.d[t];
+    scratch.dy[t][i] = ay.d[t];
+    scratch.dz[t][i] = az.d[t];
+  }
+  scratch.qf[i] = params.charge * soa.w[i] * params.InvCellVolume();
+}
+
 }  // namespace
+
+template <int Order>
+void StageEsirkepovTile(HwContext& hw, const ParticleTile& tile,
+                        const DepositParams& params, bool vpu_staging,
+                        EsirkepovScratch& scratch) {
+  PhaseScope phase(hw.ledger(), Phase::kPreproc);
+  constexpr int kW = Order + 2;
+  const ParticleSoA& soa = tile.soa();
+  scratch.Resize(soa.size(), Order);
+  const size_t n = soa.size();
+  if (!vpu_staging) {
+    for (size_t i = 0; i < n; ++i) {
+      if (!tile.IsLive(static_cast<int32_t>(i))) {
+        hw.ScalarOps(1);  // validity test
+        continue;
+      }
+      // Loads: x, y, z and the old-position lanes, plus the weight.
+      hw.TouchRead(&soa.x[i], sizeof(double));
+      hw.TouchRead(&soa.y[i], sizeof(double));
+      hw.TouchRead(&soa.z[i], sizeof(double));
+      hw.TouchRead(&soa.xo[i], sizeof(double));
+      hw.TouchRead(&soa.yo[i], sizeof(double));
+      hw.TouchRead(&soa.zo[i], sizeof(double));
+      hw.TouchRead(&soa.w[i], sizeof(double));
+      hw.ScalarOps(ScalarEsirkepovStagingOps<Order>());
+      StageOneEsirkepov<Order>(soa, i, params, scratch);
+      hw.TouchWrite(&scratch.bx[i], sizeof(int32_t) * 3);
+      for (int t = 0; t < kW; ++t) {
+        hw.TouchWrite(&scratch.mx[t][i], sizeof(double));
+        hw.TouchWrite(&scratch.my[t][i], sizeof(double));
+        hw.TouchWrite(&scratch.mz[t][i], sizeof(double));
+        hw.TouchWrite(&scratch.dx[t][i], sizeof(double));
+        hw.TouchWrite(&scratch.dy[t][i], sizeof(double));
+        hw.TouchWrite(&scratch.dz[t][i], sizeof(double));
+      }
+      hw.TouchWrite(&scratch.qf[i], sizeof(double));
+    }
+    return;
+  }
+  for (size_t base = 0; base < n; base += kVpuLanes) {
+    const size_t batch = std::min(n - base, static_cast<size_t>(kVpuLanes));
+    // Vector loads of the seven consumed SoA streams (contiguous slot order).
+    for (const auto* stream :
+         {&soa.x, &soa.y, &soa.z, &soa.xo, &soa.yo, &soa.zo, &soa.w}) {
+      hw.TouchRead(stream->data() + base, sizeof(double) * batch);
+      hw.ledger().counters().vpu_mem += 1;
+    }
+    hw.ledger().counters().vpu_ops +=
+        static_cast<uint64_t>(VpuEsirkepovStagingOps<Order>());
+    hw.ChargeCycles(VpuEsirkepovStagingOps<Order>() /
+                    static_cast<double>(hw.cfg().vpu_pipes));
+    // Real arithmetic (values must be exact; compute per live lane).
+    for (size_t i = base; i < base + batch; ++i) {
+      if (tile.IsLive(static_cast<int32_t>(i))) {
+        StageOneEsirkepov<Order>(soa, i, params, scratch);
+      }
+    }
+    // Vector stores of the staged streams.
+    hw.TouchWrite(&scratch.bx[base], sizeof(int32_t) * batch);
+    hw.TouchWrite(&scratch.by[base], sizeof(int32_t) * batch);
+    hw.TouchWrite(&scratch.bz[base], sizeof(int32_t) * batch);
+    for (int t = 0; t < kW; ++t) {
+      hw.TouchWrite(&scratch.mx[t][base], sizeof(double) * batch);
+      hw.TouchWrite(&scratch.my[t][base], sizeof(double) * batch);
+      hw.TouchWrite(&scratch.mz[t][base], sizeof(double) * batch);
+      hw.TouchWrite(&scratch.dx[t][base], sizeof(double) * batch);
+      hw.TouchWrite(&scratch.dy[t][base], sizeof(double) * batch);
+      hw.TouchWrite(&scratch.dz[t][base], sizeof(double) * batch);
+    }
+    hw.TouchWrite(&scratch.qf[base], sizeof(double) * batch);
+    hw.ledger().counters().vpu_mem += static_cast<uint64_t>(4 + 6 * kW);
+  }
+}
+
+template <int Order>
+void DepositEsirkepovTile(HwContext& hw, const ParticleTile& tile,
+                          const DepositParams& params, bool sorted,
+                          const EsirkepovScratch& scratch, TileCurrent& tile_j) {
+  PhaseScope phase(hw.ledger(), Phase::kCompute);
+  MPIC_CHECK_MSG(params.dt > 0.0, "Esirkepov deposition needs the step dt");
+  constexpr int kW = Order + 2;
+  constexpr double k12 = 1.0 / 12.0;
+  const GridGeometry& g = params.geom;
+  const double fx = g.dx / params.dt;
+  const double fy = g.dy / params.dt;
+  const double fz = g.dz / params.dt;
+  double* jx = tile_j.jx().data();
+  double* jy = tile_j.jy().data();
+  double* jz = tile_j.jz().data();
+
+  ForEachParticle(hw, tile, sorted, [&](int32_t pid) {
+    const auto i = static_cast<size_t>(pid);
+    hw.TouchRead(&scratch.bx[i], sizeof(int32_t));
+    hw.TouchRead(&scratch.by[i], sizeof(int32_t));
+    hw.TouchRead(&scratch.bz[i], sizeof(int32_t));
+    for (int t = 0; t < kW; ++t) {
+      hw.TouchRead(&scratch.mx[t][i], sizeof(double));
+      hw.TouchRead(&scratch.my[t][i], sizeof(double));
+      hw.TouchRead(&scratch.mz[t][i], sizeof(double));
+      hw.TouchRead(&scratch.dx[t][i], sizeof(double));
+      hw.TouchRead(&scratch.dy[t][i], sizeof(double));
+      hw.TouchRead(&scratch.dz[t][i], sizeof(double));
+    }
+    hw.TouchRead(&scratch.qf[i], sizeof(double));
+
+    const double cfx = scratch.qf[i] * fx;
+    const double cfy = scratch.qf[i] * fy;
+    const double cfz = scratch.qf[i] * fz;
+    const int bx = scratch.bx[i];
+    const int by = scratch.by[i];
+    const int bz = scratch.bz[i];
+    hw.ScalarOps(6);
+
+    // Jx: transverse plane T_yz = outer(my, mz) + (1/12) outer(dy, dz), then
+    // the cumulative sum of -dx[a] * T along x lands at the Yee face a+1/2.
+    for (int c = 0; c < kW; ++c) {
+      for (int b = 0; b < kW; ++b) {
+        const double ty =
+            scratch.my[b][i] * scratch.mz[c][i] + k12 * scratch.dy[b][i] * scratch.dz[c][i];
+        hw.ScalarOps(3);
+        double acc = 0.0;
+        const int64_t row = tile_j.Index(bx, by + b, bz + c);
+        for (int a = 0; a < kW - 1; ++a) {
+          acc -= scratch.dx[a][i] * ty;
+          hw.ScalarOps(2);
+          hw.AccumScalar(&jx[row + a], cfx * acc);
+        }
+      }
+    }
+    // Jy and Jz mirror the Jx structure with permuted axes.
+    for (int c = 0; c < kW; ++c) {
+      for (int a = 0; a < kW; ++a) {
+        const double tx =
+            scratch.mx[a][i] * scratch.mz[c][i] + k12 * scratch.dx[a][i] * scratch.dz[c][i];
+        hw.ScalarOps(3);
+        double acc = 0.0;
+        for (int b = 0; b < kW - 1; ++b) {
+          acc -= scratch.dy[b][i] * tx;
+          hw.ScalarOps(2);
+          hw.AccumScalar(&jy[tile_j.Index(bx + a, by + b, bz + c)], cfy * acc);
+        }
+      }
+    }
+    for (int b = 0; b < kW; ++b) {
+      for (int a = 0; a < kW; ++a) {
+        const double txy =
+            scratch.mx[a][i] * scratch.my[b][i] + k12 * scratch.dx[a][i] * scratch.dy[b][i];
+        hw.ScalarOps(3);
+        double acc = 0.0;
+        for (int c = 0; c < kW - 1; ++c) {
+          acc -= scratch.dz[c][i] * txy;
+          hw.ScalarOps(2);
+          hw.AccumScalar(&jz[tile_j.Index(bx + a, by + b, bz + c)], cfz * acc);
+        }
+      }
+    }
+  });
+}
+
+void ReduceEsirkepovToGrid(HwContext& hw, TileCurrent& tile_j, FieldSet& fields) {
+  if (tile_j.empty()) {
+    return;
+  }
+  PhaseScope phase(hw.ledger(), Phase::kReduce);
+  FieldArray* comps[3] = {&fields.jx, &fields.jy, &fields.jz};
+  std::vector<double>* scratch[3] = {&tile_j.jx(), &tile_j.jy(), &tile_j.jz()};
+  const int nx = tile_j.nx();
+  const int ny = tile_j.ny();
+  const int nz = tile_j.nz();
+  const int rows8 = (nx + kVpuLanes - 1) / kVpuLanes;
+  for (int comp = 0; comp < 3; ++comp) {
+    FieldArray& f = *comps[comp];
+    std::vector<double>& src = *scratch[comp];
+    for (int k = 0; k < nz; ++k) {
+      for (int j = 0; j < ny; ++j) {
+        // Both rows are x-contiguous: a clean vector load + add + store.
+        double* srow =
+            src.data() + static_cast<size_t>(nx) *
+                             (static_cast<size_t>(j) + static_cast<size_t>(ny) * k);
+        double* drow =
+            &f.data()[f.Index(tile_j.ox(), tile_j.oy() + j, tile_j.oz() + k)];
+        hw.TouchRead(srow, sizeof(double) * static_cast<size_t>(nx));
+        hw.TouchRead(drow, sizeof(double) * static_cast<size_t>(nx));
+        for (int i = 0; i < nx; ++i) {
+          drow[i] += srow[i];
+        }
+        hw.TouchWrite(drow, sizeof(double) * static_cast<size_t>(nx));
+        hw.ledger().counters().vpu_ops += static_cast<uint64_t>(2 * rows8);
+        hw.ChargeCycles(2.0 * rows8 / static_cast<double>(hw.cfg().vpu_pipes));
+      }
+    }
+    std::fill(src.begin(), src.end(), 0.0);
+    // Streaming re-zero of the scratch component.
+    hw.ChargeBulk(0.0, static_cast<double>(src.size()) * 8.0);
+  }
+}
+
+void RegisterEsirkepovRegions(HwContext& hw, uint64_t key_base,
+                              const EsirkepovScratch& scratch,
+                              const TileCurrent& tile_j) {
+  uint64_t key = key_base;
+  auto reg = [&hw, &key](const auto& v) {
+    const uint64_t k = key++;
+    if (!v.empty()) {
+      hw.RegisterRegionKeyed(k, v.data(), v.size() * sizeof(v[0]));
+    }
+  };
+  reg(scratch.bx);
+  reg(scratch.by);
+  reg(scratch.bz);
+  for (int t = 0; t < EsirkepovScratch::kMaxWindow; ++t) {
+    reg(scratch.mx[t]);
+    reg(scratch.my[t]);
+    reg(scratch.mz[t]);
+    reg(scratch.dx[t]);
+    reg(scratch.dy[t]);
+    reg(scratch.dz[t]);
+  }
+  reg(scratch.qf);
+  reg(tile_j.jx());
+  reg(tile_j.jy());
+  reg(tile_j.jz());
+}
 
 template <int Order>
 void DepositEsirkepov(HwContext& hw, const ParticleTile& tile,
                       const std::vector<double>& x_old,
                       const std::vector<double>& y_old,
                       const std::vector<double>& z_old,
-                      const EsirkepovParams& params, FieldSet& fields) {
+                      const DepositParams& params, FieldSet& fields) {
   PhaseScope phase(hw.ledger(), Phase::kCompute);
+  MPIC_CHECK_MSG(params.dt > 0.0, "Esirkepov deposition needs the step dt");
   constexpr int kW = Order + 2;
   const GridGeometry& g = params.geom;
-  const double inv_vol = 1.0 / (g.dx * g.dy * g.dz);
+  const double inv_vol = params.InvCellVolume();
   const ParticleSoA& soa = tile.soa();
 
   for (size_t i = 0; i < soa.size(); ++i) {
@@ -166,21 +454,36 @@ void DepositCharge(HwContext& hw, const ParticleTile& tile,
   }
 }
 
+template void StageEsirkepovTile<1>(HwContext&, const ParticleTile&,
+                                    const DepositParams&, bool, EsirkepovScratch&);
+template void StageEsirkepovTile<2>(HwContext&, const ParticleTile&,
+                                    const DepositParams&, bool, EsirkepovScratch&);
+template void StageEsirkepovTile<3>(HwContext&, const ParticleTile&,
+                                    const DepositParams&, bool, EsirkepovScratch&);
+template void DepositEsirkepovTile<1>(HwContext&, const ParticleTile&,
+                                      const DepositParams&, bool,
+                                      const EsirkepovScratch&, TileCurrent&);
+template void DepositEsirkepovTile<2>(HwContext&, const ParticleTile&,
+                                      const DepositParams&, bool,
+                                      const EsirkepovScratch&, TileCurrent&);
+template void DepositEsirkepovTile<3>(HwContext&, const ParticleTile&,
+                                      const DepositParams&, bool,
+                                      const EsirkepovScratch&, TileCurrent&);
 template void DepositEsirkepov<1>(HwContext&, const ParticleTile&,
                                   const std::vector<double>&,
                                   const std::vector<double>&,
                                   const std::vector<double>&,
-                                  const EsirkepovParams&, FieldSet&);
+                                  const DepositParams&, FieldSet&);
 template void DepositEsirkepov<2>(HwContext&, const ParticleTile&,
                                   const std::vector<double>&,
                                   const std::vector<double>&,
                                   const std::vector<double>&,
-                                  const EsirkepovParams&, FieldSet&);
+                                  const DepositParams&, FieldSet&);
 template void DepositEsirkepov<3>(HwContext&, const ParticleTile&,
                                   const std::vector<double>&,
                                   const std::vector<double>&,
                                   const std::vector<double>&,
-                                  const EsirkepovParams&, FieldSet&);
+                                  const DepositParams&, FieldSet&);
 template void DepositCharge<1>(HwContext&, const ParticleTile&, const DepositParams&,
                                FieldArray&);
 template void DepositCharge<2>(HwContext&, const ParticleTile&, const DepositParams&,

@@ -1,5 +1,5 @@
-// Charge-conserving current deposition after Esirkepov (CPC 135, 2001) — the
-// extension the paper lists as future work (Sec. 7).
+// Charge-conserving current deposition after Esirkepov (CPC 135, 2001),
+// integrated as CurrentScheme::kEsirkepov of the DepositionEngine.
 //
 // Direct deposition (the kernels in deposit_*.cc) does not satisfy the
 // discrete continuity equation, so PIC codes using it must periodically clean
@@ -11,15 +11,42 @@
 // holds exactly on the staggered (Yee) mesh, for any shape order. The J
 // components land at their Yee locations (Jx at i+1/2 etc.); rho is nodal.
 //
-// The implementation is the scalar canonical form (charged like the baseline);
-// mapping it onto the MPU is an open research direction noted in ROADMAP.md
-// ("Esirkepov current deposition"; see also the README's architecture notes).
+// Two forms live here:
+//
+//  * The engine path is *staged*, in the spirit of the rhocell pipeline
+//    (Algorithm 2): StageEsirkepovTile evaluates, once per particle, the
+//    per-axis weight windows over the union of the old and new shape
+//    supports — the midpoint weights m = (S_old + S_new)/2 and difference
+//    weights d = S_new - S_old — into an EsirkepovScratch (keyed MemMap
+//    registration, Phase::kPreproc, scalar or VPU cost profile matching the
+//    variant's staging). DepositEsirkepovTile then combines the axis vectors
+//    by outer product — each transverse plane is the rank-2 sum
+//    outer(m_b, m_c) + (1/12) outer(d_b, d_c) — and accumulates the running
+//    density-decomposition sums into a per-tile Yee-staggered TileCurrent
+//    scratch (Phase::kCompute). The writes are tile-private, so tiles fan out
+//    in parallel like the rhocell kernels; ReduceEsirkepovToGrid performs the
+//    O(tile nodes) scatter-add onto the global J arrays on the engine's
+//    halo-disjoint colored schedule (Phase::kReduce).
+//
+//  * DepositEsirkepov is the scalar canonical form, kept as the reference the
+//    staged path is validated against (tests/esirkepov_test.cc).
+//
+// Old positions arrive through the ParticleSoA old-position lanes (xo/yo/zo),
+// captured by the step pipeline before the push and maintained across
+// periodic wrap and cross-tile migration; the displacement must satisfy the
+// CFL bound (|delta| < one cell per axis), which the union window of
+// Order + 2 nodes per axis encodes.
+//
+// Mapping the decomposition's outer products onto the MPU is an open research
+// direction noted in ROADMAP.md.
 
 #ifndef MPIC_SRC_DEPOSIT_ESIRKEPOV_H_
 #define MPIC_SRC_DEPOSIT_ESIRKEPOV_H_
 
+#include <cstdint>
 #include <vector>
 
+#include "src/common/check.h"
 #include "src/deposit/deposit_params.h"
 #include "src/grid/field_set.h"
 #include "src/hw/hw_context.h"
@@ -27,23 +54,140 @@
 
 namespace mpic {
 
-struct EsirkepovParams {
-  GridGeometry geom;
-  double charge = 0.0;
-  double dt = 0.0;
+// How many nodes beyond the tile's cell box the staged Esirkepov deposit can
+// write on each side: the window is the union of the old and new supports,
+// and after the sort barriers the *new* cell is inside the tile while the old
+// position may be up to one cell outside (CFL). Used both to size the
+// TileCurrent scratch and to build the halo-disjoint reduction coloring.
+inline constexpr int EsirkepovHaloNodes(int order) { return order == 1 ? 1 : 2; }
+
+// Per-tile Yee-staggered J accumulation scratch: the tile's node box extended
+// by EsirkepovHaloNodes on every side, one array per component, indexed by
+// global node index. Zeroed after every reduction (like the rhocell blocks).
+class TileCurrent {
+ public:
+  void Resize(const ParticleTile& tile, int order) {
+    const int halo = EsirkepovHaloNodes(order);
+    ox_ = tile.lo_x() - halo;
+    oy_ = tile.lo_y() - halo;
+    oz_ = tile.lo_z() - halo;
+    nx_ = tile.nx() + 1 + 2 * halo;
+    ny_ = tile.ny() + 1 + 2 * halo;
+    nz_ = tile.nz() + 1 + 2 * halo;
+    const size_t n =
+        static_cast<size_t>(nx_) * static_cast<size_t>(ny_) * static_cast<size_t>(nz_);
+    jx_.assign(n, 0.0);
+    jy_.assign(n, 0.0);
+    jz_.assign(n, 0.0);
+  }
+
+  bool empty() const { return jx_.empty(); }
+  // Node extents / low corner, in global node indices.
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  int nz() const { return nz_; }
+  int ox() const { return ox_; }
+  int oy() const { return oy_; }
+  int oz() const { return oz_; }
+
+  // Linear index of global node (gx, gy, gz); x fastest, like FieldArray.
+  int64_t Index(int gx, int gy, int gz) const {
+    MPIC_DCHECK(gx >= ox_ && gx < ox_ + nx_);
+    MPIC_DCHECK(gy >= oy_ && gy < oy_ + ny_);
+    MPIC_DCHECK(gz >= oz_ && gz < oz_ + nz_);
+    return (gx - ox_) +
+           static_cast<int64_t>(nx_) *
+               ((gy - oy_) + static_cast<int64_t>(ny_) * (gz - oz_));
+  }
+
+  std::vector<double>& jx() { return jx_; }
+  std::vector<double>& jy() { return jy_; }
+  std::vector<double>& jz() { return jz_; }
+  const std::vector<double>& jx() const { return jx_; }
+  const std::vector<double>& jy() const { return jy_; }
+  const std::vector<double>& jz() const { return jz_; }
+
+ private:
+  int ox_ = 0, oy_ = 0, oz_ = 0;
+  int nx_ = 0, ny_ = 0, nz_ = 0;
+  std::vector<double> jx_, jy_, jz_;
 };
 
-// Deposits the current of every live particle moving from its old position
-// (x_old/y_old/z_old, indexed by pid) to its current SoA position. The
-// displacement must satisfy the CFL bound (|delta| < one cell per axis).
-// Accumulates into fields.jx/jy/jz at Yee-staggered locations. Charged to
-// Phase::kCompute.
+// Staged per-particle quantities of the Esirkepov decomposition, indexed by
+// tile-local pid like DepositScratch. Per axis the window holds the midpoint
+// weights m[t] = (S_old[t] + S_new[t]) / 2 and the difference weights
+// d[t] = S_new[t] - S_old[t] over the union support of Order + 2 nodes.
+struct EsirkepovScratch {
+  static constexpr int kMaxWindow = 5;  // Order + 2 at order 3
+
+  void Resize(size_t n_slots, int order) {
+    const size_t window = static_cast<size_t>(order) + 2;
+    for (size_t t = 0; t < kMaxWindow; ++t) {
+      const size_t sz = t < window ? n_slots : 0;
+      mx[t].resize(sz);
+      my[t].resize(sz);
+      mz[t].resize(sz);
+      dx[t].resize(sz);
+      dy[t].resize(sz);
+      dz[t].resize(sz);
+    }
+    bx.resize(n_slots);
+    by.resize(n_slots);
+    bz.resize(n_slots);
+    qf.resize(n_slots);
+  }
+
+  // Lowest node index of the union window per axis (global nodes).
+  std::vector<int32_t> bx, by, bz;
+  // Midpoint / difference weight lanes; mx[t][pid] pairs with node bx[pid]+t.
+  std::vector<double> mx[kMaxWindow], my[kMaxWindow], mz[kMaxWindow];
+  std::vector<double> dx[kMaxWindow], dy[kMaxWindow], dz[kMaxWindow];
+  // Per-particle charge factor q * w / cell_volume.
+  std::vector<double> qf;
+};
+
+// Stage 1: per-axis weight windows + charge factor for every live particle,
+// from the SoA old-position lanes and current positions. `vpu_staging`
+// selects the batched VPU cost profile (values are identical either way),
+// mirroring StageTileScalar / StageTileVpu. Charged to Phase::kPreproc.
+template <int Order>
+void StageEsirkepovTile(HwContext& hw, const ParticleTile& tile,
+                        const DepositParams& params, bool vpu_staging,
+                        EsirkepovScratch& scratch);
+
+// Stage 2: combines the staged axis windows by outer product into the
+// density-decomposition stencil and accumulates the running sums into the
+// tile-private TileCurrent at Yee-staggered locations. `sorted` iterates
+// cell-by-cell through the GPMA bins (sorting variants); otherwise slot
+// order. Charged to Phase::kCompute. params.dt must be the step dt.
+template <int Order>
+void DepositEsirkepovTile(HwContext& hw, const ParticleTile& tile,
+                          const DepositParams& params, bool sorted,
+                          const EsirkepovScratch& scratch, TileCurrent& tile_j);
+
+// Scatter-adds the tile scratch onto fields.jx/jy/jz (row-contiguous vector
+// adds) and zeroes it. Tiles of one reduce-coloring class have disjoint node
+// footprints and may run concurrently. Charged to Phase::kReduce.
+void ReduceEsirkepovToGrid(HwContext& hw, TileCurrent& tile_j, FieldSet& fields);
+
+// Registers the scratch lanes and the tile scratch with the hardware model's
+// address space under stable keys (streams key_base..key_base+36; the engine
+// passes MemRegionKey(owner, tile, 32) so these follow the 0..31 block of
+// RegisterStagingRegions). Call whenever the arrays may have moved.
+void RegisterEsirkepovRegions(HwContext& hw, uint64_t key_base,
+                              const EsirkepovScratch& scratch,
+                              const TileCurrent& tile_j);
+
+// Reference implementation: deposits the current of every live particle
+// moving from its old position (x_old/y_old/z_old, indexed by pid) to its
+// current SoA position, scattering straight into fields.jx/jy/jz. The staged
+// engine path above is validated against it. Charged to Phase::kCompute.
 template <int Order>
 void DepositEsirkepov(HwContext& hw, const ParticleTile& tile,
                       const std::vector<double>& x_old,
                       const std::vector<double>& y_old,
                       const std::vector<double>& z_old,
-                      const EsirkepovParams& params, FieldSet& fields);
+                      const DepositParams& params, FieldSet& fields);
 
 // Nodal charge density deposition (rho += q*w*S/dV), used by the continuity
 // tests and by diagnostics.

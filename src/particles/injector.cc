@@ -58,10 +58,15 @@ int64_t InjectUniformPlasma(TileSet& tiles, const UniformPlasmaConfig& config) {
   return added;
 }
 
-int64_t InjectProfiledPlasma(TileSet& tiles, const ProfiledPlasmaConfig& config,
-                             std::vector<TileSet::Handle>* handles) {
+namespace {
+
+// Shared generation loop of the profiled injector: fn(p) for every particle,
+// in the canonical global cell order with the canonical RNG sequence.
+template <typename PerParticleFn>
+int64_t GenerateProfiledPlasma(const GridGeometry& geom,
+                               const ProfiledPlasmaConfig& config,
+                               PerParticleFn&& fn) {
   MPIC_CHECK(config.profile != nullptr);
-  const GridGeometry& geom = tiles.geom();
   Rng rng(config.seed);
   const int ppc = config.ppc_x * config.ppc_y * config.ppc_z;
   MPIC_CHECK(ppc > 0);
@@ -90,16 +95,38 @@ int64_t InjectProfiledPlasma(TileSet& tiles, const ProfiledPlasmaConfig& config,
                               p.uz = u_th * rng.NextGaussian();
                             }
                             p.w = weight;
-                            const TileSet::Handle h = tiles.AddParticle(p);
-                            if (handles != nullptr) {
-                              handles->push_back(h);
-                            }
+                            fn(p);
                             ++added;
                           });
       }
     }
   }
   return added;
+}
+
+}  // namespace
+
+int64_t InjectProfiledPlasma(TileSet& tiles, const ProfiledPlasmaConfig& config,
+                             std::vector<TileSet::Handle>* handles) {
+  return GenerateProfiledPlasma(tiles.geom(), config, [&](const Particle& p) {
+    const TileSet::Handle h = tiles.AddParticle(p);
+    if (handles != nullptr) {
+      handles->push_back(h);
+    }
+  });
+}
+
+std::vector<std::vector<Particle>> BuildProfiledPlasmaTileLists(
+    const TileSet& tiles, const ProfiledPlasmaConfig& config) {
+  std::vector<std::vector<Particle>> lists(
+      static_cast<size_t>(tiles.num_tiles()));
+  const GridGeometry& geom = tiles.geom();
+  GenerateProfiledPlasma(geom, config, [&](const Particle& p) {
+    const int t = tiles.TileOfCell(geom.CellX(p.x), geom.CellY(p.y),
+                                   geom.CellZ(p.z));
+    lists[static_cast<size_t>(t)].push_back(p);
+  });
+  return lists;
 }
 
 }  // namespace mpic

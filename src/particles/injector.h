@@ -51,6 +51,17 @@ struct ProfiledPlasmaConfig {
 int64_t InjectProfiledPlasma(TileSet& tiles, const ProfiledPlasmaConfig& config,
                              std::vector<TileSet::Handle>* handles = nullptr);
 
+// Tile-parallel injection support (moving-window refill): generates exactly
+// the particles InjectProfiledPlasma would add — same RNG sequence, same
+// global cell order — but routes them into per-destination-tile lists instead
+// of inserting them. Within each list the particles keep their global
+// generation order, so a per-tile insertion sweep assigns the same slots (and
+// the same GPMA insertion order) as the serial injector, for any core/thread
+// count. Mirrors the mover-delivery pattern: serial generation, parallel
+// tile-private insertion.
+std::vector<std::vector<Particle>> BuildProfiledPlasmaTileLists(
+    const TileSet& tiles, const ProfiledPlasmaConfig& config);
+
 }  // namespace mpic
 
 #endif  // MPIC_SRC_PARTICLES_INJECTOR_H_

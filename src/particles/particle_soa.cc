@@ -12,6 +12,9 @@ int32_t ParticleSoA::Append(const Particle& p) {
   uy.push_back(p.uy);
   uz.push_back(p.uz);
   w.push_back(p.w);
+  xo.push_back(p.xo);
+  yo.push_back(p.yo);
+  zo.push_back(p.zo);
   return static_cast<int32_t>(x.size() - 1);
 }
 
@@ -25,12 +28,16 @@ void ParticleSoA::Set(int32_t i, const Particle& p) {
   uy[idx] = p.uy;
   uz[idx] = p.uz;
   w[idx] = p.w;
+  xo[idx] = p.xo;
+  yo[idx] = p.yo;
+  zo[idx] = p.zo;
 }
 
 Particle ParticleSoA::Get(int32_t i) const {
   MPIC_DCHECK(i >= 0 && static_cast<size_t>(i) < size());
   const auto idx = static_cast<size_t>(i);
-  return Particle{x[idx], y[idx], z[idx], ux[idx], uy[idx], uz[idx], w[idx]};
+  return Particle{x[idx],  y[idx],  z[idx],  ux[idx], uy[idx], uz[idx],
+                  w[idx],  xo[idx], yo[idx], zo[idx]};
 }
 
 void ParticleSoA::Reserve(size_t n) {
@@ -41,6 +48,9 @@ void ParticleSoA::Reserve(size_t n) {
   uy.reserve(n);
   uz.reserve(n);
   w.reserve(n);
+  xo.reserve(n);
+  yo.reserve(n);
+  zo.reserve(n);
 }
 
 void ParticleSoA::Clear() {
@@ -51,6 +61,9 @@ void ParticleSoA::Clear() {
   uy.clear();
   uz.clear();
   w.clear();
+  xo.clear();
+  yo.clear();
+  zo.clear();
 }
 
 }  // namespace mpic

@@ -19,6 +19,12 @@ struct Particle {
   double x = 0.0, y = 0.0, z = 0.0;
   double ux = 0.0, uy = 0.0, uz = 0.0;
   double w = 1.0;
+  // Pre-push position (old-position lanes), consumed by the charge-conserving
+  // Esirkepov current scheme. Carried through Get/Set/Append so a particle's
+  // displacement stays well-defined across tile hops (mover delivery) and
+  // counting sorts. Valid only between the capture stage and the deposit of
+  // the same step; freshly created particles may leave it at 0.
+  double xo = 0.0, yo = 0.0, zo = 0.0;
 };
 
 class ParticleSoA {
@@ -38,6 +44,11 @@ class ParticleSoA {
   std::vector<double> x, y, z;
   std::vector<double> ux, uy, uz;
   std::vector<double> w;
+  // Old-position lanes (see Particle::xo): written by the pipeline's capture
+  // stage each step when the engine runs CurrentScheme::kEsirkepov, shifted
+  // alongside the position on periodic wrap, and permuted with the other
+  // lanes by the counting sort.
+  std::vector<double> xo, yo, zo;
 };
 
 }  // namespace mpic

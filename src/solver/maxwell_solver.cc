@@ -34,59 +34,25 @@ void MaxwellSolver::UpdateB(HwContext& hw, FieldSet& fields, double dt_half) con
   const double cy = dt_half / geom_.dy;
   const double cz = dt_half / geom_.dz;
   const double cx = dt_half / geom_.dx;
-  FieldArray& ex = fields.ex;
-  FieldArray& ey = fields.ey;
-  FieldArray& ez = fields.ez;
-  for (int k = 0; k < geom_.nz; ++k) {
-    for (int j = 0; j < geom_.ny; ++j) {
-      for (int i = 0; i < geom_.nx; ++i) {
-        fields.bx.At(i, j, k) -= cy * (ez.At(i, j + 1, k) - ez.At(i, j, k)) -
-                                 cz * (ey.At(i, j, k + 1) - ey.At(i, j, k));
-        fields.by.At(i, j, k) -= cz * (ex.At(i, j, k + 1) - ex.At(i, j, k)) -
-                                 cx * (ez.At(i + 1, j, k) - ez.At(i, j, k));
-        fields.bz.At(i, j, k) -= cx * (ey.At(i + 1, j, k) - ey.At(i, j, k)) -
-                                 cy * (ex.At(i, j + 1, k) - ex.At(i, j, k));
-      }
-    }
-  }
-  fields.bx.FillGuardsPeriodic();
-  fields.by.FillGuardsPeriodic();
-  fields.bz.FillGuardsPeriodic();
-  const double cells = static_cast<double>(geom_.NumCells());
-  hw.ChargeBulk(cells * 18.0, cells * 8.0 * 15.0);
-}
-
-void MaxwellSolver::UpdateE(HwContext& hw, FieldSet& fields, double dt) const {
-  PhaseScope phase(hw.ledger(), Phase::kSolver);
-  fields.bx.FillGuardsPeriodic();
-  fields.by.FillGuardsPeriodic();
-  fields.bz.FillGuardsPeriodic();
-  fields.jx.FillGuardsPeriodic();
-  fields.jy.FillGuardsPeriodic();
-  fields.jz.FillGuardsPeriodic();
-
-  const double c2 = kSpeedOfLight * kSpeedOfLight;
-  const double cdx = c2 * dt / geom_.dx;
-  const double cdy = c2 * dt / geom_.dy;
-  const double cdz = c2 * dt / geom_.dz;
-  const double jfac = dt / kEpsilon0;
   const bool ckc = kind_ == SolverKind::kCkc;
+  const FieldArray& ex = fields.ex;
+  const FieldArray& ey = fields.ey;
+  const FieldArray& ez = fields.ez;
 
-  FieldArray& bx = fields.bx;
-  FieldArray& by = fields.by;
-  FieldArray& bz = fields.bz;
-
-  // Smoothed difference of `f` along `axis` at (i,j,k): f(..) - f(shift -1 on
-  // axis); CKC averages the difference over the 3x3 transverse offsets.
+  // Forward difference of `f` along `axis` at (i,j,k): f(shift +1) - f(..);
+  // CKC averages the difference over the 3x3 transverse offsets. Faraday's
+  // law carries the whole CKC extension (see the header): the leapfrog
+  // dispersion only sees the product of the two curl symbols, and keeping
+  // Ampère's curl plain Yee keeps the solver charge-conserving.
   auto diff = [&](const FieldArray& f, int axis, int i, int j, int k) -> double {
     auto raw = [&](int ii, int jj, int kk) -> double {
       switch (axis) {
         case 0:
-          return f.At(ii, jj, kk) - f.At(ii - 1, jj, kk);
+          return f.At(ii + 1, jj, kk) - f.At(ii, jj, kk);
         case 1:
-          return f.At(ii, jj, kk) - f.At(ii, jj - 1, kk);
+          return f.At(ii, jj + 1, kk) - f.At(ii, jj, kk);
         default:
-          return f.At(ii, jj, kk) - f.At(ii, jj, kk - 1);
+          return f.At(ii, jj, kk + 1) - f.At(ii, jj, kk);
       }
     };
     if (!ckc) {
@@ -111,22 +77,72 @@ void MaxwellSolver::UpdateE(HwContext& hw, FieldSet& fields, double dt) const {
     return acc;
   };
 
+  for (int k = 0; k < geom_.nz; ++k) {
+    for (int j = 0; j < geom_.ny; ++j) {
+      for (int i = 0; i < geom_.nx; ++i) {
+        fields.bx.At(i, j, k) -=
+            cy * diff(ez, 1, i, j, k) - cz * diff(ey, 2, i, j, k);
+        fields.by.At(i, j, k) -=
+            cz * diff(ex, 2, i, j, k) - cx * diff(ez, 0, i, j, k);
+        fields.bz.At(i, j, k) -=
+            cx * diff(ey, 0, i, j, k) - cy * diff(ex, 1, i, j, k);
+      }
+    }
+  }
+  fields.bx.FillGuardsPeriodic();
+  fields.by.FillGuardsPeriodic();
+  fields.bz.FillGuardsPeriodic();
+  const double cells = static_cast<double>(geom_.NumCells());
+  const double flops_per_cell = ckc ? 108.0 : 18.0;
+  hw.ChargeBulk(cells * flops_per_cell, cells * 8.0 * (ckc ? 55.0 : 15.0));
+}
+
+void MaxwellSolver::UpdateE(HwContext& hw, FieldSet& fields, double dt,
+                            bool staggered_j) const {
+  PhaseScope phase(hw.ledger(), Phase::kSolver);
+  fields.bx.FillGuardsPeriodic();
+  fields.by.FillGuardsPeriodic();
+  fields.bz.FillGuardsPeriodic();
+  fields.jx.FillGuardsPeriodic();
+  fields.jy.FillGuardsPeriodic();
+  fields.jz.FillGuardsPeriodic();
+
+  const double c2 = kSpeedOfLight * kSpeedOfLight;
+  const double cdx = c2 * dt / geom_.dx;
+  const double cdy = c2 * dt / geom_.dy;
+  const double cdz = c2 * dt / geom_.dz;
+  const double jfac = dt / kEpsilon0;
+
+  const FieldArray& bx = fields.bx;
+  const FieldArray& by = fields.by;
+  const FieldArray& bz = fields.bz;
   const FieldArray& jx = fields.jx;
   const FieldArray& jy = fields.jy;
   const FieldArray& jz = fields.jz;
   for (int k = 0; k < geom_.nz; ++k) {
     for (int j = 0; j < geom_.ny; ++j) {
       for (int i = 0; i < geom_.nx; ++i) {
-        // Node-centered J averaged to the staggered E locations.
-        const double jx_s = 0.5 * (jx.At(i, j, k) + jx.At(i + 1, j, k));
-        const double jy_s = 0.5 * (jy.At(i, j, k) + jy.At(i, j + 1, k));
-        const double jz_s = 0.5 * (jz.At(i, j, k) + jz.At(i, j, k + 1));
-        fields.ex.At(i, j, k) += cdy * diff(bz, 1, i, j, k) -
-                                 cdz * diff(by, 2, i, j, k) - jfac * jx_s;
-        fields.ey.At(i, j, k) += cdz * diff(bx, 2, i, j, k) -
-                                 cdx * diff(bz, 0, i, j, k) - jfac * jy_s;
-        fields.ez.At(i, j, k) += cdx * diff(by, 0, i, j, k) -
-                                 cdy * diff(bx, 1, i, j, k) - jfac * jz_s;
+        // Direct deposition: node-centered J averaged to the staggered E
+        // locations. Esirkepov: entry (i,j,k) of jx already holds
+        // Jx(i+1/2, j, k), exactly where Ex lives.
+        const double jx_s =
+            staggered_j ? jx.At(i, j, k)
+                        : 0.5 * (jx.At(i, j, k) + jx.At(i + 1, j, k));
+        const double jy_s =
+            staggered_j ? jy.At(i, j, k)
+                        : 0.5 * (jy.At(i, j, k) + jy.At(i, j + 1, k));
+        const double jz_s =
+            staggered_j ? jz.At(i, j, k)
+                        : 0.5 * (jz.At(i, j, k) + jz.At(i, j, k + 1));
+        fields.ex.At(i, j, k) +=
+            cdy * (bz.At(i, j, k) - bz.At(i, j - 1, k)) -
+            cdz * (by.At(i, j, k) - by.At(i, j, k - 1)) - jfac * jx_s;
+        fields.ey.At(i, j, k) +=
+            cdz * (bx.At(i, j, k) - bx.At(i, j, k - 1)) -
+            cdx * (bz.At(i, j, k) - bz.At(i - 1, j, k)) - jfac * jy_s;
+        fields.ez.At(i, j, k) +=
+            cdx * (by.At(i, j, k) - by.At(i - 1, j, k)) -
+            cdy * (bx.At(i, j, k) - bx.At(i, j - 1, k)) - jfac * jz_s;
       }
     }
   }
@@ -134,8 +150,7 @@ void MaxwellSolver::UpdateE(HwContext& hw, FieldSet& fields, double dt) const {
   fields.ey.FillGuardsPeriodic();
   fields.ez.FillGuardsPeriodic();
   const double cells = static_cast<double>(geom_.NumCells());
-  const double flops_per_cell = ckc ? 120.0 : 30.0;
-  hw.ChargeBulk(cells * flops_per_cell, cells * 8.0 * (ckc ? 60.0 : 20.0));
+  hw.ChargeBulk(cells * 30.0, cells * 8.0 * 20.0);
 }
 
 }  // namespace mpic

@@ -5,17 +5,25 @@
 //
 //   kYee — the classic Yee FDTD solver. In 3D it is stable only up to
 //     c*dt <= dx/sqrt(3) for cubic cells.
-//   kCkc — the Cole-Karkkainen-Cowan solver: the B-field differences entering
-//     the E update are smoothed over the 3x3 transverse neighborhood with
-//     weights alpha = 7/12, beta = 1/12, gamma = 1/48 (cubic cells), which
-//     extends the stability limit to c*dt <= dx — exactly why the paper can
-//     run at CFL 1.0.
+//   kCkc — the Cole-Karkkainen-Cowan solver: the E-field differences entering
+//     the B update (Faraday's law) are smoothed over the 3x3 transverse
+//     neighborhood with weights alpha = 7/12, beta = 1/12, gamma = 1/48
+//     (cubic cells), which extends the stability limit to c*dt <= dx —
+//     exactly why the paper can run at CFL 1.0. The smoothing lives in
+//     Faraday's law, not Ampère's: the leapfrog dispersion relation only sees
+//     the product of the two curl symbols (so stability is unchanged), while
+//     Ampère keeps the plain Yee curl, whose divergence vanishes identically
+//     under the standard backward-difference divergence. That makes the
+//     solver charge-conserving: with a continuity-exact J (the Esirkepov
+//     scheme) div E - rho/eps0 is a constant of the discrete evolution.
 //
 // Layout convention: all component arrays are allocated node-shaped (see
 // FieldSet); the half-cell staggering is carried by the index arithmetic.
 // Array entry (i,j,k) of Ex holds Ex(i+1/2, j, k), of Bx holds
-// Bx(i, j+1/2, k+1/2), etc. Node-centered J is averaged onto the E-staggering
-// inside the E update.
+// Bx(i, j+1/2, k+1/2), etc. Direct-deposition J is node-centered and averaged
+// onto the E-staggering inside the E update; the Esirkepov scheme deposits J
+// already face-centered and the caller passes staggered_j = true to consume
+// it in place (averaging would smear the telescoped continuity sums).
 
 #ifndef MPIC_SRC_SOLVER_MAXWELL_SOLVER_H_
 #define MPIC_SRC_SOLVER_MAXWELL_SOLVER_H_
@@ -34,13 +42,17 @@ class MaxwellSolver {
  public:
   MaxwellSolver(SolverKind kind, const GridGeometry& geom);
 
-  // Advances B by dt_half using the curl of E (call twice per step around the
-  // E update, leapfrog style). Fills periodic guards internally.
+  // Advances B by dt_half using the (CKC-smoothed) curl of E (call twice per
+  // step around the E update, leapfrog style). Fills periodic guards
+  // internally.
   void UpdateB(HwContext& hw, FieldSet& fields, double dt_half) const;
 
-  // Advances E by dt using the (possibly smoothed) curl of B and the current
-  // density J (node-centered; averaged to the staggered E locations).
-  void UpdateE(HwContext& hw, FieldSet& fields, double dt) const;
+  // Advances E by dt using the plain Yee curl of B and the current density J.
+  // With staggered_j = false (direct deposition) J is node-centered and
+  // averaged to the staggered E locations; with true (Esirkepov) each J entry
+  // is already at its Yee face and consumed in place.
+  void UpdateE(HwContext& hw, FieldSet& fields, double dt,
+               bool staggered_j = false) const;
 
   SolverKind kind() const { return kind_; }
 

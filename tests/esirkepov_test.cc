@@ -42,30 +42,58 @@ struct MovedWorld {
     }
   }
 
+  DepositParams Params(double dt) const {
+    DepositParams dp;
+    dp.geom = geom;
+    dp.charge = kElectronCharge;
+    dp.dt = dt;
+    return dp;
+  }
+
+  // Loads the saved pre-displacement positions into the SoA old-position
+  // lanes, the form the staged engine path consumes.
+  void FillOldLanes() {
+    tile.soa().xo = x_old;
+    tile.soa().yo = y_old;
+    tile.soa().zo = z_old;
+  }
+
   GridGeometry geom;
   ParticleTile tile;
   std::vector<double> x_old, y_old, z_old;
 };
 
+// Runs the staged tile path (stage -> outer-product kernel -> reduce) into a
+// fresh FieldSet.
+template <int Order>
+void RunStagedPath(HwContext& hw, MovedWorld& world, const DepositParams& dp,
+                   bool vpu, bool sorted, FieldSet& fields) {
+  world.FillOldLanes();
+  EsirkepovScratch scratch;
+  TileCurrent tile_j;
+  tile_j.Resize(world.tile, Order);
+  StageEsirkepovTile<Order>(hw, world.tile, dp, vpu, scratch);
+  DepositEsirkepovTile<Order>(hw, world.tile, dp, sorted, scratch, tile_j);
+  ReduceEsirkepovToGrid(hw, tile_j, fields);
+}
+
 // The load-bearing invariant: (rho_new - rho_old)/dt + div J == 0 exactly
 // (to rounding) at every node, for every order.
 template <int Order>
-void ExpectContinuity(double max_cell_step, uint64_t seed) {
+void ExpectContinuity(double max_cell_step, uint64_t seed, bool staged) {
   MovedWorld world(10, 200, max_cell_step, seed);
   const double dt = 1.0e-15;
 
   HwContext hw;
   FieldSet fields(world.geom, 2);
-  EsirkepovParams ep;
-  ep.geom = world.geom;
-  ep.charge = kElectronCharge;
-  ep.dt = dt;
-  DepositEsirkepov<Order>(hw, world.tile, world.x_old, world.y_old, world.z_old, ep,
-                          fields);
+  const DepositParams dp = world.Params(dt);
+  if (staged) {
+    RunStagedPath<Order>(hw, world, dp, /*vpu=*/false, /*sorted=*/true, fields);
+  } else {
+    DepositEsirkepov<Order>(hw, world.tile, world.x_old, world.y_old, world.z_old,
+                            dp, fields);
+  }
 
-  DepositParams dp;
-  dp.geom = world.geom;
-  dp.charge = kElectronCharge;
   FieldArray rho_new(world.geom.nx, world.geom.ny, world.geom.nz, 2);
   DepositCharge<Order>(hw, world.tile, dp, rho_new);
   // Rewind positions for rho_old.
@@ -98,27 +126,106 @@ void ExpectContinuity(double max_cell_step, uint64_t seed) {
   }
   ASSERT_GT(rho_scale, 0.0);
   EXPECT_LT(max_violation / rho_scale, 1e-9)
-      << "order " << Order << " step " << max_cell_step;
+      << "order " << Order << " step " << max_cell_step << (staged ? " staged" : "");
 }
 
 class Continuity : public ::testing::TestWithParam<double> {};
 
-TEST_P(Continuity, Order1) { ExpectContinuity<1>(GetParam(), 11); }
-TEST_P(Continuity, Order2) { ExpectContinuity<2>(GetParam(), 12); }
-TEST_P(Continuity, Order3) { ExpectContinuity<3>(GetParam(), 13); }
+TEST_P(Continuity, Order1) { ExpectContinuity<1>(GetParam(), 11, false); }
+TEST_P(Continuity, Order2) { ExpectContinuity<2>(GetParam(), 12, false); }
+TEST_P(Continuity, Order3) { ExpectContinuity<3>(GetParam(), 13, false); }
+TEST_P(Continuity, StagedOrder1) { ExpectContinuity<1>(GetParam(), 11, true); }
+TEST_P(Continuity, StagedOrder2) { ExpectContinuity<2>(GetParam(), 12, true); }
+TEST_P(Continuity, StagedOrder3) { ExpectContinuity<3>(GetParam(), 13, true); }
 
 INSTANTIATE_TEST_SUITE_P(StepSizes, Continuity, ::testing::Values(0.05, 0.3, 0.9));
+
+// The staged outer-product path must reproduce the scalar reference kernel on
+// every order, for both staging cost profiles and both iteration orders. The
+// transverse factors are algebraically identical but associate differently
+// (midpoint/difference outer products vs. the four-term mix), so the match is
+// to rounding, not bitwise.
+template <int Order>
+void ExpectStagedMatchesReference(bool vpu, bool sorted) {
+  MovedWorld world(10, 200, 0.9, 21 + Order);
+  const double dt = 1.0e-15;
+  const DepositParams dp = world.Params(dt);
+  HwContext hw;
+  FieldSet ref(world.geom, 2);
+  DepositEsirkepov<Order>(hw, world.tile, world.x_old, world.y_old, world.z_old,
+                          dp, ref);
+  FieldSet staged(world.geom, 2);
+  RunStagedPath<Order>(hw, world, dp, vpu, sorted, staged);
+
+  double j_scale = 0.0;
+  for (const FieldArray* f : {&ref.jx, &ref.jy, &ref.jz}) {
+    for (double v : f->vec()) {
+      j_scale = std::max(j_scale, std::fabs(v));
+    }
+  }
+  ASSERT_GT(j_scale, 0.0);
+  const FieldArray* refs[3] = {&ref.jx, &ref.jy, &ref.jz};
+  const FieldArray* got[3] = {&staged.jx, &staged.jy, &staged.jz};
+  for (int comp = 0; comp < 3; ++comp) {
+    for (size_t i = 0; i < refs[comp]->vec().size(); ++i) {
+      ASSERT_NEAR(got[comp]->vec()[i], refs[comp]->vec()[i], j_scale * 1e-12)
+          << "component " << comp << " index " << i;
+    }
+  }
+}
+
+TEST(EsirkepovStaged, MatchesReferenceOrder1) {
+  ExpectStagedMatchesReference<1>(/*vpu=*/false, /*sorted=*/false);
+}
+TEST(EsirkepovStaged, MatchesReferenceOrder2) {
+  ExpectStagedMatchesReference<2>(/*vpu=*/true, /*sorted=*/false);
+}
+TEST(EsirkepovStaged, MatchesReferenceOrder3) {
+  ExpectStagedMatchesReference<3>(/*vpu=*/true, /*sorted=*/true);
+}
+
+TEST(EsirkepovStaged, VpuAndScalarStagingBitIdentical) {
+  // The two staging cost profiles must produce identical values (they differ
+  // only in the modeled charge).
+  MovedWorld world(8, 120, 0.7, 99);
+  const DepositParams dp = world.Params(1e-15);
+  HwContext hw;
+  FieldSet a(world.geom, 2);
+  RunStagedPath<1>(hw, world, dp, /*vpu=*/false, /*sorted=*/false, a);
+  FieldSet b(world.geom, 2);
+  RunStagedPath<1>(hw, world, dp, /*vpu=*/true, /*sorted=*/false, b);
+  for (size_t i = 0; i < a.jx.vec().size(); ++i) {
+    ASSERT_EQ(a.jx.vec()[i], b.jx.vec()[i]);
+    ASSERT_EQ(a.jy.vec()[i], b.jy.vec()[i]);
+    ASSERT_EQ(a.jz.vec()[i], b.jz.vec()[i]);
+  }
+}
+
+TEST(EsirkepovStaged, ReduceZeroesTheScratch) {
+  MovedWorld world(8, 50, 0.5, 7);
+  const DepositParams dp = world.Params(1e-15);
+  HwContext hw;
+  FieldSet fields(world.geom, 2);
+  world.FillOldLanes();
+  EsirkepovScratch scratch;
+  TileCurrent tile_j;
+  tile_j.Resize(world.tile, 1);
+  StageEsirkepovTile<1>(hw, world.tile, dp, false, scratch);
+  DepositEsirkepovTile<1>(hw, world.tile, dp, false, scratch, tile_j);
+  ReduceEsirkepovToGrid(hw, tile_j, fields);
+  for (const std::vector<double>* v : {&tile_j.jx(), &tile_j.jy(), &tile_j.jz()}) {
+    for (double x : *v) {
+      ASSERT_EQ(x, 0.0);
+    }
+  }
+}
 
 TEST(Esirkepov, StationaryParticleDepositsNothing) {
   MovedWorld world(8, 50, 0.0, 5);
   HwContext hw;
   FieldSet fields(world.geom, 2);
-  EsirkepovParams ep;
-  ep.geom = world.geom;
-  ep.charge = kElectronCharge;
-  ep.dt = 1e-15;
-  DepositEsirkepov<1>(hw, world.tile, world.x_old, world.y_old, world.z_old, ep,
-                      fields);
+  DepositEsirkepov<1>(hw, world.tile, world.x_old, world.y_old, world.z_old,
+                      world.Params(1e-15), fields);
   for (double v : fields.jx.vec()) {
     EXPECT_DOUBLE_EQ(v, 0.0);
   }
@@ -139,11 +246,11 @@ TEST(Esirkepov, PureXMotionProducesOnlyJx) {
   tile.soa().x[0] += 0.4 * g.dx;
   HwContext hw;
   FieldSet fields(g, 2);
-  EsirkepovParams ep;
-  ep.geom = g;
-  ep.charge = kElectronCharge;
-  ep.dt = 1e-15;
-  DepositEsirkepov<1>(hw, tile, x_old, y_old, z_old, ep, fields);
+  DepositParams dp;
+  dp.geom = g;
+  dp.charge = kElectronCharge;
+  dp.dt = 1e-15;
+  DepositEsirkepov<1>(hw, tile, x_old, y_old, z_old, dp, fields);
   double jy_max = 0.0;
   double jx_max = 0.0;
   for (double v : fields.jy.vec()) {
@@ -174,11 +281,11 @@ TEST(Esirkepov, TotalJxMatchesChargeFlux) {
   const double dt = 2e-15;
   HwContext hw;
   FieldSet fields(g, 2);
-  EsirkepovParams ep;
-  ep.geom = g;
-  ep.charge = kElectronCharge;
-  ep.dt = dt;
-  DepositEsirkepov<1>(hw, tile, x_old, y_old, z_old, ep, fields);
+  DepositParams dp;
+  dp.geom = g;
+  dp.charge = kElectronCharge;
+  dp.dt = dt;
+  DepositEsirkepov<1>(hw, tile, x_old, y_old, z_old, dp, fields);
   double total = 0.0;
   for (int k = 0; k < g.nz; ++k) {
     for (int j = 0; j < g.ny; ++j) {

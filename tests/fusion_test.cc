@@ -212,7 +212,89 @@ TEST_P(FusedVsLegacyCores, MultiSpeciesMixedEngineOverrides) {
             legacy->last_sim_stats().species[1].pushed);
 }
 
+TEST_P(FusedVsLegacyCores, EsirkepovUniformEveryOrder) {
+  UseManyThreads();
+  // The charge-conserving scheme runs the same per-tile stages through both
+  // orchestrations: capture, push, wrap (with old-lane shift), scan, staged
+  // deposit into the per-tile TileCurrent, colored reduce. Bit identity must
+  // hold on every order, including TSC (order 2), which only this scheme
+  // supports on the kFullOpt machinery.
+  for (int order : {1, 2, 3}) {
+    SCOPED_TRACE(order);
+    UniformWorkloadParams p;
+    p.nx = p.ny = p.nz = 8;
+    p.ppc_x = p.ppc_y = p.ppc_z = 2;
+    p.tile = 4;
+    p.variant = DepositVariant::kFullOpt;
+    p.order = order;
+    p.scheme = CurrentScheme::kEsirkepov;
+
+    p.fuse_stages = true;
+    HwContext fused_hw(MachineConfig::Lx2MultiCore(GetParam()));
+    auto fused = MakeUniformSimulation(fused_hw, p);
+    fused->Run(4);
+
+    p.fuse_stages = false;
+    HwContext legacy_hw(MachineConfig::Lx2MultiCore(GetParam()));
+    auto legacy = MakeUniformSimulation(legacy_hw, p);
+    legacy->Run(4);
+
+    ExpectSimsBitIdentical(*fused, *legacy);
+  }
+}
+
+TEST_P(FusedVsLegacyCores, EsirkepovLwfaMovingWindowWithIons) {
+  UseManyThreads();
+  // Moving window + Esirkepov: window drops remove charge mid-step and the
+  // tile-parallel injection adds it back after the deposit — the old-position
+  // lanes must survive both, and the two schedules must still agree bitwise.
+  LwfaWorkloadParams p;
+  p.nx = p.ny = 8;
+  p.nz = 32;
+  p.tile = 4;
+  p.tile_z = 8;
+  p.variant = DepositVariant::kFullOpt;
+  p.scheme = CurrentScheme::kEsirkepov;
+  p.with_ions = true;
+
+  p.fuse_stages = true;
+  HwContext fused_hw(MachineConfig::Lx2MultiCore(GetParam()));
+  auto fused = MakeLwfaSimulation(fused_hw, p);
+  fused->Run(8);
+
+  p.fuse_stages = false;
+  HwContext legacy_hw(MachineConfig::Lx2MultiCore(GetParam()));
+  auto legacy = MakeLwfaSimulation(legacy_hw, p);
+  legacy->Run(8);
+
+  ExpectSimsBitIdentical(*fused, *legacy);
+}
+
 INSTANTIATE_TEST_SUITE_P(Cores, FusedVsLegacyCores, ::testing::Values(1, 2, 4));
+
+// Esirkepov across core counts: the colored reduce of the per-tile J scratch
+// (wider halo than rhocell) must be schedule-independent on its own.
+TEST(FusedPipeline, EsirkepovBitIdenticalAcrossCoreCounts) {
+  UseManyThreads();
+  UniformWorkloadParams p;
+  p.nx = p.ny = p.nz = 8;
+  p.ppc_x = p.ppc_y = p.ppc_z = 2;
+  p.tile = 4;
+  p.order = 3;
+  p.variant = DepositVariant::kFullOpt;
+  p.scheme = CurrentScheme::kEsirkepov;
+
+  HwContext serial_hw;
+  auto serial = MakeUniformSimulation(serial_hw, p);
+  serial->Run(5);
+  for (int cores : {2, 3, 4}) {
+    SCOPED_TRACE(cores);
+    HwContext par_hw(MachineConfig::Lx2MultiCore(cores));
+    auto parallel = MakeUniformSimulation(par_hw, p);
+    parallel->Run(5);
+    ExpectSimsBitIdentical(*serial, *parallel);
+  }
+}
 
 // The fused schedule must also be bit-stable across core counts on its own
 // (the legacy path's cross-core determinism is pinned by threading_test).
@@ -284,7 +366,9 @@ GridGeometry MakeGeom(int nx, int ny, int nz) {
 }
 
 TEST(ReduceColoring, CheckerboardIsHaloDisjoint) {
-  for (int halo : {0, 1}) {
+  // Halo 0/1 are the rhocell reaches (CIC/QSP); 2 is the Esirkepov union
+  // window's reach at orders 2-3 (EsirkepovHaloNodes).
+  for (int halo : {0, 1, 2}) {
     SCOPED_TRACE(halo);
     TileSet cubic(MakeGeom(16, 16, 16), 4, 4, 4);
     ExpectValidColoring(cubic, halo);
