@@ -43,7 +43,18 @@ struct BenchResult {
   RunReport report;
   int64_t particles = 0;
   int64_t global_sorts = 0;
+  // MOPA issues and their useful slots over the measured window; the quotient
+  // mopa_valid_slots / (64 * mopas) is the mean MPU occupancy.
+  uint64_t mopas = 0;
+  uint64_t mopa_valid_slots = 0;
 };
+
+// Mean fraction of MPU tile slots carrying useful work per MOPA issue.
+inline double MpuOccupancy(uint64_t mopas, uint64_t valid_slots) {
+  return mopas == 0 ? 0.0
+                    : static_cast<double>(valid_slots) /
+                          (64.0 * static_cast<double>(mopas));
+}
 
 // Runs a uniform-plasma workload: `warmup` steps outside the measured window,
 // then `steps` measured steps.
@@ -53,12 +64,16 @@ inline BenchResult RunUniform(const UniformWorkloadParams& params, int warmup,
   auto sim = MakeUniformSimulation(hw, params);
   sim->Run(warmup);
   const PhaseCycles before = SnapshotCycles(hw.ledger());
+  const uint64_t mopas0 = hw.ledger().counters().mopas;
+  const uint64_t valid0 = hw.ledger().counters().mopa_valid_slots;
   const int64_t pushed_before = sim->particles_pushed();
   sim->Run(steps);
   BenchResult r;
   r.particles = sim->particles_pushed() - pushed_before;
   r.report = MakeRunReport(hw, before, r.particles, params.order);
   r.global_sorts = sim->engine().total_global_sorts();
+  r.mopas = hw.ledger().counters().mopas - mopas0;
+  r.mopa_valid_slots = hw.ledger().counters().mopa_valid_slots - valid0;
   return r;
 }
 
@@ -67,12 +82,16 @@ inline BenchResult RunLwfa(const LwfaWorkloadParams& params, int warmup, int ste
   auto sim = MakeLwfaSimulation(hw, params);
   sim->Run(warmup);
   const PhaseCycles before = SnapshotCycles(hw.ledger());
+  const uint64_t mopas0 = hw.ledger().counters().mopas;
+  const uint64_t valid0 = hw.ledger().counters().mopa_valid_slots;
   const int64_t pushed_before = sim->particles_pushed();
   sim->Run(steps);
   BenchResult r;
   r.particles = sim->particles_pushed() - pushed_before;
   r.report = MakeRunReport(hw, before, r.particles, 1);
   r.global_sorts = sim->engine().total_global_sorts();
+  r.mopas = hw.ledger().counters().mopas - mopas0;
+  r.mopa_valid_slots = hw.ledger().counters().mopa_valid_slots - valid0;
   return r;
 }
 

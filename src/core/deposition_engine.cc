@@ -6,6 +6,7 @@
 #include "src/deposit/deposit_baseline.h"
 #include "src/deposit/deposit_mpu.h"
 #include "src/deposit/deposit_rhocell.h"
+#include "src/deposit/esirkepov_mpu.h"
 #include "src/deposit/deposit_scalar.h"
 #include "src/deposit/deposit_staging.h"
 #include "src/hw/parallel_for.h"
@@ -428,8 +429,19 @@ void DepositionEngine::EsirkepovDepositTileImpl(HwContext& hw, uint64_t key_base
   // charge batched staging, the others the scalar loop.
   StageEsirkepovTile<Order>(hw, tile, params, traits_.staging == StagingKind::kVpu,
                             scratch);
-  DepositEsirkepovTile<Order>(hw, tile, params, traits_.sorted_iteration, scratch,
-                              tile_j);
+  if (traits_.uses_mpu) {
+    // MPU variants route the combine through the MOPA kernel, riding the GPMA
+    // sort cell-resident where the variant maintains it, pairwise otherwise —
+    // the same scheduling split as the direct DepositMpu dispatch.
+    DepositEsirkepovMpuTile<Order>(hw, tile, params,
+                                   traits_.sorted_iteration
+                                       ? MpuScheduling::kCellResident
+                                       : MpuScheduling::kPairwise,
+                                   config_.sparse_fallback_ppc, scratch, tile_j);
+  } else {
+    DepositEsirkepovTile<Order>(hw, tile, params, traits_.sorted_iteration,
+                                scratch, tile_j);
+  }
 }
 
 template <int Order>

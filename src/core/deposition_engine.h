@@ -52,13 +52,16 @@ struct EngineConfig {
   // variant's own kernel (q*v*S); kEsirkepov replaces it with the staged
   // charge-conserving tile kernel (src/deposit/esirkepov.h) while keeping the
   // variant's sort machinery, staging cost profile, and re-sort policy.
-  // kEsirkepov supports every order 1-3 with any variant.
+  // kEsirkepov supports every order 1-3 with any variant; on MPU variants the
+  // combine runs on the MOPA kernel (src/deposit/esirkepov_mpu.h).
   CurrentScheme current_scheme = CurrentScheme::kDirect;
   GpmaConfig gpma;
   ResortPolicyConfig policy;
   // Adaptive low-density fallback (paper Sec. 6.1): cells with fewer live
   // particles than this are deposited by a VPU path instead of the MPU.
-  // 0 disables. Applies to the MPU kernels in cell-resident mode only.
+  // 0 disables. Applies to the MPU kernels (direct and Esirkepov) in
+  // cell-resident mode only; the Esirkepov fallback reproduces the staged
+  // scalar kernel's arithmetic bit-for-bit.
   int sparse_fallback_ppc = 0;
 };
 

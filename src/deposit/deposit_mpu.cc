@@ -117,7 +117,7 @@ void CicMopaPair(HwContext& hw, const DepositScratch& scratch, int64_t p1, int64
     }
     ChargeVpuOps(hw, 1);  // A assembly: fused multiply on the pre-permuted
                           // batch registers (one op per component)
-    hw.Mopa(tiles[comp], a, b);
+    hw.Mopa(tiles[comp], a, b, p2 >= 0 ? 16 : 8);
   }
 }
 
@@ -274,7 +274,7 @@ void QspMopaPair(HwContext& hw, const DepositScratch& scratch, int64_t p1, int64
       }
     }
     ChargeVpuOps(hw, 2);  // A_c assembly: broadcast-multiply + permute
-    hw.Mopa(tiles[c], a, b);
+    hw.Mopa(tiles[c], a, b, p2 >= 0 ? 32 : 16);
   }
 }
 

@@ -15,6 +15,7 @@ template <int Order>
 struct AxisPair {
   static constexpr int kWindow = Order + 2;
   int base = 0;               // lowest node index of the window
+  bool wide = false;          // true iff the supports are offset (cell crossing)
   double s0[Order + 2] = {};  // weights at the old position
   double s1[Order + 2] = {};  // weights at the new position
   double ds[Order + 2] = {};  // s1 - s0
@@ -26,6 +27,7 @@ struct AxisPair {
     ShapeFunction<Order>::Weights(g_new, &start1, w1);
     MPIC_DCHECK(std::abs(start1 - start0) <= 1);
     base = std::min(start0, start1);
+    wide = start0 != start1;
     for (int t = 0; t < kWindow; ++t) {
       s0[t] = 0.0;
       s1[t] = 0.0;
@@ -49,6 +51,7 @@ template <int Order>
 struct AxisWindow {
   static constexpr int kWindow = Order + 2;
   int base = 0;
+  bool wide = false;
   double m[Order + 2];
   double d[Order + 2];
 
@@ -56,6 +59,7 @@ struct AxisWindow {
     AxisPair<Order> pair;
     pair.Eval(g_old, g_new);
     base = pair.base;
+    wide = pair.wide;
     for (int t = 0; t < kWindow; ++t) {
       m[t] = 0.5 * (pair.s0[t] + pair.s1[t]);
       d[t] = pair.ds[t];
@@ -93,15 +97,18 @@ void StageOneEsirkepov(const ParticleSoA& soa, size_t i, const DepositParams& pa
   scratch.bx[i] = static_cast<int32_t>(ax.base);
   scratch.by[i] = static_cast<int32_t>(ay.base);
   scratch.bz[i] = static_cast<int32_t>(az.base);
+  double* w = scratch.Win(i);
   for (int t = 0; t < kW; ++t) {
-    scratch.mx[t][i] = ax.m[t];
-    scratch.my[t][i] = ay.m[t];
-    scratch.mz[t][i] = az.m[t];
-    scratch.dx[t][i] = ax.d[t];
-    scratch.dy[t][i] = ay.d[t];
-    scratch.dz[t][i] = az.d[t];
+    w[t] = ax.m[t];
+    w[kW + t] = ax.d[t];
+    w[2 * kW + t] = ay.m[t];
+    w[3 * kW + t] = ay.d[t];
+    w[4 * kW + t] = az.m[t];
+    w[5 * kW + t] = az.d[t];
   }
   scratch.qf[i] = params.charge * soa.w[i] * params.InvCellVolume();
+  scratch.wide[i] = static_cast<uint8_t>((ax.wide ? 1 : 0) | (ay.wide ? 2 : 0) |
+                                         (az.wide ? 4 : 0));
 }
 
 }  // namespace
@@ -111,7 +118,6 @@ void StageEsirkepovTile(HwContext& hw, const ParticleTile& tile,
                         const DepositParams& params, bool vpu_staging,
                         EsirkepovScratch& scratch) {
   PhaseScope phase(hw.ledger(), Phase::kPreproc);
-  constexpr int kW = Order + 2;
   const ParticleSoA& soa = tile.soa();
   scratch.Resize(soa.size(), Order);
   const size_t n = soa.size();
@@ -131,16 +137,12 @@ void StageEsirkepovTile(HwContext& hw, const ParticleTile& tile,
       hw.TouchRead(&soa.w[i], sizeof(double));
       hw.ScalarOps(ScalarEsirkepovStagingOps<Order>());
       StageOneEsirkepov<Order>(soa, i, params, scratch);
+      // One contiguous block store plus the small side streams.
       hw.TouchWrite(&scratch.bx[i], sizeof(int32_t) * 3);
-      for (int t = 0; t < kW; ++t) {
-        hw.TouchWrite(&scratch.mx[t][i], sizeof(double));
-        hw.TouchWrite(&scratch.my[t][i], sizeof(double));
-        hw.TouchWrite(&scratch.mz[t][i], sizeof(double));
-        hw.TouchWrite(&scratch.dx[t][i], sizeof(double));
-        hw.TouchWrite(&scratch.dy[t][i], sizeof(double));
-        hw.TouchWrite(&scratch.dz[t][i], sizeof(double));
-      }
+      hw.TouchWrite(scratch.Win(i),
+                    sizeof(double) * static_cast<size_t>(scratch.stride()));
       hw.TouchWrite(&scratch.qf[i], sizeof(double));
+      hw.TouchWrite(&scratch.wide[i], sizeof(uint8_t));
     }
     return;
   }
@@ -162,20 +164,18 @@ void StageEsirkepovTile(HwContext& hw, const ParticleTile& tile,
         StageOneEsirkepov<Order>(soa, i, params, scratch);
       }
     }
-    // Vector stores of the staged streams.
+    // Vector stores of the staged streams: the packed window blocks go out as
+    // one contiguous run of vector stores, the side streams as one store each.
     hw.TouchWrite(&scratch.bx[base], sizeof(int32_t) * batch);
     hw.TouchWrite(&scratch.by[base], sizeof(int32_t) * batch);
     hw.TouchWrite(&scratch.bz[base], sizeof(int32_t) * batch);
-    for (int t = 0; t < kW; ++t) {
-      hw.TouchWrite(&scratch.mx[t][base], sizeof(double) * batch);
-      hw.TouchWrite(&scratch.my[t][base], sizeof(double) * batch);
-      hw.TouchWrite(&scratch.mz[t][base], sizeof(double) * batch);
-      hw.TouchWrite(&scratch.dx[t][base], sizeof(double) * batch);
-      hw.TouchWrite(&scratch.dy[t][base], sizeof(double) * batch);
-      hw.TouchWrite(&scratch.dz[t][base], sizeof(double) * batch);
-    }
+    hw.TouchWrite(scratch.Win(base),
+                  sizeof(double) * static_cast<size_t>(scratch.stride()) * batch);
     hw.TouchWrite(&scratch.qf[base], sizeof(double) * batch);
-    hw.ledger().counters().vpu_mem += static_cast<uint64_t>(4 + 6 * kW);
+    hw.TouchWrite(&scratch.wide[base], sizeof(uint8_t) * batch);
+    const auto block_stores = static_cast<uint64_t>(
+        (static_cast<size_t>(scratch.stride()) * batch + kVpuLanes - 1) / kVpuLanes);
+    hw.ledger().counters().vpu_mem += block_stores + 5;
   }
 }
 
@@ -200,15 +200,17 @@ void DepositEsirkepovTile(HwContext& hw, const ParticleTile& tile,
     hw.TouchRead(&scratch.bx[i], sizeof(int32_t));
     hw.TouchRead(&scratch.by[i], sizeof(int32_t));
     hw.TouchRead(&scratch.bz[i], sizeof(int32_t));
-    for (int t = 0; t < kW; ++t) {
-      hw.TouchRead(&scratch.mx[t][i], sizeof(double));
-      hw.TouchRead(&scratch.my[t][i], sizeof(double));
-      hw.TouchRead(&scratch.mz[t][i], sizeof(double));
-      hw.TouchRead(&scratch.dx[t][i], sizeof(double));
-      hw.TouchRead(&scratch.dy[t][i], sizeof(double));
-      hw.TouchRead(&scratch.dz[t][i], sizeof(double));
-    }
+    hw.TouchRead(scratch.Win(i),
+                 sizeof(double) * static_cast<size_t>(scratch.stride()));
     hw.TouchRead(&scratch.qf[i], sizeof(double));
+
+    const double* w = scratch.Win(i);
+    const double* mX = w;
+    const double* dX = w + kW;
+    const double* mY = w + 2 * kW;
+    const double* dY = w + 3 * kW;
+    const double* mZ = w + 4 * kW;
+    const double* dZ = w + 5 * kW;
 
     const double cfx = scratch.qf[i] * fx;
     const double cfy = scratch.qf[i] * fy;
@@ -222,13 +224,12 @@ void DepositEsirkepovTile(HwContext& hw, const ParticleTile& tile,
     // the cumulative sum of -dx[a] * T along x lands at the Yee face a+1/2.
     for (int c = 0; c < kW; ++c) {
       for (int b = 0; b < kW; ++b) {
-        const double ty =
-            scratch.my[b][i] * scratch.mz[c][i] + k12 * scratch.dy[b][i] * scratch.dz[c][i];
+        const double ty = mY[b] * mZ[c] + k12 * dY[b] * dZ[c];
         hw.ScalarOps(3);
         double acc = 0.0;
         const int64_t row = tile_j.Index(bx, by + b, bz + c);
         for (int a = 0; a < kW - 1; ++a) {
-          acc -= scratch.dx[a][i] * ty;
+          acc -= dX[a] * ty;
           hw.ScalarOps(2);
           hw.AccumScalar(&jx[row + a], cfx * acc);
         }
@@ -237,12 +238,11 @@ void DepositEsirkepovTile(HwContext& hw, const ParticleTile& tile,
     // Jy and Jz mirror the Jx structure with permuted axes.
     for (int c = 0; c < kW; ++c) {
       for (int a = 0; a < kW; ++a) {
-        const double tx =
-            scratch.mx[a][i] * scratch.mz[c][i] + k12 * scratch.dx[a][i] * scratch.dz[c][i];
+        const double tx = mX[a] * mZ[c] + k12 * dX[a] * dZ[c];
         hw.ScalarOps(3);
         double acc = 0.0;
         for (int b = 0; b < kW - 1; ++b) {
-          acc -= scratch.dy[b][i] * tx;
+          acc -= dY[b] * tx;
           hw.ScalarOps(2);
           hw.AccumScalar(&jy[tile_j.Index(bx + a, by + b, bz + c)], cfy * acc);
         }
@@ -250,12 +250,11 @@ void DepositEsirkepovTile(HwContext& hw, const ParticleTile& tile,
     }
     for (int b = 0; b < kW; ++b) {
       for (int a = 0; a < kW; ++a) {
-        const double txy =
-            scratch.mx[a][i] * scratch.my[b][i] + k12 * scratch.dx[a][i] * scratch.dy[b][i];
+        const double txy = mX[a] * mY[b] + k12 * dX[a] * dY[b];
         hw.ScalarOps(3);
         double acc = 0.0;
         for (int c = 0; c < kW - 1; ++c) {
-          acc -= scratch.dz[c][i] * txy;
+          acc -= dZ[c] * txy;
           hw.ScalarOps(2);
           hw.AccumScalar(&jz[tile_j.Index(bx + a, by + b, bz + c)], cfz * acc);
         }
@@ -315,15 +314,9 @@ void RegisterEsirkepovRegions(HwContext& hw, uint64_t key_base,
   reg(scratch.bx);
   reg(scratch.by);
   reg(scratch.bz);
-  for (int t = 0; t < EsirkepovScratch::kMaxWindow; ++t) {
-    reg(scratch.mx[t]);
-    reg(scratch.my[t]);
-    reg(scratch.mz[t]);
-    reg(scratch.dx[t]);
-    reg(scratch.dy[t]);
-    reg(scratch.dz[t]);
-  }
+  reg(scratch.win);
   reg(scratch.qf);
+  reg(scratch.wide);
   reg(tile_j.jx());
   reg(tile_j.jy());
   reg(tile_j.jz());

@@ -11,34 +11,39 @@
 // holds exactly on the staggered (Yee) mesh, for any shape order. The J
 // components land at their Yee locations (Jx at i+1/2 etc.); rho is nodal.
 //
-// Two forms live here:
+// The engine path is *staged*, in the spirit of the rhocell pipeline
+// (Algorithm 2): StageEsirkepovTile evaluates, once per particle, the
+// per-axis weight windows over the union of the old and new shape supports —
+// the midpoint weights m = (S_old + S_new)/2 and difference weights
+// d = S_new - S_old — into an EsirkepovScratch (keyed MemMap registration,
+// Phase::kPreproc, scalar or VPU cost profile matching the variant's
+// staging). A combine kernel then forms each transverse plane as the rank-2
+// sum outer(m_b, m_c) + (1/12) outer(d_b, d_c) and accumulates the running
+// density-decomposition sums into a per-tile Yee-staggered TileCurrent
+// scratch (Phase::kCompute). The writes are tile-private, so tiles fan out in
+// parallel like the rhocell kernels; ReduceEsirkepovToGrid performs the
+// O(tile nodes) scatter-add onto the global J arrays on the engine's
+// halo-disjoint colored schedule (Phase::kReduce).
 //
-//  * The engine path is *staged*, in the spirit of the rhocell pipeline
-//    (Algorithm 2): StageEsirkepovTile evaluates, once per particle, the
-//    per-axis weight windows over the union of the old and new shape
-//    supports — the midpoint weights m = (S_old + S_new)/2 and difference
-//    weights d = S_new - S_old — into an EsirkepovScratch (keyed MemMap
-//    registration, Phase::kPreproc, scalar or VPU cost profile matching the
-//    variant's staging). DepositEsirkepovTile then combines the axis vectors
-//    by outer product — each transverse plane is the rank-2 sum
-//    outer(m_b, m_c) + (1/12) outer(d_b, d_c) — and accumulates the running
-//    density-decomposition sums into a per-tile Yee-staggered TileCurrent
-//    scratch (Phase::kCompute). The writes are tile-private, so tiles fan out
-//    in parallel like the rhocell kernels; ReduceEsirkepovToGrid performs the
-//    O(tile nodes) scatter-add onto the global J arrays on the engine's
-//    halo-disjoint colored schedule (Phase::kReduce).
+// Three combine cost profiles serve the scheme:
 //
-//  * DepositEsirkepov is the scalar canonical form, kept as the reference the
-//    staged path is validated against (tests/esirkepov_test.cc).
+//  * DepositEsirkepov — the scalar canonical form, scattering straight into
+//    the global J arrays. Kept as the reference every staged path is
+//    validated against (tests/esirkepov_test.cc).
+//  * DepositEsirkepovTile (this header) — the staged scalar/VPU combine used
+//    by non-MPU variants, and the value-level reference for the MPU kernel.
+//  * DepositEsirkepovMpuTile (esirkepov_mpu.h) — maps each plane's rank-2
+//    update onto the 8x8 MPU as two MOPAs per particle-pair per plane, with
+//    width-adaptive operand packing and a measured occupancy counter. This is
+//    what MPU variants dispatch to, and what makes the charge-conserving
+//    scheme cost-competitive with direct deposition (see README for the
+//    measured cycle ratios).
 //
 // Old positions arrive through the ParticleSoA old-position lanes (xo/yo/zo),
 // captured by the step pipeline before the push and maintained across
 // periodic wrap and cross-tile migration; the displacement must satisfy the
 // CFL bound (|delta| < one cell per axis), which the union window of
 // Order + 2 nodes per axis encodes.
-//
-// Mapping the decomposition's outer products onto the MPU is an open research
-// direction noted in ROADMAP.md.
 
 #ifndef MPIC_SRC_DEPOSIT_ESIRKEPOV_H_
 #define MPIC_SRC_DEPOSIT_ESIRKEPOV_H_
@@ -117,33 +122,54 @@ class TileCurrent {
 // tile-local pid like DepositScratch. Per axis the window holds the midpoint
 // weights m[t] = (S_old[t] + S_new[t]) / 2 and the difference weights
 // d[t] = S_new[t] - S_old[t] over the union support of Order + 2 nodes.
+//
+// Layout: one packed block of 6 * (Order + 2) doubles per particle —
+// [mx | dx | my | dy | mz | dz], each axis window contiguous — plus window
+// bases, charge factor, and width flags in side arrays. The packed block
+// keeps staging stores and combine loads down to a handful of sequential
+// streams (inside the stride prefetcher's stream budget, which the previous
+// one-array-per-lane layout blew past at order 3), and doubles as the Vec8
+// operand layout for the MPU kernel: each axis window is one unaligned
+// vector load.
 struct EsirkepovScratch {
   static constexpr int kMaxWindow = 5;  // Order + 2 at order 3
 
+  // Union-window width (Order + 2) the blocks are strided for.
+  int window = 0;
+  int stride() const { return 6 * window; }
+
+  double* Win(size_t pid) {
+    return win.data() + static_cast<size_t>(stride()) * pid;
+  }
+  const double* Win(size_t pid) const {
+    return win.data() + static_cast<size_t>(stride()) * pid;
+  }
+  // Offsets of the m/d windows of `axis` (0=x, 1=y, 2=z) inside a block.
+  int OffM(int axis) const { return 2 * axis * window; }
+  int OffD(int axis) const { return (2 * axis + 1) * window; }
+
   void Resize(size_t n_slots, int order) {
-    const size_t window = static_cast<size_t>(order) + 2;
-    for (size_t t = 0; t < kMaxWindow; ++t) {
-      const size_t sz = t < window ? n_slots : 0;
-      mx[t].resize(sz);
-      my[t].resize(sz);
-      mz[t].resize(sz);
-      dx[t].resize(sz);
-      dy[t].resize(sz);
-      dz[t].resize(sz);
-    }
+    window = order + 2;
+    win.resize(n_slots * static_cast<size_t>(stride()));
     bx.resize(n_slots);
     by.resize(n_slots);
     bz.resize(n_slots);
     qf.resize(n_slots);
+    wide.resize(n_slots);
   }
 
   // Lowest node index of the union window per axis (global nodes).
   std::vector<int32_t> bx, by, bz;
-  // Midpoint / difference weight lanes; mx[t][pid] pairs with node bx[pid]+t.
-  std::vector<double> mx[kMaxWindow], my[kMaxWindow], mz[kMaxWindow];
-  std::vector<double> dx[kMaxWindow], dy[kMaxWindow], dz[kMaxWindow];
+  // Packed m/d blocks; Win(pid)[OffM(0) + t] pairs with node bx[pid] + t.
+  std::vector<double> win;
   // Per-particle charge factor q * w / cell_volume.
   std::vector<double> qf;
+  // Bit `axis` set when the particle crossed a cell boundary on that axis,
+  // i.e. its union window really is Order + 2 nodes wide. Unset means the
+  // effective width is Order + 1 and the last lane of m and d is exactly
+  // zero — the width-adaptive MPU kernel packs and extracts only live lanes
+  // (at thermal drift almost all particles are narrow on every axis).
+  std::vector<uint8_t> wide;
 };
 
 // Stage 1: per-axis weight windows + charge factor for every live particle,
@@ -170,8 +196,8 @@ void DepositEsirkepovTile(HwContext& hw, const ParticleTile& tile,
 // footprints and may run concurrently. Charged to Phase::kReduce.
 void ReduceEsirkepovToGrid(HwContext& hw, TileCurrent& tile_j, FieldSet& fields);
 
-// Registers the scratch lanes and the tile scratch with the hardware model's
-// address space under stable keys (streams key_base..key_base+36; the engine
+// Registers the scratch arrays and the tile scratch with the hardware model's
+// address space under stable keys (streams key_base..key_base+8; the engine
 // passes MemRegionKey(owner, tile, 32) so these follow the 0..31 block of
 // RegisterStagingRegions). Call whenever the arrays may have moved.
 void RegisterEsirkepovRegions(HwContext& hw, uint64_t key_base,

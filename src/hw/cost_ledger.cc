@@ -75,6 +75,7 @@ void CostLedger::SumWorkerCounters(const std::vector<const CostLedger*>& workers
     counters_.gathers += c.gathers;
     counters_.scatters += c.scatters;
     counters_.mopas += c.mopas;
+    counters_.mopa_valid_slots += c.mopa_valid_slots;
     counters_.atomics += c.atomics;
     counters_.l1_hits += c.l1_hits;
     counters_.l1_misses += c.l1_misses;
@@ -103,7 +104,8 @@ std::string CostLedger::Summary() const {
     out << " " << PhaseName(static_cast<Phase>(i)) << "=" << cycles_[i];
   }
   out << "\nops: scalar=" << counters_.scalar_ops << " vpu=" << counters_.vpu_ops
-      << " mopa=" << counters_.mopas << " gathers=" << counters_.gathers
+      << " mopa=" << counters_.mopas << " mopa_valid=" << counters_.mopa_valid_slots
+      << " gathers=" << counters_.gathers
       << " scatters=" << counters_.scatters << " atomics=" << counters_.atomics;
   out << "\ncache: l1h=" << counters_.l1_hits << " l1m=" << counters_.l1_misses
       << " l2h=" << counters_.l2_hits << " l2m=" << counters_.l2_misses;

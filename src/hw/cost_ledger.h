@@ -40,6 +40,11 @@ struct LedgerCounters {
   uint64_t gathers = 0;
   uint64_t scatters = 0;
   uint64_t mopas = 0;
+  // Tile slots carrying useful work, summed over all MOPA issues (each MOPA
+  // has kMpuTile^2 = 64 slots). mopa_valid_slots / (64 * mopas) is the mean
+  // MPU occupancy — the measured form of the per-kernel utilization figures
+  // (25% CIC / 50% QSP direct; window-width dependent for Esirkepov).
+  uint64_t mopa_valid_slots = 0;
   uint64_t atomics = 0;
   // Cache events.
   uint64_t l1_hits = 0;

@@ -307,13 +307,28 @@ double HwContext::VReduceSum(const Vec8& a) {
 
 // ---- MPU stream ------------------------------------------------------------
 
-void HwContext::Mopa(MpuTileReg& tile, const Vec8& a, const Vec8& b) {
+void HwContext::Mopa(MpuTileReg& tile, const Vec8& a, const Vec8& b,
+                     int valid_slots) {
   MPIC_CHECK_MSG(cfg_.has_mpu, "MPU kernel executed on a machine without an MPU");
   ++ledger_.counters().mopas;
+  ledger_.counters().mopa_valid_slots += static_cast<uint64_t>(valid_slots);
   ledger_.AddCycles(cfg_.mopa_issue_cycles);
   for (int r = 0; r < kMpuTile; ++r) {
     for (int c = 0; c < kMpuTile; ++c) {
       tile.At(r, c) = std::fma(a[r], b[c], tile.At(r, c));
+    }
+  }
+}
+
+void HwContext::MopaZero(MpuTileReg& tile, const Vec8& a, const Vec8& b,
+                         int valid_slots) {
+  MPIC_CHECK_MSG(cfg_.has_mpu, "MPU kernel executed on a machine without an MPU");
+  ++ledger_.counters().mopas;
+  ledger_.counters().mopa_valid_slots += static_cast<uint64_t>(valid_slots);
+  ledger_.AddCycles(cfg_.mopa_issue_cycles);
+  for (int r = 0; r < kMpuTile; ++r) {
+    for (int c = 0; c < kMpuTile; ++c) {
+      tile.At(r, c) = a[r] * b[c];
     }
   }
 }

@@ -106,8 +106,18 @@ class HwContext {
 
   // ---- MPU stream ----------------------------------------------------------
 
-  // C += a (x) b over the full tile. One MOPA instruction.
-  void Mopa(MpuTileReg& tile, const Vec8& a, const Vec8& b);
+  // C += a (x) b over the full tile. One MOPA instruction. `valid_slots` is
+  // the number of tile slots carrying useful work for this issue (<= 64); it
+  // only feeds the occupancy counter, never the cycle charge — an MOPA costs
+  // the same whether its operands are fully or partially packed.
+  void Mopa(MpuTileReg& tile, const Vec8& a, const Vec8& b,
+            int valid_slots = kMpuTile * kMpuTile);
+  // C = a (x) b: MOPA with accumulator clear, as offered by real matrix ISAs
+  // (AMX TILEZERO-fused issue, SME `fmopa` with the ZA slice zeroed). Same
+  // issue cost as Mopa; saves the separate TileZero when a tile group starts
+  // a fresh accumulation.
+  void MopaZero(MpuTileReg& tile, const Vec8& a, const Vec8& b,
+                int valid_slots = kMpuTile * kMpuTile);
   // Zeroes the tile accumulators.
   void TileZero(MpuTileReg& tile);
   // Moves one tile row into a VPU register (tile -> vector file transfer).
