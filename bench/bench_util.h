@@ -13,31 +13,15 @@
 #include <memory>
 #include <string>
 
+// Fnv1a and the FieldsDigest/ParticlesDigest/SimulationDigest family the
+// benches gate bit-identity with live in the library; benches and tests must
+// hash state the same way or a digest mismatch means nothing.
+#include "src/common/fnv.h"
 #include "src/core/diagnostics.h"
 #include "src/core/workloads.h"
+#include "src/runtime/digest.h"
 
 namespace mpic {
-
-// FNV-1a over raw bytes; used by benches to assert bit-identical physics
-// across schedules and core counts.
-inline uint64_t Fnv1a(const void* data, size_t bytes, uint64_t h) {
-  const auto* p = static_cast<const unsigned char*>(data);
-  for (size_t i = 0; i < bytes; ++i) {
-    h ^= p[i];
-    h *= 1099511628211ull;
-  }
-  return h;
-}
-
-// Digest of the E and J arrays — the step-by-step particle history is fully
-// encoded in them, so equal digests mean bit-identical physics.
-inline uint64_t FieldsDigest(const FieldSet& f) {
-  uint64_t h = 1469598103934665603ull;
-  for (const FieldArray* a : {&f.ex, &f.ey, &f.ez, &f.jx, &f.jy, &f.jz}) {
-    h = Fnv1a(a->vec().data(), a->vec().size() * sizeof(double), h);
-  }
-  return h;
-}
 
 struct BenchResult {
   RunReport report;

@@ -3,9 +3,9 @@
 // A Gaussian laser pulse (a0 ~ 4, lambda = 0.8 um) drives a wake in a cold
 // background plasma while a moving window tracks the pulse at c. Prints a
 // per-step summary — window position, per-species particle census, field
-// energy — and an on-axis longitudinal field profile at the end (the wake
-// structure). With `ions` a mobile proton background rides along, exercising
-// the multi-species moving-window path.
+// energy, health-sentinel status — and an on-axis longitudinal field profile
+// at the end (the wake structure). With `ions` a mobile proton background
+// rides along, exercising the multi-species moving-window path.
 //
 //   ./lwfa [steps] [variant] [ions]
 
@@ -15,6 +15,7 @@
 
 #include "src/core/diagnostics.h"
 #include "src/core/workloads.h"
+#include "src/runtime/health.h"
 
 int main(int argc, char** argv) {
   const int steps = argc > 1 ? std::atoi(argv[1]) : 20;
@@ -31,12 +32,18 @@ int main(int argc, char** argv) {
 
   mpic::HwContext hw;
   auto sim = mpic::MakeLwfaSimulation(hw, params);
+  // Per-step health sentinels. The laser antenna injects energy every step,
+  // so the closed-system energy-drift bound does not apply; the particle,
+  // field, and census sentinels carry the monitoring.
+  mpic::HealthConfig health;
+  health.check_energy = false;
+  sim->EnableHealth(health);
   std::printf("lwfa: %s, grid %dx%dx%d, %d species, %lld particles, dt = %.3e s\n",
               mpic::VariantName(params.variant), params.nx, params.ny, params.nz,
               sim->num_species(),
               static_cast<long long>(sim->tiles().TotalLive()), sim->dt());
-  std::printf("%5s %14s %12s %12s %14s %10s\n", "step", "window z0 (um)",
-              "electrons", "ions", "field E (J)", "sorts");
+  std::printf("%5s %14s %12s %12s %14s %10s %8s\n", "step", "window z0 (um)",
+              "electrons", "ions", "field E (J)", "sorts", "health");
 
   for (int s = 0; s < steps; ++s) {
     sim->Step();
@@ -49,13 +56,19 @@ int main(int argc, char** argv) {
       for (int sid = 0; sid < sim->num_species(); ++sid) {
         sorts += sim->block(sid).engine.total_global_sorts();
       }
-      std::printf("%5lld %14.3f %12lld %12lld %14.3e %10lld\n",
+      const mpic::HealthStepReport& rep = sim->last_sim_stats().health;
+      std::printf("%5lld %14.3f %12lld %12lld %14.3e %10lld %8s\n",
                   static_cast<long long>(sim->step_count()),
                   sim->fields().geom.z0 * 1e6,
                   static_cast<long long>(sim->tiles().TotalLive()), ions,
-                  mpic::FieldEnergy(sim->fields()), sorts);
+                  mpic::FieldEnergy(sim->fields()), sorts,
+                  rep.tripped() ? "TRIP" : "ok");
+      if (rep.tripped()) {
+        std::printf("      %s\n", rep.Summary().c_str());
+      }
     }
   }
+  std::printf("\nfinal %s\n", sim->last_sim_stats().health.Summary().c_str());
 
   // On-axis Ez profile: the longitudinal wake field behind the pulse.
   std::printf("\non-axis Ez(z) after %d steps:\n", steps);

@@ -3,8 +3,9 @@
 // Two electron beams counter-stream along z at +/- u_drift with a seeded
 // sinusoidal velocity perturbation. The electrostatic two-stream instability
 // amplifies the seeded mode exponentially until particle trapping saturates
-// it. Prints a per-step timeline with the per-species census and the field /
-// kinetic energy exchange, then the growth factor over the run.
+// it. Prints a per-step timeline with the per-species census, the field /
+// kinetic energy exchange, and the health-sentinel status, then the growth
+// factor over the run.
 //
 //   ./two_stream [steps] [u_drift/c] [variant]
 
@@ -14,6 +15,7 @@
 
 #include "src/core/diagnostics.h"
 #include "src/core/workloads.h"
+#include "src/runtime/health.h"
 
 int main(int argc, char** argv) {
   const int steps = argc > 1 ? std::atoi(argv[1]) : 120;
@@ -32,6 +34,9 @@ int main(int argc, char** argv) {
 
   mpic::HwContext hw;
   auto sim = mpic::MakeTwoStreamSimulation(hw, params);
+  // Closed periodic system: every default sentinel applies, including the
+  // total-energy drift bound.
+  sim->EnableHealth(mpic::HealthConfig{});
   std::printf("two_stream: %s, grid %dx%dx%d, u_drift %.2fc, %d species\n",
               mpic::VariantName(params.variant), params.nx, params.ny, params.nz,
               params.u_drift, sim->num_species());
@@ -47,7 +52,7 @@ int main(int argc, char** argv) {
   for (int sid = 0; sid < sim->num_species(); ++sid) {
     std::printf(" %12s", sim->species(sid).name.c_str());
   }
-  std::printf("\n");
+  std::printf(" %8s\n", "health");
 
   for (int s = 1; s < steps; ++s) {
     sim->Step();
@@ -59,9 +64,14 @@ int main(int argc, char** argv) {
       for (const mpic::SpeciesStepStats& ss : sim->last_sim_stats().species) {
         std::printf(" %12lld", static_cast<long long>(ss.live));
       }
-      std::printf("\n");
+      const mpic::HealthStepReport& rep = sim->last_sim_stats().health;
+      std::printf(" %8s\n", rep.tripped() ? "TRIP" : "ok");
+      if (rep.tripped()) {
+        std::printf("      %s\n", rep.Summary().c_str());
+      }
     }
   }
+  std::printf("\nfinal %s\n", sim->last_sim_stats().health.Summary().c_str());
 
   const double fe1 = mpic::FieldEnergy(sim->fields());
   std::printf("\nfield energy grew %.1fx over %d steps (%.3e -> %.3e J)\n",

@@ -1,0 +1,35 @@
+// FNV-1a hashing over raw bytes.
+//
+// Used wherever the repo needs a cheap, dependency-free digest with a stable
+// value across platforms: the checkpoint section checksums
+// (src/runtime/checkpoint.h), the physics digests benches and tests pin
+// bit-identity with (src/runtime/digest.h), and name fingerprints in the
+// checkpoint META section. Not cryptographic — it detects corruption and
+// divergence, not adversaries.
+
+#ifndef MPIC_SRC_COMMON_FNV_H_
+#define MPIC_SRC_COMMON_FNV_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mpic {
+
+inline constexpr uint64_t kFnvOffsetBasis = 1469598103934665603ull;
+inline constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+// Folds `bytes` bytes at `data` into the running hash `h` (seed with
+// kFnvOffsetBasis for a fresh digest).
+inline uint64_t Fnv1a(const void* data, size_t bytes,
+                      uint64_t h = kFnvOffsetBasis) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace mpic
+
+#endif  // MPIC_SRC_COMMON_FNV_H_

@@ -593,6 +593,25 @@ void DepositionEngine::FinishStep(TileSet& tiles, FieldSet& fields,
   }
 }
 
+void DepositionEngine::RestoreSortState(int steps_since_sort,
+                                        int64_t local_rebuilds,
+                                        int64_t total_global_sorts) {
+  rank_stats_ = RankSortStats{};
+  rank_stats_.steps_since_sort = steps_since_sort;
+  rank_stats_.local_rebuilds = local_rebuilds;
+  total_global_sorts_ = total_global_sorts;
+}
+
+int64_t DepositionEngine::ClearStagedMovers(int t) {
+  if (t < 0 || static_cast<size_t>(t) >= tile_movers_.size()) {
+    return 0;
+  }
+  std::vector<Mover>& movers = tile_movers_[static_cast<size_t>(t)];
+  const auto dropped = static_cast<int64_t>(movers.size());
+  movers.clear();
+  return dropped;
+}
+
 void DepositionEngine::FoldCurrentGuards(HwContext& hw, FieldSet& fields) {
   PhaseScope phase(hw.ledger(), Phase::kReduce);
   fields.jx.FoldGuardsPeriodic();
@@ -605,9 +624,9 @@ void DepositionEngine::FoldCurrentGuards(HwContext& hw, FieldSet& fields) {
 
 // ---- Legacy sweep-per-stage orchestration ----------------------------------
 
-EngineStepStats DepositionEngine::DepositStep(TileSet& tiles, FieldSet& fields,
-                                              double charge, bool fold_guards,
-                                              double dt) {
+EngineStepStats DepositionEngine::DepositStep(
+    TileSet& tiles, FieldSet& fields, double charge, bool fold_guards,
+    double dt, const std::function<bool(int)>& skip_tile) {
   EngineStepStats stats;
   // The resort policy's throughput window measures the deposition phases
   // (Preproc+Compute+Sort+Reduce) — the same window the fused pipeline feeds
@@ -622,6 +641,9 @@ EngineStepStats DepositionEngine::DepositStep(TileSet& tiles, FieldSet& fields,
   std::vector<PaddedSlot<TileScanPartial>> partials(
       static_cast<size_t>(hw_.num_cores()));
   ParallelForTiles(hw_, tiles.num_tiles(), [&](HwContext& hw, int worker, int t) {
+    if (skip_tile && skip_tile(t)) {
+      return;  // quarantined: poisoned positions must not reach the cell math
+    }
     ScanTile(hw, tiles, t, &partials[static_cast<size_t>(worker)].value);
   });
   for (const PaddedSlot<TileScanPartial>& slot : partials) {
@@ -637,10 +659,16 @@ EngineStepStats DepositionEngine::DepositStep(TileSet& tiles, FieldSet& fields,
   if (ParallelEnabled(hw_) && deposit_is_tile_parallel()) {
     RefreshTileRegistrations(tiles);
     ParallelForTiles(hw_, tiles.num_tiles(), [&](HwContext& hw, int, int t) {
+      if (skip_tile && skip_tile(t)) {
+        return;
+      }
       StageAndDepositTile(hw, tiles, fields, charge, t);
     });
   } else {
     for (int t = 0; t < tiles.num_tiles(); ++t) {
+      if (skip_tile && skip_tile(t)) {
+        continue;
+      }
       StageAndDepositTile(hw_, tiles, fields, charge, t);
     }
   }
@@ -650,6 +678,9 @@ EngineStepStats DepositionEngine::DepositStep(TileSet& tiles, FieldSet& fields,
   // accumulate shared halo nodes identically.
   for (const std::vector<int>& color_class : reduce_coloring_) {
     for (int t : color_class) {
+      if (skip_tile && skip_tile(t)) {
+        continue;  // its scratch was not staged this step
+      }
       ReduceTile(hw_, tiles, fields, t);
     }
   }

@@ -32,6 +32,7 @@
 #define MPIC_SRC_CORE_DEPOSITION_ENGINE_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "src/core/deposit_variant.h"
@@ -175,9 +176,13 @@ class DepositionEngine {
   // calls FoldCurrentGuards once after all of them have accumulated, because
   // folding refills the guards with interior images and a second fold would
   // double-count the earlier species. `dt` is required (non-zero) by the
-  // Esirkepov scheme only.
+  // Esirkepov scheme only. A non-null `skip_tile` predicate exempts tiles the
+  // health monitor quarantined this step (poisoned lanes that scan/deposit
+  // must not touch); their J contribution is zero and their GPMA stays stale
+  // until the step is rolled back or the tile is scrubbed.
   EngineStepStats DepositStep(TileSet& tiles, FieldSet& fields, double charge,
-                              bool fold_guards = true, double dt = 0.0);
+                              bool fold_guards = true, double dt = 0.0,
+                              const std::function<bool(int)>& skip_tile = {});
 
   // Folds the periodic guard contributions of jx/jy/jz into the interior and
   // charges the reduction to the ledger (Phase::kReduce).
@@ -225,6 +230,24 @@ class DepositionEngine {
   }
   const RankSortStats& rank_stats() const { return rank_stats_; }
   int64_t total_global_sorts() const { return total_global_sorts_; }
+
+  // ---- Resilience hooks (src/runtime/) -------------------------------------
+
+  // Checkpoint restore: reinstates the physics-driven re-sort policy inputs
+  // (steps since sort, accumulated rebuilds) and the lifetime sort count. The
+  // throughput pair is deliberately zeroed — the modeled caches are cold after
+  // a restore, so the performance trigger re-baselines on the next step,
+  // exactly as it does after a global sort (the same caveat that already
+  // bounds fused-vs-legacy bit identity, see core/step_pipeline.h).
+  void RestoreSortState(int steps_since_sort, int64_t local_rebuilds,
+                        int64_t total_global_sorts);
+
+  // Fault-injection hook (src/runtime/fault_injection.h): discards tile `t`'s
+  // staged cross-tile movers between the scan and DeliverMovers, modeling a
+  // lost migration buffer. Returns the number of particles dropped (they are
+  // already removed from the source tile, so the census sentinel sees the
+  // loss). Meaningful only between ScanTile and DeliverMovers of one step.
+  int64_t ClearStagedMovers(int t);
 
  private:
   template <int Order>

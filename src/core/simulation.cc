@@ -30,6 +30,17 @@ Simulation::Simulation(HwContext& hw, const SimulationConfig& config)
   if (config.moving_window) {
     window_.emplace(config.window_velocity, g.dz);
   }
+  if (config.health.has_value()) {
+    health_.emplace(*config.health);
+  }
+}
+
+void Simulation::RestoreGeometry(const GridGeometry& g) {
+  config_.geom = g;
+  fields_.geom = g;
+  for (auto& b : blocks_) {
+    b->tiles.SetGeometry(g);
+  }
 }
 
 int Simulation::AddSpecies(const SpeciesConfig& config) {
@@ -138,13 +149,20 @@ void Simulation::AdvanceWindow() {
     GridGeometry g = config_.geom;
     g.z0 = fields_.geom.z0;
     config_.geom = g;
-    for (auto& b : blocks_) {
+    for (size_t i = 0; i < blocks_.size(); ++i) {
+      SpeciesBlock* b = blocks_[i].get();
+      int64_t win_dropped = 0;
+      int64_t win_injected = 0;
       b->tiles.SetGeometry(g);
       // Drop particles that fell behind the new window tail. Every removal
       // (GPMA remove, slot release) touches only the tile's own structures,
       // so tiles fan out over the modeled cores, each worker charging its own
-      // ledger through the RemoveParticle(HwContext&, ...) overload.
-      ParallelForTiles(hw_, b->tiles.num_tiles(), [&](HwContext& hw, int, int t) {
+      // ledger through the RemoveParticle(HwContext&, ...) overload. Drops
+      // count into the census the health monitor balances at step end.
+      std::vector<PaddedSlot<int64_t>> tail_drops(
+          static_cast<size_t>(hw_.num_cores()));
+      ParallelForTiles(hw_, b->tiles.num_tiles(),
+                       [&](HwContext& hw, int worker, int t) {
         PhaseScope phase(hw.ledger(), Phase::kOther);
         ParticleTile& tile = b->tiles.tile(t);
         const ParticleSoA& soa = tile.soa();
@@ -161,9 +179,13 @@ void Simulation::AdvanceWindow() {
         for (int32_t pid = 0; pid < n; ++pid) {
           if (tile.IsLive(pid) && soa.z[static_cast<size_t>(pid)] < g.z0) {
             b->engine.RemoveParticle(hw, b->tiles, t, pid);
+            ++tail_drops[static_cast<size_t>(worker)].value;
           }
         }
       });
+      for (const PaddedSlot<int64_t>& slot : tail_drops) {
+        win_dropped += slot.value;
+      }
       // Refill the freshly exposed head slab: serial generation into per-tile
       // injection lists (the RNG sequence stays the canonical global cell
       // order), then a tile-parallel insertion sweep mirroring the
@@ -178,6 +200,9 @@ void Simulation::AdvanceWindow() {
         inj.seed = injection_seed_++;
         const std::vector<std::vector<Particle>> lists =
             BuildProfiledPlasmaTileLists(b->tiles, inj);
+        for (const std::vector<Particle>& list : lists) {
+          win_injected += static_cast<int64_t>(list.size());
+        }
         std::vector<PaddedSlot<int64_t>> rebuilds(
             static_cast<size_t>(hw_.num_cores()));
         ParallelForTiles(
@@ -194,6 +219,12 @@ void Simulation::AdvanceWindow() {
           b->engine.AccumulateInjectionRebuilds(slot.value);
         }
       }
+      // AdvanceWindow runs after RunParticleStages filled the species stats,
+      // so the tail drops and head refills land in the same step's census.
+      if (i < last_sim_stats_.species.size()) {
+        last_sim_stats_.species[i].dropped += win_dropped;
+        last_sim_stats_.species[i].injected += win_injected;
+      }
     }
   }
 }
@@ -204,6 +235,8 @@ void Simulation::Step() {
   in.drop_behind_window = config_.moving_window;
   in.step = step_count_;
   in.collisions = collide_.has_value() ? &*collide_ : nullptr;
+  in.health = health_.has_value() ? &*health_ : nullptr;
+  in.injector = injector_;
   pipeline_.RunParticleStages(in, blocks_, fields_, &last_sim_stats_);
   last_step_stats_ = last_sim_stats_.Aggregate();
 
@@ -221,6 +254,12 @@ void Simulation::Step() {
   solver_.UpdateB(hw_, fields_, 0.5 * dt_);
   solver_.UpdateE(hw_, fields_, dt_, staggered_j_);
   solver_.UpdateB(hw_, fields_, 0.5 * dt_);
+
+  // Step epilogue: the field/census/energy sentinels inspect the post-solve
+  // state the next step will consume.
+  if (health_.has_value()) {
+    health_->FinishStep(*this, &last_sim_stats_);
+  }
 
   time_ += dt_;
   ++step_count_;

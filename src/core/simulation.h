@@ -40,10 +40,13 @@
 #include "src/particles/species.h"
 #include "src/particles/tile_set.h"
 #include "src/push/field_gather.h"
+#include "src/runtime/health.h"
 #include "src/solver/maxwell_solver.h"
 #include "src/solver/moving_window.h"
 
 namespace mpic {
+
+class FaultInjector;
 
 struct SimulationConfig {
   GridGeometry geom;
@@ -72,6 +75,11 @@ struct SimulationConfig {
   LaserConfig laser;
   bool moving_window = false;
   double window_velocity = kSpeedOfLight;
+
+  // Per-step health sentinels (src/runtime/health.h). Disabled by default —
+  // the guards and step-epilogue scans cost modeled cycles (Phase::kHealth)
+  // and bench_abl_resilience gates their overhead.
+  std::optional<HealthConfig> health;
 };
 
 class Simulation {
@@ -111,8 +119,13 @@ class Simulation {
   DepositionEngine& engine() { return block(0).engine; }
 
   FieldSet& fields() { return fields_; }
+  const FieldSet& fields() const { return fields_; }
   HwContext& hw() { return hw_; }
+  const HwContext& hw() const { return hw_; }
   const SimulationConfig& config() const { return config_; }
+  bool initialized() const { return initialized_; }
+  // True when the species run the Esirkepov scheme (J is Yee-staggered).
+  bool staggered_j() const { return staggered_j_; }
   // The collision module, or null when no collisions are configured.
   const CollisionModule* collisions() const {
     return collide_.has_value() ? &*collide_ : nullptr;
@@ -123,6 +136,43 @@ class Simulation {
   const SimStepStats& last_sim_stats() const { return last_sim_stats_; }
   // Total particle pushes across all species and steps.
   int64_t particles_pushed() const;
+
+  // ---- Resilience layer (src/runtime/) --------------------------------------
+
+  // Enables the per-step health sentinels. Equivalent to setting
+  // SimulationConfig::health before construction; callable any time.
+  void EnableHealth(const HealthConfig& cfg) { health_.emplace(cfg); }
+  // The monitor, or null when sentinels are disabled.
+  HealthMonitor* health_monitor() {
+    return health_.has_value() ? &*health_ : nullptr;
+  }
+  const HealthMonitor* health_monitor() const {
+    return health_.has_value() ? &*health_ : nullptr;
+  }
+  // Hooks a deterministic fault injector into the step schedule (the mover-
+  // drop faults need a mid-step site). Null detaches. Not owned.
+  void SetFaultInjector(FaultInjector* injector) { injector_ = injector; }
+
+  // Checkpoint plumbing (src/runtime/checkpoint.h). The injection seed and
+  // window accumulator are the only non-structural scalars a bit-exact
+  // restart needs beyond the clock.
+  uint64_t injection_seed() const { return injection_seed_; }
+  void set_injection_seed(uint64_t seed) { injection_seed_ = seed; }
+  double window_accumulated() const {
+    return window_.has_value() ? window_->accumulated() : 0.0;
+  }
+  void set_window_accumulated(double accumulated) {
+    if (window_.has_value()) {
+      window_->set_accumulated(accumulated);
+    }
+  }
+  void RestoreClock(int64_t step, double time) {
+    step_count_ = step;
+    time_ = time;
+  }
+  // Reinstates a checkpointed geometry (the moving window shifts z0) across
+  // the config, the field set, and every species' tile set.
+  void RestoreGeometry(const GridGeometry& g);
 
  private:
   void AdvanceWindow();
@@ -136,6 +186,8 @@ class Simulation {
   std::optional<CollisionModule> collide_;
   std::optional<LaserAntenna> laser_;
   std::optional<MovingWindow> window_;
+  std::optional<HealthMonitor> health_;
+  FaultInjector* injector_ = nullptr;
   EngineStepStats last_step_stats_;
   SimStepStats last_sim_stats_;
 

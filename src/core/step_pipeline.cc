@@ -1,10 +1,13 @@
 #include "src/core/step_pipeline.h"
 
 #include <algorithm>
+#include <functional>
 
 #include "src/common/check.h"
+#include "src/particles/species.h"
 #include "src/push/boris_pusher.h"
 #include "src/push/field_gather.h"
+#include "src/runtime/fault_injection.h"
 
 namespace mpic {
 
@@ -102,7 +105,8 @@ void StepPipeline::CaptureOldPositionsTile(HwContext& hw, ParticleTile& tile) {
 }
 
 void StepPipeline::BoundaryTile(HwContext& hw, SpeciesBlock& block,
-                                bool drop_behind_window, int t) {
+                                bool drop_behind_window, int t,
+                                int64_t* dropped) {
   PhaseScope phase(hw.ledger(), Phase::kOther);
   const GridGeometry& g = block.tiles.geom();
   ParticleTile& tile = block.tiles.tile(t);
@@ -135,6 +139,9 @@ void StepPipeline::BoundaryTile(HwContext& hw, SpeciesBlock& block,
     if (drop_behind_window) {
       if (soa.z[i] < g.z0 || soa.z[i] >= g.z0 + g.LengthZ()) {
         block.engine.RemoveParticle(hw, block.tiles, t, pid);
+        if (dropped != nullptr) {
+          ++*dropped;
+        }
       }
     } else {
       const double wz = g.WrapZ(soa.z[i]);
@@ -149,16 +156,17 @@ void StepPipeline::BoundaryTile(HwContext& hw, SpeciesBlock& block,
 // ---- Fused two-pass schedule ------------------------------------------------
 
 void StepPipeline::FusedPass1(const StepPipelineInputs& in, SpeciesBlock& block,
-                              const FieldSet& fields, SpeciesStepStats* ss) {
+                              int sid, const FieldSet& fields,
+                              SpeciesStepStats* ss) {
   switch (block.engine.config().order) {
     case 1:
-      FusedPass1Impl<1>(in, block, fields, ss);
+      FusedPass1Impl<1>(in, block, sid, fields, ss);
       break;
     case 2:
-      FusedPass1Impl<2>(in, block, fields, ss);
+      FusedPass1Impl<2>(in, block, sid, fields, ss);
       break;
     case 3:
-      FusedPass1Impl<3>(in, block, fields, ss);
+      FusedPass1Impl<3>(in, block, sid, fields, ss);
       break;
     default:
       MPIC_CHECK_MSG(false, "unsupported shape order");
@@ -167,16 +175,28 @@ void StepPipeline::FusedPass1(const StepPipelineInputs& in, SpeciesBlock& block,
 
 template <int Order>
 void StepPipeline::FusedPass1Impl(const StepPipelineInputs& in, SpeciesBlock& block,
-                                  const FieldSet& fields, SpeciesStepStats* ss) {
+                                  int sid, const FieldSet& fields,
+                                  SpeciesStepStats* ss) {
   PushParams pp;
   pp.dt = in.dt;
   pp.charge = block.species.charge;
   pp.mass = block.species.mass;
+  HealthMonitor* monitor = in.health;
+  const bool guards_on = monitor != nullptr && monitor->config().check_particles;
+  const GridGeometry& g = block.tiles.geom();
+  const double min_d = std::min(g.dx, std::min(g.dy, g.dz));
+  // Pre-gather: no particle belongs outside its tile's domain image by more
+  // than rounding. Post-push: one step of legitimate motion (< c*dt) plus the
+  // same slack, checked before the wrap launders the excursion.
+  const double pre_margin = 0.5 * min_d;
+  const double post_margin = kSpeedOfLight * in.dt + 0.5 * min_d;
   // One region fuses four stages per tile. Everything is tile-private (the
   // fields are read-only, boundary drops and GPMA mutations touch only the
   // tile's own structures, leavers stage into the tile's mover list), so the
   // fusion changes nothing about which operations run — only their order, and
-  // with it the modeled cache residency of the tile's SoA streams.
+  // with it the modeled cache residency of the tile's SoA streams. The health
+  // guards keep that property: quarantine bytes are per (species, tile), each
+  // written by exactly one worker.
   std::vector<PaddedSlot<Pass1Partial>> partials(
       static_cast<size_t>(hw_.num_cores()));
   ParallelForTiles(
@@ -184,6 +204,14 @@ void StepPipeline::FusedPass1Impl(const StepPipelineInputs& in, SpeciesBlock& bl
       [&](HwContext& hw, int worker, int t) {
         ParticleTile& tile = block.tiles.tile(t);
         Pass1Partial& part = partials[static_cast<size_t>(worker)].value;
+        if (guards_on &&
+            !monitor->GuardTileFull(hw, tile, g, pre_margin,
+                                    block.species.mass, sid, t, &part.health)) {
+          // Quarantined: the poisoned lanes must not reach the gather (a
+          // non-finite position indexes the grid) or the sort scan (CellX of
+          // NaN is undefined). The tile sits out the whole step.
+          return;
+        }
         if (tile.num_live() > 0) {
           if (block.engine.esirkepov()) {
             CaptureOldPositionsTile(hw, tile);
@@ -192,8 +220,15 @@ void StepPipeline::FusedPass1Impl(const StepPipelineInputs& in, SpeciesBlock& bl
           GatherFieldsTile<Order>(hw, tile, fields, gs);
           PushTileBoris(hw, tile, gs, pp);
           part.pushed += tile.num_live();
+          if (guards_on &&
+              !monitor->GuardTilePositions(hw, tile, g, post_margin, sid, t,
+                                           &part.health)) {
+            // Poisoned by this step's push (a bad gathered field): stop
+            // before the fmod wrap destroys the evidence.
+            return;
+          }
         }
-        BoundaryTile(hw, block, in.drop_behind_window, t);
+        BoundaryTile(hw, block, in.drop_behind_window, t, &part.dropped);
         block.engine.ScanTile(hw, block.tiles, t, &part.scan);
       },
       RegionMerge::kFusedStages);
@@ -201,16 +236,30 @@ void StepPipeline::FusedPass1Impl(const StepPipelineInputs& in, SpeciesBlock& bl
   block.pushed_last_step = 0;
   for (const PaddedSlot<Pass1Partial>& slot : partials) {
     block.pushed_last_step += slot.value.pushed;
+    ss->dropped += slot.value.dropped;
     block.engine.AccumulateScan(slot.value.scan, &ss->engine);
+    if (monitor != nullptr) {
+      monitor->AccumulateTilePartial(slot.value.health);
+    }
   }
   block.particles_pushed += block.pushed_last_step;
   ss->pushed = block.pushed_last_step;
 }
 
-void StepPipeline::DepositTiles(SpeciesBlock& block, FieldSet& fields) {
+void StepPipeline::DepositTiles(const StepPipelineInputs& in,
+                                SpeciesBlock& block, int sid,
+                                FieldSet& fields) {
   DepositionEngine& engine = block.engine;
   TileSet& tiles = block.tiles;
   const double charge = block.species.charge;
+  // Quarantined tiles sit out staging, kernel, AND reduction: their scratch
+  // (rhocell blocks, Esirkepov buffers) still holds the previous step's
+  // accumulation, which a reduce would re-deposit as phantom current.
+  const HealthMonitor* monitor = in.health;
+  const bool any_q = monitor != nullptr && monitor->AnyQuarantined();
+  const auto skip = [&](int t) {
+    return any_q && monitor->IsQuarantined(sid, t);
+  };
 
   // Pass 2: staging + kernel. Rhocell-backed kernels accumulate into
   // tile-private blocks and fan out; the baseline/scalar kernels scatter
@@ -220,11 +269,17 @@ void StepPipeline::DepositTiles(SpeciesBlock& block, FieldSet& fields) {
     ParallelForTiles(
         hw_, tiles.num_tiles(),
         [&](HwContext& hw, int, int t) {
+          if (skip(t)) {
+            return;
+          }
           engine.StageAndDepositTile(hw, tiles, fields, charge, t);
         },
         RegionMerge::kFusedStages);
   } else {
     for (int t = 0; t < tiles.num_tiles(); ++t) {
+      if (skip(t)) {
+        continue;
+      }
       engine.StageAndDepositTile(hw_, tiles, fields, charge, t);
     }
   }
@@ -240,10 +295,16 @@ void StepPipeline::DepositTiles(SpeciesBlock& block, FieldSet& fields) {
     if (ParallelEnabled(hw_) && engine.deposit_is_tile_parallel() &&
         color_class.size() > 1) {
       ParallelForTileList(hw_, color_class, [&](HwContext& hw, int, int t) {
+        if (skip(t)) {
+          return;
+        }
         engine.ReduceTile(hw, tiles, fields, t);
       });
     } else {
       for (int t : color_class) {
+        if (skip(t)) {
+          continue;
+        }
         engine.ReduceTile(hw_, tiles, fields, t);
       }
     }
@@ -252,17 +313,18 @@ void StepPipeline::DepositTiles(SpeciesBlock& block, FieldSet& fields) {
 
 // ---- Legacy sweep-per-stage schedule ----------------------------------------
 
-void StepPipeline::LegacyGatherAndPush(SpeciesBlock& block, double dt,
+void StepPipeline::LegacyGatherAndPush(const StepPipelineInputs& in,
+                                       SpeciesBlock& block, int sid,
                                        const FieldSet& fields) {
   switch (block.engine.config().order) {
     case 1:
-      LegacyGatherAndPushImpl<1>(block, dt, fields);
+      LegacyGatherAndPushImpl<1>(in, block, sid, fields);
       break;
     case 2:
-      LegacyGatherAndPushImpl<2>(block, dt, fields);
+      LegacyGatherAndPushImpl<2>(in, block, sid, fields);
       break;
     case 3:
-      LegacyGatherAndPushImpl<3>(block, dt, fields);
+      LegacyGatherAndPushImpl<3>(in, block, sid, fields);
       break;
     default:
       MPIC_CHECK_MSG(false, "unsupported shape order");
@@ -270,18 +332,35 @@ void StepPipeline::LegacyGatherAndPush(SpeciesBlock& block, double dt,
 }
 
 template <int Order>
-void StepPipeline::LegacyGatherAndPushImpl(SpeciesBlock& block, double dt,
+void StepPipeline::LegacyGatherAndPushImpl(const StepPipelineInputs& in,
+                                           SpeciesBlock& block, int sid,
                                            const FieldSet& fields) {
   PushParams pp;
-  pp.dt = dt;
+  pp.dt = in.dt;
   pp.charge = block.species.charge;
   pp.mass = block.species.mass;
+  HealthMonitor* monitor = in.health;
+  const bool guards_on = monitor != nullptr && monitor->config().check_particles;
+  const GridGeometry& g = block.tiles.geom();
+  const double min_d = std::min(g.dx, std::min(g.dy, g.dz));
+  const double pre_margin = 0.5 * min_d;
+  const double post_margin = kSpeedOfLight * in.dt + 0.5 * min_d;
   // Gather and push read the shared fields and write only the tile's SoA and
-  // scratch, so tiles fan out over the modeled cores.
-  std::vector<PaddedSlot<int64_t>> pushed(static_cast<size_t>(hw_.num_cores()));
+  // scratch, so tiles fan out over the modeled cores. The guards sit at the
+  // same per-tile sites as in the fused schedule.
+  std::vector<PaddedSlot<Pass1Partial>> partials(
+      static_cast<size_t>(hw_.num_cores()));
   ParallelForTiles(hw_, block.tiles.num_tiles(),
                    [&](HwContext& hw, int worker, int t) {
                      ParticleTile& tile = block.tiles.tile(t);
+                     Pass1Partial& part =
+                         partials[static_cast<size_t>(worker)].value;
+                     if (guards_on &&
+                         !monitor->GuardTileFull(hw, tile, g, pre_margin,
+                                                 block.species.mass, sid, t,
+                                                 &part.health)) {
+                       return;
+                     }
                      if (tile.num_live() == 0) {
                        return;
                      }
@@ -292,21 +371,43 @@ void StepPipeline::LegacyGatherAndPushImpl(SpeciesBlock& block, double dt,
                          block.gather_scratch[static_cast<size_t>(t)];
                      GatherFieldsTile<Order>(hw, tile, fields, gs);
                      PushTileBoris(hw, tile, gs, pp);
-                     pushed[static_cast<size_t>(worker)].value += tile.num_live();
+                     part.pushed += tile.num_live();
+                     if (guards_on) {
+                       monitor->GuardTilePositions(hw, tile, g, post_margin,
+                                                   sid, t, &part.health);
+                     }
                    });
   block.pushed_last_step = 0;
-  for (const PaddedSlot<int64_t>& p : pushed) {
-    block.pushed_last_step += p.value;
+  for (const PaddedSlot<Pass1Partial>& p : partials) {
+    block.pushed_last_step += p.value.pushed;
+    if (monitor != nullptr) {
+      monitor->AccumulateTilePartial(p.value.health);
+    }
   }
   block.particles_pushed += block.pushed_last_step;
 }
 
-void StepPipeline::LegacyBoundaries(SpeciesBlock& block, bool drop_behind_window) {
+void StepPipeline::LegacyBoundaries(const StepPipelineInputs& in,
+                                    SpeciesBlock& block, int sid,
+                                    int64_t* dropped) {
   // Wrapping rewrites the tile's own positions and a window drop only touches
   // the tile's own GPMA and slot stack, so tiles fan out over the cores.
-  ParallelForTiles(hw_, block.tiles.num_tiles(), [&](HwContext& hw, int, int t) {
-    BoundaryTile(hw, block, drop_behind_window, t);
-  });
+  // Tiles quarantined by this step's gather/push guards are skipped — the
+  // wrap would launder their out-of-bounds evidence and CellX of a
+  // non-finite position is undefined.
+  const HealthMonitor* monitor = in.health;
+  std::vector<PaddedSlot<int64_t>> drops(static_cast<size_t>(hw_.num_cores()));
+  ParallelForTiles(hw_, block.tiles.num_tiles(),
+                   [&](HwContext& hw, int worker, int t) {
+                     if (monitor != nullptr && monitor->IsQuarantined(sid, t)) {
+                       return;
+                     }
+                     BoundaryTile(hw, block, in.drop_behind_window, t,
+                                  &drops[static_cast<size_t>(worker)].value);
+                   });
+  for (const PaddedSlot<int64_t>& d : drops) {
+    *dropped += d.value;
+  }
 }
 
 // ---- Step orchestration -----------------------------------------------------
@@ -317,6 +418,12 @@ void StepPipeline::RunParticleStages(const StepPipelineInputs& in,
   // Zero current accumulators (once; species accumulate into the shared J).
   ZeroCurrentsStage(fields);
 
+  // Arm the health monitor's quarantine map before the first particle stage.
+  if (in.health != nullptr && !blocks.empty()) {
+    in.health->BeginStep(static_cast<int>(blocks.size()),
+                         blocks[0]->tiles.num_tiles());
+  }
+
   // Every species accumulates into the shared J. With one species the guard
   // fold happens right after its deposit (the seed behavior); with several,
   // folding must wait until all species have accumulated, because a fold
@@ -326,16 +433,25 @@ void StepPipeline::RunParticleStages(const StepPipelineInputs& in,
   stats->species.clear();
 
   if (fuse_stages_) {
-    for (auto& b : blocks) {
+    for (size_t sidx = 0; sidx < blocks.size(); ++sidx) {
+      SpeciesBlock* b = blocks[sidx].get();
+      const int sid = static_cast<int>(sidx);
       SpeciesStepStats ss;
       ss.name = b->species.name;
       PrepareTileRegions(*b);
       b->engine.BeginStep(b->tiles, in.dt);
       const double dep_before = hw_.ledger().DepositionCycles();
-      FusedPass1(in, *b, fields, &ss);
+      FusedPass1(in, *b, sid, fields, &ss);
+      // Fault hook: a lost migration buffer vanishes here, after the scan
+      // staged the movers and before the delivery barrier. Deliberately NOT
+      // counted into ss.dropped — the loss is silent, which is exactly what
+      // the census sentinel exists to catch.
+      if (in.injector != nullptr) {
+        in.injector->OnMoversStaged(*b, sid, in.step);
+      }
       b->engine.DeliverMovers(b->tiles, &ss.engine);
       b->engine.PostScanGlobalSort(b->tiles, fields, &ss.engine);
-      DepositTiles(*b, fields);
+      DepositTiles(in, *b, sid, fields);
       if (!shared_fold) {
         DepositionEngine::FoldCurrentGuards(hw_, fields);
       }
@@ -350,18 +466,31 @@ void StepPipeline::RunParticleStages(const StepPipelineInputs& in,
   } else {
     // Each block runs at its own engine's shape order: a species with an
     // EngineConfig override gathers, pushes, and deposits consistently with it.
-    for (auto& b : blocks) {
-      PrepareTileRegions(*b);
-      LegacyGatherAndPush(*b, in.dt, fields);
+    std::vector<int64_t> dropped(blocks.size(), 0);
+    for (size_t sidx = 0; sidx < blocks.size(); ++sidx) {
+      PrepareTileRegions(*blocks[sidx]);
+      LegacyGatherAndPush(in, *blocks[sidx], static_cast<int>(sidx), fields);
     }
-    for (auto& b : blocks) {
-      LegacyBoundaries(*b, in.drop_behind_window);
+    for (size_t sidx = 0; sidx < blocks.size(); ++sidx) {
+      LegacyBoundaries(in, *blocks[sidx], static_cast<int>(sidx),
+                       &dropped[sidx]);
     }
-    for (auto& b : blocks) {
+    for (size_t sidx = 0; sidx < blocks.size(); ++sidx) {
+      SpeciesBlock* b = blocks[sidx].get();
+      const int sid = static_cast<int>(sidx);
       SpeciesStepStats ss;
       ss.name = b->species.name;
+      ss.dropped = dropped[sidx];
+      std::function<bool(int)> skip_tile;
+      if (in.health != nullptr && in.health->AnyQuarantined()) {
+        const HealthMonitor* monitor = in.health;
+        skip_tile = [monitor, sid](int t) {
+          return monitor->IsQuarantined(sid, t);
+        };
+      }
       ss.engine = b->engine.DepositStep(b->tiles, fields, b->species.charge,
-                                        /*fold_guards=*/!shared_fold, in.dt);
+                                        /*fold_guards=*/!shared_fold, in.dt,
+                                        skip_tile);
       ss.pushed = b->pushed_last_step;
       stats->species.push_back(std::move(ss));
     }

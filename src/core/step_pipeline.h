@@ -55,14 +55,21 @@
 #include "src/grid/field_set.h"
 #include "src/hw/hw_context.h"
 #include "src/hw/parallel_for.h"
+#include "src/runtime/health.h"
 
 namespace mpic {
+
+class FaultInjector;
 
 // Per-species slice of one Step()'s accounting.
 struct SpeciesStepStats {
   std::string name;
   int64_t live = 0;    // live macro-particles after the step
   int64_t pushed = 0;  // particles pushed this step
+  // Census inputs for the health monitor's conservation sentinel: particles
+  // removed (boundary/window drops) and injected (window refill) this step.
+  int64_t dropped = 0;
+  int64_t injected = 0;
   EngineStepStats engine;
 };
 
@@ -71,6 +78,9 @@ struct SimStepStats {
   std::vector<SpeciesStepStats> species;
   // Collision-stage census of the step (zero when collisions are disabled).
   CollisionStepStats collisions;
+  // Structured health-sentinel block (checked == false when the monitor is
+  // disabled — the default).
+  HealthStepReport health;
 
   int64_t TotalLive() const;
   int64_t TotalPushed() const;
@@ -90,6 +100,14 @@ struct StepPipelineInputs {
   // this step's J reflects the pre-collision momenta in both orchestrations).
   // Null disables collisions.
   CollisionModule* collisions = nullptr;
+  // Optional health monitor (src/runtime/health.h). When set, the per-tile
+  // lane guards run fused into the particle passes and tiles that trip are
+  // quarantined for the rest of the step (skipped by gather/push/boundary/
+  // scan/deposit, contributing zero J).
+  HealthMonitor* health = nullptr;
+  // Optional deterministic fault injector; its mover-drop faults hook in
+  // between the scan and the delivery barrier.
+  FaultInjector* injector = nullptr;
 };
 
 class StepPipeline {
@@ -111,7 +129,9 @@ class StepPipeline {
  private:
   struct Pass1Partial {
     int64_t pushed = 0;
+    int64_t dropped = 0;
     TileScanPartial scan;
+    HealthTilePartial health;
   };
 
   void ZeroCurrentsStage(FieldSet& fields);
@@ -125,27 +145,34 @@ class StepPipeline {
   void CaptureOldPositionsTile(HwContext& hw, ParticleTile& tile);
   // Boundary wrap / window drop for one tile (Phase::kOther). Under the
   // Esirkepov scheme the old-position lanes shift with the wrap so the
-  // displacement survives the coordinate jump.
+  // displacement survives the coordinate jump. Window drops accumulate into
+  // `dropped` (nullable) for the census sentinel.
   void BoundaryTile(HwContext& hw, SpeciesBlock& block, bool drop_behind_window,
-                    int t);
+                    int t, int64_t* dropped);
 
-  // Fused pass 1 for one species: a single region fusing gather, push,
-  // boundaries, and the sort scan per tile.
-  void FusedPass1(const StepPipelineInputs& in, SpeciesBlock& block,
+  // Fused pass 1 for one species: a single region fusing (guard,) gather,
+  // push, boundaries, and the sort scan per tile.
+  void FusedPass1(const StepPipelineInputs& in, SpeciesBlock& block, int sid,
                   const FieldSet& fields, SpeciesStepStats* ss);
   template <int Order>
   void FusedPass1Impl(const StepPipelineInputs& in, SpeciesBlock& block,
-                      const FieldSet& fields, SpeciesStepStats* ss);
+                      int sid, const FieldSet& fields, SpeciesStepStats* ss);
 
   // Staging + kernel (+ colored reduction) for one species — fused pass 2.
-  void DepositTiles(SpeciesBlock& block, FieldSet& fields);
+  // Tiles the health monitor quarantined this step are skipped everywhere
+  // (their J contribution is zero).
+  void DepositTiles(const StepPipelineInputs& in, SpeciesBlock& block, int sid,
+                    FieldSet& fields);
 
   // Legacy sweeps (one stage per region), preserving the seed schedule.
-  void LegacyGatherAndPush(SpeciesBlock& block, double dt, const FieldSet& fields);
+  void LegacyGatherAndPush(const StepPipelineInputs& in, SpeciesBlock& block,
+                           int sid, const FieldSet& fields);
   template <int Order>
-  void LegacyGatherAndPushImpl(SpeciesBlock& block, double dt,
+  void LegacyGatherAndPushImpl(const StepPipelineInputs& in,
+                               SpeciesBlock& block, int sid,
                                const FieldSet& fields);
-  void LegacyBoundaries(SpeciesBlock& block, bool drop_behind_window);
+  void LegacyBoundaries(const StepPipelineInputs& in, SpeciesBlock& block,
+                        int sid, int64_t* dropped);
 
   HwContext& hw_;
   bool fuse_stages_;

@@ -70,6 +70,9 @@ SimulationConfig MakeUniformConfig(const UniformWorkloadParams& p) {
   cfg.engine.variant = p.variant;
   cfg.engine.order = p.order;
   cfg.engine.current_scheme = p.scheme;
+  if (p.policy.has_value()) {
+    cfg.engine.policy = *p.policy;
+  }
   cfg.species.clear();
   for (const UniformSpeciesParams& sp : EffectiveUniformSpecies(p)) {
     // Overrides merge onto the workload-wide engine config field by field, so
@@ -132,6 +135,9 @@ SimulationConfig MakeLwfaConfig(const LwfaWorkloadParams& p) {
   cfg.engine.variant = p.variant;
   cfg.engine.order = 1;  // paper: LWFA uses the CIC scheme
   cfg.engine.current_scheme = p.scheme;
+  if (p.policy.has_value()) {
+    cfg.engine.policy = *p.policy;
+  }
   cfg.cfl = 0.98;
   cfg.solver = SolverKind::kCkc;
   cfg.fuse_stages = p.fuse_stages;

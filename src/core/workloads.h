@@ -60,6 +60,12 @@ struct UniformWorkloadParams {
   // Fused two-pass step pipeline (default) vs. the legacy sweep-per-stage
   // schedule; physics is bit-identical, only modeled cost differs.
   bool fuse_stages = true;
+  // Workload-wide re-sort policy override. Strict bit-exact restart tests set
+  // trigger_perf_enable = false here: the throughput trigger responds to the
+  // modeled cache history, which a checkpoint deliberately does not carry
+  // (see runtime/checkpoint.h), while the remaining triggers are
+  // physics-driven and restore exactly.
+  std::optional<ResortPolicyConfig> policy;
   // Every listed species is seeded with the same density/PPC/u_th (e.g.
   // {Electron, Proton} gives a neutral two-species plasma).
   std::vector<Species> species = {Species::Electron()};
@@ -87,6 +93,8 @@ struct LwfaWorkloadParams {
   uint64_t seed = 42;
   // See UniformWorkloadParams::fuse_stages.
   bool fuse_stages = true;
+  // See UniformWorkloadParams::policy.
+  std::optional<ResortPolicyConfig> policy;
   // Adds a mobile-ion background species with the same density profile
   // (charge-neutral plasma; ion motion matters for long pulses / heavy drivers).
   bool with_ions = false;

@@ -22,6 +22,8 @@ const char* PhaseName(Phase p) {
       return "solver";
     case Phase::kCollide:
       return "collide";
+    case Phase::kHealth:
+      return "health";
     case Phase::kOther:
       return "other";
   }

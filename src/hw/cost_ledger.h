@@ -25,9 +25,10 @@ enum class Phase : int {
   kPush,         // particle push
   kSolver,       // Maxwell field solve
   kCollide,      // binary Monte-Carlo collisions (cell pairing + scattering)
+  kHealth,       // resilience sentinels + checkpoint serialization traffic
   kOther,
 };
-inline constexpr int kNumPhases = 9;
+inline constexpr int kNumPhases = 10;
 
 const char* PhaseName(Phase p);
 

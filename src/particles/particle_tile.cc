@@ -35,6 +35,20 @@ void ParticleTile::RemoveParticle(int32_t pid) {
   --num_live_;
 }
 
+void ParticleTile::RestoreStorage(ParticleSoA soa, std::vector<uint8_t> live,
+                                  std::vector<int32_t> free_slots) {
+  MPIC_CHECK(live.size() == soa.size());
+  soa_ = std::move(soa);
+  live_ = std::move(live);
+  free_slots_ = std::move(free_slots);
+  num_live_ = 0;
+  for (const uint8_t b : live_) {
+    num_live_ += b != 0 ? 1 : 0;
+  }
+  MPIC_CHECK(static_cast<size_t>(num_live_) + free_slots_.size() == soa_.size());
+  was_rebuilt_this_step = false;
+}
+
 int ParticleTile::CellOfParticle(const GridGeometry& geom, int32_t pid) const {
   const auto i = static_cast<size_t>(pid);
   const int ix = geom.CellX(soa_.x[i]);

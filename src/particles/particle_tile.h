@@ -74,6 +74,19 @@ class ParticleTile {
   // Computes the tile-local cell of a live particle from its position.
   int CellOfParticle(const GridGeometry& geom, int32_t pid) const;
 
+  // ---- Checkpoint support (src/runtime/checkpoint.h) ----
+  //
+  // The free-slot stack is serialized in exact stack order: AddParticle
+  // recycles slots LIFO, so slot assignment after a restore replays the
+  // uninterrupted run bit-for-bit only if the stack matches exactly.
+  const std::vector<int32_t>& free_slots() const { return free_slots_; }
+  const std::vector<uint8_t>& live_bits() const { return live_; }
+  // Replaces the tile's particle storage wholesale (checkpoint restore).
+  // `live` must be one byte per SoA slot; `num_live_` is recomputed from it.
+  // The GPMA is restored separately through gpma().ImportState().
+  void RestoreStorage(ParticleSoA soa, std::vector<uint8_t> live,
+                      std::vector<int32_t> free_slots);
+
   bool was_rebuilt_this_step = false;
 
  private:

@@ -1,0 +1,97 @@
+// Bit-exact checkpoint/restart of a full Simulation.
+//
+// Format (little-endian, version 1):
+//
+//   [8B magic "MPICCKP\1"] [u32 version] [u32 section_count]
+//   section*: [u32 id] [u32 index] [u64 payload_bytes] [u64 payload_fnv]
+//             [payload]
+//
+// Sections: META (step/time/dt, geometry, tile dims, per-species identity +
+// engine scheme, moving-window offset, injection RNG seed), FIELDS (the ten
+// raw FP64 arrays, guards included), one SPECIES section per block (per tile:
+// all ten SoA lanes, the live bitmap, the free-slot stack in exact LIFO
+// order, and the GPMA's full internal state — serialized, never rebuilt,
+// because the slot layout feeding deposition and collision order depends on
+// the insertion history), and an optional LEDGER snapshot (per-phase modeled
+// cycles + counters).
+//
+// Every payload carries its length and FNV-1a checksum; RestoreCheckpoint
+// verifies every checksum and validates META compatibility BEFORE mutating
+// anything, so a truncated or corrupted checkpoint is rejected with the
+// target simulation untouched — never silently loaded. Errors are returned
+// as CheckpointStatus (no aborts on bad input).
+//
+// Determinism contract (enforced by tests/checkpoint_test.cc and
+// bench_abl_resilience): save at step k, restore into a freshly built twin,
+// run both to step n — field and particle digests match bit-for-bit, for
+// fused and legacy schedules, any modeled core count, all DepositVariants
+// and both CurrentSchemes. The one caveat mirrors fused-vs-legacy: the
+// re-sort policy's *performance* trigger re-baselines its throughput on the
+// first post-restore step (modeled caches are cold), so a long run skating
+// along the degradation threshold could schedule a global sort on a
+// different step. All physics-driven triggers are restored exactly.
+
+#ifndef MPIC_SRC_RUNTIME_CHECKPOINT_H_
+#define MPIC_SRC_RUNTIME_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mpic {
+
+class HwContext;
+class Simulation;
+
+struct CheckpointStatus {
+  bool ok = true;
+  std::string error;
+
+  explicit operator bool() const { return ok; }
+  static CheckpointStatus Ok() { return {}; }
+  static CheckpointStatus Error(std::string msg) {
+    return {false, std::move(msg)};
+  }
+};
+
+struct CheckpointWriteOptions {
+  // Include the cost-ledger snapshot (modeled-time continuity across restart).
+  bool include_ledger = true;
+  // When set, the serialization traffic is billed to this context under
+  // Phase::kHealth (the resilience overhead the ≤2% gate measures).
+  HwContext* charge = nullptr;
+};
+
+struct CheckpointReadOptions {
+  // Restore the ledger snapshot (when present) on top of the target context,
+  // resuming the modeled clock where the checkpointed run left it. Default
+  // off: in-memory rollback wants the failed attempt's cycles kept, not
+  // rewound.
+  bool restore_ledger = false;
+  HwContext* charge = nullptr;
+};
+
+// Serializes `sim` (must be Initialize()d) into `out`.
+CheckpointStatus SaveCheckpoint(const Simulation& sim,
+                                std::vector<uint8_t>* out,
+                                const CheckpointWriteOptions& opts = {});
+
+// Restores `sim` from `buf`. `sim` must be an Initialize()d simulation whose
+// configuration (geometry shape, species registry, engine schemes, tile dims)
+// matches the checkpoint; on any mismatch, truncation, or checksum failure
+// the simulation is left exactly as it was.
+CheckpointStatus RestoreCheckpoint(Simulation* sim,
+                                   const std::vector<uint8_t>& buf,
+                                   const CheckpointReadOptions& opts = {});
+
+// File-backed convenience wrappers.
+CheckpointStatus SaveCheckpointFile(const Simulation& sim,
+                                    const std::string& path,
+                                    const CheckpointWriteOptions& opts = {});
+CheckpointStatus RestoreCheckpointFile(Simulation* sim,
+                                       const std::string& path,
+                                       const CheckpointReadOptions& opts = {});
+
+}  // namespace mpic
+
+#endif  // MPIC_SRC_RUNTIME_CHECKPOINT_H_

@@ -1,0 +1,53 @@
+#include "src/runtime/digest.h"
+
+#include "src/core/simulation.h"
+
+namespace mpic {
+
+namespace {
+
+uint64_t HashDoubles(const std::vector<double>& v, uint64_t h) {
+  return Fnv1a(v.data(), v.size() * sizeof(double), h);
+}
+
+}  // namespace
+
+uint64_t FieldsDigest(const FieldSet& fields) {
+  uint64_t h = kFnvOffsetBasis;
+  for (const FieldArray* a : {&fields.ex, &fields.ey, &fields.ez, &fields.bx,
+                              &fields.by, &fields.bz, &fields.jx, &fields.jy,
+                              &fields.jz}) {
+    h = HashDoubles(a->vec(), h);
+  }
+  return h;
+}
+
+uint64_t ParticlesDigest(const TileSet& tiles) {
+  uint64_t h = kFnvOffsetBasis;
+  for (int t = 0; t < tiles.num_tiles(); ++t) {
+    const ParticleTile& tile = tiles.tile(t);
+    const ParticleSoA& soa = tile.soa();
+    const uint64_t n = soa.size();
+    h = Fnv1a(&n, sizeof(n), h);
+    for (const std::vector<double>* lane :
+         {&soa.x, &soa.y, &soa.z, &soa.ux, &soa.uy, &soa.uz, &soa.w, &soa.xo,
+          &soa.yo, &soa.zo}) {
+      h = HashDoubles(*lane, h);
+    }
+    h = Fnv1a(tile.live_bits().data(), tile.live_bits().size(), h);
+    h = Fnv1a(tile.free_slots().data(),
+              tile.free_slots().size() * sizeof(int32_t), h);
+  }
+  return h;
+}
+
+uint64_t SimulationDigest(const Simulation& sim) {
+  uint64_t h = FieldsDigest(sim.fields());
+  for (int sid = 0; sid < sim.num_species(); ++sid) {
+    h = Mix64(h ^ ParticlesDigest(sim.block(sid).tiles));
+  }
+  const int64_t step = sim.step_count();
+  return Fnv1a(&step, sizeof(step), h);
+}
+
+}  // namespace mpic

@@ -1,0 +1,104 @@
+// Rollback recovery: the policy loop tying the resilience layer together.
+//
+// ResilientRunner wraps Simulation::Step() with (a) periodic in-memory
+// checkpoints of believed-good state and (b) a recovery action when the step's
+// health report trips:
+//
+//   rollback — restore the last good checkpoint and replay. Because every
+//              sentinel is deterministic and the fault model is transient
+//              (each fault fires once), the replayed timeline is clean and
+//              the run completes with a digest bit-identical to a run that
+//              never faulted — the property tests/resilience_test.cc and
+//              bench_abl_resilience gate on.
+//   degraded — when no checkpoint exists (or rollback is exhausted) and
+//              allow_degraded is set: scrub the poisoned state in place
+//              (remove non-finite particles, wrap escaped positions, zero
+//              poisoned field nodes, rebuild the sort structures) and carry
+//              on. Physics continuity is abandoned; availability is kept.
+//
+// The modeled cost of checkpoint serialization and restore traffic is billed
+// under Phase::kHealth when charge_model is set, so the MTTR/overhead tables
+// in bench_abl_resilience come straight off the ledger.
+
+#ifndef MPIC_SRC_RUNTIME_RECOVERY_H_
+#define MPIC_SRC_RUNTIME_RECOVERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/runtime/fault_injection.h"
+
+namespace mpic {
+
+class Simulation;
+
+struct RecoveryConfig {
+  // Steps between in-memory checkpoints; 0 disables checkpointing (degraded
+  // mode becomes the only recovery).
+  int checkpoint_interval = 10;
+  // Recovery attempts (rollback or degraded) before giving up.
+  int max_recoveries = 8;
+  // Scrub-and-continue when no checkpoint is available.
+  bool allow_degraded = true;
+  // Bill checkpoint/restore serialization to the ledger (Phase::kHealth).
+  bool charge_model = true;
+};
+
+struct RecoveryEvent {
+  int64_t trip_step = 0;      // step whose health report tripped
+  int64_t restored_step = -1; // step count after rollback (-1 for degraded)
+  int64_t steps_lost = 0;     // discarded steps a rollback must replay
+  bool degraded = false;
+  std::string sentinel;       // Summary() of the tripped report
+};
+
+struct RecoveryStats {
+  int64_t checkpoints_taken = 0;
+  int64_t rollbacks = 0;
+  int64_t degraded_recoveries = 0;
+  int64_t steps_replayed = 0;
+  std::vector<RecoveryEvent> events;
+};
+
+class ResilientRunner {
+ public:
+  // `sim` must have health sentinels enabled (Simulation::EnableHealth) —
+  // without detection there is nothing to recover from.
+  ResilientRunner(Simulation* sim, const RecoveryConfig& cfg = {});
+
+  void set_injector(FaultInjector* injector) { injector_ = injector; }
+
+  // Advances the simulation to step_count() + steps, recovering from any
+  // sentinel trip on the way. Returns false if a trip could not be recovered
+  // (recovery budget exhausted, or no checkpoint and degraded disallowed).
+  bool Run(int steps);
+
+  const RecoveryStats& stats() const { return stats_; }
+  int64_t last_checkpoint_step() const { return checkpoint_step_; }
+
+ private:
+  void TakeCheckpoint();
+  bool Recover(const std::string& sentinel_summary);
+
+  Simulation* sim_;
+  RecoveryConfig cfg_;
+  FaultInjector* injector_ = nullptr;
+  std::vector<uint8_t> checkpoint_;
+  int64_t checkpoint_step_ = -1;
+  RecoveryStats stats_;
+};
+
+// Degraded repair of a poisoned simulation, in place: removes particles with
+// non-finite lanes or a non-finite kinetic energy (a finite momentum past
+// ~1e154 overflows u^2 and would pin the energy sentinel at inf forever),
+// wraps finite escaped positions back into the domain,
+// zeroes non-finite or over-magnitude field nodes, rebuilds each species'
+// sort structures (the quarantined tiles' GPMAs are stale), and re-arms the
+// health baselines. Returns the number of elements repaired (particles
+// removed + positions wrapped + field nodes zeroed).
+int64_t ScrubSimulation(Simulation* sim);
+
+}  // namespace mpic
+
+#endif  // MPIC_SRC_RUNTIME_RECOVERY_H_

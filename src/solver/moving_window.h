@@ -36,6 +36,11 @@ class MovingWindow {
     return shifts;
   }
 
+  // Sub-cell window-front progress [m] — checkpoint/restart state: the next
+  // shift step depends on it, so a restored run must carry it over exactly.
+  double accumulated() const { return accumulated_; }
+  void set_accumulated(double a) { accumulated_ = a; }
+
  private:
   double velocity_;
   double dz_;

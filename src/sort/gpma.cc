@@ -228,4 +228,28 @@ void Gpma::CheckInvariants() const {
   MPIC_CHECK(valid == num_particles_);
 }
 
+Gpma::State Gpma::ExportState() const {
+  State s;
+  s.config = config_;
+  s.num_cells = num_cells_;
+  s.num_particles = num_particles_;
+  s.local_index = local_index_;
+  s.bin_offsets = bin_offsets_;
+  s.bin_lengths = bin_lengths_;
+  s.slot_of_pid = slot_of_pid_;
+  s.cell_of_pid = cell_of_pid_;
+  return s;
+}
+
+void Gpma::ImportState(State state) {
+  config_ = state.config;
+  num_cells_ = state.num_cells;
+  num_particles_ = state.num_particles;
+  local_index_ = std::move(state.local_index);
+  bin_offsets_ = std::move(state.bin_offsets);
+  bin_lengths_ = std::move(state.bin_lengths);
+  slot_of_pid_ = std::move(state.slot_of_pid);
+  cell_of_pid_ = std::move(state.cell_of_pid);
+}
+
 }  // namespace mpic

@@ -93,6 +93,28 @@ class Gpma {
   // Exhaustive internal consistency check (tests; O(capacity)).
   void CheckInvariants() const;
 
+  // ---- Checkpoint support (src/runtime/checkpoint.h) ----
+  //
+  // The full internal state as plain vectors. Checkpoints serialize it exactly
+  // instead of rebuilding on restore: an incrementally maintained GPMA's slot
+  // layout (and with it the bin iteration order feeding deposition and
+  // collision pairing) depends on the insertion history, so a fresh Build()
+  // would not replay the uninterrupted run bit-for-bit.
+  struct State {
+    GpmaConfig config;
+    int num_cells = 0;
+    int32_t num_particles = 0;
+    std::vector<int32_t> local_index;
+    std::vector<int64_t> bin_offsets;
+    std::vector<int32_t> bin_lengths;
+    std::vector<int64_t> slot_of_pid;
+    std::vector<int32_t> cell_of_pid;
+  };
+  State ExportState() const;
+  // Replaces the structure wholesale. The caller (checkpoint restore) is
+  // responsible for cross-field consistency; CheckInvariants() verifies it.
+  void ImportState(State state);
+
  private:
   void BuildFromPairs(const std::vector<int32_t>& cell_of_particle);
   int64_t FindSpareRight(int from_cell) const;

@@ -1,0 +1,360 @@
+// Checkpoint/restart tests: a restored simulation must continue bit-identical
+// to the uninterrupted run — across every deposit variant, shape order, and
+// current scheme; across fused/legacy schedules and modeled core counts;
+// through multi-species engine overrides and the moving window. Corrupted or
+// truncated checkpoints must be rejected with the target simulation untouched.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/core/simulation.h"
+#include "src/core/workloads.h"
+#include "src/deposit/rhocell.h"
+#include "src/runtime/checkpoint.h"
+#include "src/runtime/digest.h"
+#include "src/runtime/fault_injection.h"
+
+namespace mpic {
+namespace {
+
+// ---- Round trip across the engine matrix ------------------------------------
+
+struct EngineCombo {
+  DepositVariant variant;
+  int order;
+  CurrentScheme scheme;
+};
+
+std::vector<EngineCombo> AllEngineCombos() {
+  std::vector<EngineCombo> combos;
+  for (DepositVariant v :
+       {DepositVariant::kScalar, DepositVariant::kBaseline,
+        DepositVariant::kBaselineIncrSort, DepositVariant::kRhocell,
+        DepositVariant::kRhocellIncrSort, DepositVariant::kRhocellIncrSortVpu,
+        DepositVariant::kMatrixOnly, DepositVariant::kHybridNoSort,
+        DepositVariant::kHybridGlobalSort, DepositVariant::kFullOpt}) {
+    const VariantTraits traits = TraitsOf(v);
+    for (int order : {1, 2, 3}) {
+      for (CurrentScheme scheme :
+           {CurrentScheme::kDirect, CurrentScheme::kEsirkepov}) {
+        if (scheme == CurrentScheme::kDirect && order == 2 &&
+            (traits.uses_rhocell || traits.uses_mpu)) {
+          continue;  // direct rhocell/MPU kernels are odd-order only
+        }
+        combos.push_back({v, order, scheme});
+      }
+    }
+  }
+  return combos;
+}
+
+TEST(CheckpointRoundTrip, EveryVariantOrderAndScheme) {
+  for (const EngineCombo& c : AllEngineCombos()) {
+    SCOPED_TRACE(std::string(VariantName(c.variant)) + " order " +
+                 std::to_string(c.order) +
+                 (c.scheme == CurrentScheme::kEsirkepov ? " esirkepov"
+                                                        : " direct"));
+    UniformWorkloadParams p;
+    p.nx = p.ny = p.nz = 8;
+    p.ppc_x = p.ppc_y = p.ppc_z = 1;
+    p.tile = 4;
+    p.variant = c.variant;
+    p.order = c.order;
+    p.scheme = c.scheme;
+    p.u_th = 0.1;  // enough churn for movers and slot recycling
+
+    HwContext ref_hw(MachineConfig::Lx2MultiCore(2));
+    auto ref = MakeUniformSimulation(ref_hw, p);
+    ref->Run(3);
+    std::vector<uint8_t> ckpt;
+    ASSERT_TRUE(SaveCheckpoint(*ref, &ckpt)) << "save failed";
+    ref->Run(3);
+    const uint64_t want = SimulationDigest(*ref);
+
+    HwContext twin_hw(MachineConfig::Lx2MultiCore(2));
+    auto twin = MakeUniformSimulation(twin_hw, p);
+    twin->Run(1);  // desynchronize; restore must overwrite everything
+    const CheckpointStatus st = RestoreCheckpoint(twin.get(), ckpt);
+    ASSERT_TRUE(st) << st.error;
+    EXPECT_EQ(twin->step_count(), 3);
+    twin->Run(3);
+    EXPECT_EQ(SimulationDigest(*twin), want);
+  }
+}
+
+// A checkpoint is schedule- and core-count-portable: an image saved from a
+// fused 4-core run must continue bit-identically on a legacy 1-core twin, and
+// every other combination.
+TEST(CheckpointRoundTrip, CrossScheduleAndCoreRestore) {
+  UniformWorkloadParams p;
+  p.nx = p.ny = p.nz = 8;
+  p.ppc_x = p.ppc_y = p.ppc_z = 2;
+  p.tile = 4;
+  p.u_th = 0.1;
+
+  p.fuse_stages = true;
+  HwContext src_hw(MachineConfig::Lx2MultiCore(4));
+  auto src = MakeUniformSimulation(src_hw, p);
+  src->Run(3);
+  std::vector<uint8_t> ckpt;
+  ASSERT_TRUE(SaveCheckpoint(*src, &ckpt));
+  src->Run(4);
+  const uint64_t want = SimulationDigest(*src);
+
+  for (int cores : {1, 2, 4}) {
+    for (bool fused : {true, false}) {
+      SCOPED_TRACE((fused ? "fused " : "legacy ") + std::to_string(cores) +
+                   " cores");
+      p.fuse_stages = fused;
+      HwContext hw(MachineConfig::Lx2MultiCore(cores));
+      auto twin = MakeUniformSimulation(hw, p);
+      const CheckpointStatus st = RestoreCheckpoint(twin.get(), ckpt);
+      ASSERT_TRUE(st) << st.error;
+      twin->Run(4);
+      EXPECT_EQ(SimulationDigest(*twin), want);
+    }
+  }
+}
+
+TEST(CheckpointRoundTrip, MultiSpeciesEngineOverrides) {
+  UniformWorkloadParams p;
+  p.nx = p.ny = p.nz = 8;
+  p.tile = 4;
+  UniformSpeciesParams electrons;
+  electrons.species = Species::Electron();
+  electrons.ppc_x = electrons.ppc_y = electrons.ppc_z = 2;
+  electrons.u_th = 0.1;
+  UniformSpeciesParams ions;
+  ions.species = Species::Proton();
+  ions.ppc_x = ions.ppc_y = ions.ppc_z = 1;
+  ions.variant = DepositVariant::kHybridNoSort;
+  ions.order = 3;
+  p.species_params = {electrons, ions};
+
+  HwContext ref_hw(MachineConfig::Lx2MultiCore(2));
+  auto ref = MakeUniformSimulation(ref_hw, p);
+  ref->Run(3);
+  std::vector<uint8_t> ckpt;
+  ASSERT_TRUE(SaveCheckpoint(*ref, &ckpt));
+  ref->Run(3);
+  const uint64_t want = SimulationDigest(*ref);
+
+  HwContext twin_hw(MachineConfig::Lx2MultiCore(2));
+  auto twin = MakeUniformSimulation(twin_hw, p);
+  const CheckpointStatus st = RestoreCheckpoint(twin.get(), ckpt);
+  ASSERT_TRUE(st) << st.error;
+  twin->Run(3);
+  EXPECT_EQ(SimulationDigest(*twin), want);
+}
+
+// The moving window's non-structural state — shifted z0, fractional shift
+// accumulator, injection RNG cursor — must all survive the round trip, or the
+// continued runs inject different particles.
+TEST(CheckpointRoundTrip, LwfaMovingWindowWithIons) {
+  LwfaWorkloadParams p;
+  p.nx = p.ny = 8;
+  p.nz = 32;
+  p.tile = 4;
+  p.tile_z = 8;
+  p.with_ions = true;
+  // Strict bit-exact restart holds under physics-driven re-sort triggers
+  // only: the throughput trigger reads modeled cache history, which the
+  // checkpoint deliberately does not carry (see runtime/checkpoint.h).
+  ResortPolicyConfig pol;
+  pol.trigger_perf_enable = false;
+  p.policy = pol;
+
+  HwContext ref_hw(MachineConfig::Lx2MultiCore(2));
+  auto ref = MakeLwfaSimulation(ref_hw, p);
+  ref->Run(6);
+  std::vector<uint8_t> ckpt;
+  ASSERT_TRUE(SaveCheckpoint(*ref, &ckpt));
+  ref->Run(6);
+  const uint64_t want = SimulationDigest(*ref);
+
+  HwContext twin_hw(MachineConfig::Lx2MultiCore(2));
+  auto twin = MakeLwfaSimulation(twin_hw, p);
+  const CheckpointStatus st = RestoreCheckpoint(twin.get(), ckpt);
+  ASSERT_TRUE(st) << st.error;
+  // The twin starts at z0 = 0; the restore must reinstate the shifted window.
+  EXPECT_GT(twin->config().geom.z0, 0.0);
+  twin->Run(6);
+  EXPECT_EQ(SimulationDigest(*twin), want);
+}
+
+// Restart-at-every-step bisection: checkpoint a two-stream run at each of its
+// N steps; every restart must land on the same final digest. If a restart
+// diverges, the first failing k isolates the step whose state the format
+// fails to capture.
+TEST(CheckpointRoundTrip, TwoStreamRestartAtEveryStep) {
+  TwoStreamParams p;
+  constexpr int kSteps = 8;
+
+  HwContext ref_hw(MachineConfig::Lx2MultiCore(2));
+  auto ref = MakeTwoStreamSimulation(ref_hw, p);
+  std::vector<std::vector<uint8_t>> ckpts;
+  for (int k = 0; k < kSteps; ++k) {
+    std::vector<uint8_t> buf;
+    ASSERT_TRUE(SaveCheckpoint(*ref, &buf));
+    ckpts.push_back(std::move(buf));
+    ref->Step();
+  }
+  const uint64_t want = SimulationDigest(*ref);
+
+  for (int k = 0; k < kSteps; ++k) {
+    SCOPED_TRACE("restart at step " + std::to_string(k));
+    HwContext hw(MachineConfig::Lx2MultiCore(2));
+    auto twin = MakeTwoStreamSimulation(hw, p);
+    const CheckpointStatus st =
+        RestoreCheckpoint(twin.get(), ckpts[static_cast<size_t>(k)]);
+    ASSERT_TRUE(st) << st.error;
+    ASSERT_EQ(twin->step_count(), k);
+    twin->Run(kSteps - k);
+    EXPECT_EQ(SimulationDigest(*twin), want);
+  }
+}
+
+TEST(CheckpointRoundTrip, FileBacked) {
+  UniformWorkloadParams p;
+  p.nx = p.ny = p.nz = 8;
+  p.ppc_x = p.ppc_y = p.ppc_z = 1;
+  p.tile = 4;
+
+  HwContext ref_hw(MachineConfig::Lx2MultiCore(1));
+  auto ref = MakeUniformSimulation(ref_hw, p);
+  ref->Run(2);
+  const std::string path = ::testing::TempDir() + "/mpic_ckpt_test.bin";
+  ASSERT_TRUE(SaveCheckpointFile(*ref, path));
+  ref->Run(2);
+  const uint64_t want = SimulationDigest(*ref);
+
+  HwContext twin_hw(MachineConfig::Lx2MultiCore(1));
+  auto twin = MakeUniformSimulation(twin_hw, p);
+  const CheckpointStatus st = RestoreCheckpointFile(twin.get(), path);
+  ASSERT_TRUE(st) << st.error;
+  twin->Run(2);
+  EXPECT_EQ(SimulationDigest(*twin), want);
+  std::remove(path.c_str());
+}
+
+// Restoring with the ledger snapshot resumes the modeled clock of the
+// checkpointed run.
+TEST(CheckpointRoundTrip, LedgerRestoreResumesModeledClock) {
+  UniformWorkloadParams p;
+  p.nx = p.ny = p.nz = 8;
+  p.ppc_x = p.ppc_y = p.ppc_z = 1;
+  p.tile = 4;
+
+  HwContext ref_hw(MachineConfig::Lx2MultiCore(2));
+  auto ref = MakeUniformSimulation(ref_hw, p);
+  ref->Run(3);
+  const double cycles_at_save = ref_hw.ledger().TotalCycles();
+  std::vector<uint8_t> ckpt;
+  ASSERT_TRUE(SaveCheckpoint(*ref, &ckpt));
+
+  HwContext twin_hw(MachineConfig::Lx2MultiCore(2));
+  auto twin = MakeUniformSimulation(twin_hw, p);
+  CheckpointReadOptions opts;
+  opts.restore_ledger = true;
+  ASSERT_TRUE(RestoreCheckpoint(twin.get(), ckpt, opts));
+  EXPECT_DOUBLE_EQ(twin_hw.ledger().TotalCycles(), cycles_at_save);
+}
+
+// ---- Rejection of damaged or incompatible checkpoints ------------------------
+
+TEST(CheckpointRejection, TruncationAndCorruptionLeaveTargetUnmutated) {
+  UniformWorkloadParams p;
+  p.nx = p.ny = p.nz = 8;
+  p.ppc_x = p.ppc_y = p.ppc_z = 1;
+  p.tile = 4;
+
+  HwContext src_hw(MachineConfig::Lx2MultiCore(1));
+  auto src = MakeUniformSimulation(src_hw, p);
+  src->Run(2);
+  std::vector<uint8_t> good;
+  ASSERT_TRUE(SaveCheckpoint(*src, &good));
+
+  HwContext tgt_hw(MachineConfig::Lx2MultiCore(1));
+  auto tgt = MakeUniformSimulation(tgt_hw, p);
+  tgt->Run(1);
+  const uint64_t before = SimulationDigest(*tgt);
+
+  // Truncation at several depths: inside the header, inside a section header,
+  // inside a payload.
+  for (size_t keep : {size_t{4}, size_t{20}, good.size() / 2, good.size() - 1}) {
+    SCOPED_TRACE("truncate to " + std::to_string(keep));
+    std::vector<uint8_t> bad = good;
+    TruncateCheckpoint(&bad, keep);
+    const CheckpointStatus st = RestoreCheckpoint(tgt.get(), bad);
+    EXPECT_FALSE(st.ok);
+    EXPECT_FALSE(st.error.empty());
+    EXPECT_EQ(SimulationDigest(*tgt), before) << "target mutated on reject";
+  }
+
+  // Single bit flips in the section data must fail the FNV checksums.
+  for (uint64_t seed : {1ull, 2ull, 3ull, 4ull, 5ull}) {
+    SCOPED_TRACE("bit flip seed " + std::to_string(seed));
+    std::vector<uint8_t> bad = good;
+    FlipCheckpointBit(&bad, seed);
+    const CheckpointStatus st = RestoreCheckpoint(tgt.get(), bad);
+    EXPECT_FALSE(st.ok);
+    EXPECT_EQ(SimulationDigest(*tgt), before) << "target mutated on reject";
+  }
+
+  // The pristine buffer still restores (the copies above never aliased it).
+  EXPECT_TRUE(RestoreCheckpoint(tgt.get(), good));
+}
+
+TEST(CheckpointRejection, IncompatibleConfiguration) {
+  UniformWorkloadParams p;
+  p.nx = p.ny = p.nz = 8;
+  p.ppc_x = p.ppc_y = p.ppc_z = 1;
+  p.tile = 4;
+
+  HwContext src_hw(MachineConfig::Lx2MultiCore(1));
+  auto src = MakeUniformSimulation(src_hw, p);
+  src->Run(1);
+  std::vector<uint8_t> ckpt;
+  ASSERT_TRUE(SaveCheckpoint(*src, &ckpt));
+
+  // Different shape order.
+  {
+    UniformWorkloadParams q = p;
+    q.order = 3;
+    HwContext hw(MachineConfig::Lx2MultiCore(1));
+    auto tgt = MakeUniformSimulation(hw, q);
+    const uint64_t before = SimulationDigest(*tgt);
+    EXPECT_FALSE(RestoreCheckpoint(tgt.get(), ckpt).ok);
+    EXPECT_EQ(SimulationDigest(*tgt), before);
+  }
+  // Different grid.
+  {
+    UniformWorkloadParams q = p;
+    q.nx = 16;
+    HwContext hw(MachineConfig::Lx2MultiCore(1));
+    auto tgt = MakeUniformSimulation(hw, q);
+    EXPECT_FALSE(RestoreCheckpoint(tgt.get(), ckpt).ok);
+  }
+  // Different species registry.
+  {
+    UniformWorkloadParams q = p;
+    q.species = {Species::Electron(), Species::Proton()};
+    HwContext hw(MachineConfig::Lx2MultiCore(1));
+    auto tgt = MakeUniformSimulation(hw, q);
+    EXPECT_FALSE(RestoreCheckpoint(tgt.get(), ckpt).ok);
+  }
+  // Different current scheme.
+  {
+    UniformWorkloadParams q = p;
+    q.scheme = CurrentScheme::kEsirkepov;
+    HwContext hw(MachineConfig::Lx2MultiCore(1));
+    auto tgt = MakeUniformSimulation(hw, q);
+    EXPECT_FALSE(RestoreCheckpoint(tgt.get(), ckpt).ok);
+  }
+}
+
+}  // namespace
+}  // namespace mpic

@@ -1,0 +1,329 @@
+// Resilience tests: each health sentinel must trip on the fault class it was
+// built for; rollback recovery must complete with a digest bit-identical to a
+// run that never faulted; degraded recovery must keep the run available when
+// no checkpoint exists; and a clean run with sentinels enabled must stay
+// bit-identical to one without them (detection is passive).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/core/simulation.h"
+#include "src/core/workloads.h"
+#include "src/runtime/digest.h"
+#include "src/runtime/fault_injection.h"
+#include "src/runtime/health.h"
+#include "src/runtime/recovery.h"
+
+namespace mpic {
+namespace {
+
+UniformWorkloadParams SmallUniform() {
+  UniformWorkloadParams p;
+  p.nx = p.ny = p.nz = 8;
+  p.ppc_x = p.ppc_y = p.ppc_z = 2;
+  p.tile = 4;
+  p.u_th = 0.1;
+  return p;
+}
+
+// ---- Passive detection ------------------------------------------------------
+
+TEST(HealthSentinels, CleanRunIsBitIdenticalWithSentinelsOn) {
+  const UniformWorkloadParams p = SmallUniform();
+
+  HwContext off_hw(MachineConfig::Lx2MultiCore(2));
+  auto off = MakeUniformSimulation(off_hw, p);
+  off->Run(6);
+
+  HwContext on_hw(MachineConfig::Lx2MultiCore(2));
+  auto on = MakeUniformSimulation(on_hw, p);
+  on->EnableHealth(HealthConfig{});
+  on->Run(6);
+
+  EXPECT_EQ(SimulationDigest(*on), SimulationDigest(*off));
+  const HealthStepReport& rep = on->last_sim_stats().health;
+  EXPECT_TRUE(rep.checked);
+  EXPECT_FALSE(rep.tripped()) << rep.Summary();
+  EXPECT_EQ(rep.quarantined_tiles, 0);
+  EXPECT_EQ(rep.particles.status, SentinelStatus::kOk);
+  EXPECT_EQ(rep.fields.status, SentinelStatus::kOk);
+  EXPECT_EQ(rep.census.status, SentinelStatus::kOk);
+  EXPECT_EQ(rep.energy.status, SentinelStatus::kOk);
+  EXPECT_FALSE(rep.Summary().empty());
+}
+
+TEST(HealthSentinels, GaussSentinelStaysQuietOnEsirkepov) {
+  UniformWorkloadParams p = SmallUniform();
+  p.scheme = CurrentScheme::kEsirkepov;
+  HwContext hw(MachineConfig::Lx2MultiCore(2));
+  auto sim = MakeUniformSimulation(hw, p);
+  HealthConfig hc;
+  hc.gauss_interval = 1;
+  sim->EnableHealth(hc);
+  sim->Run(4);
+  const HealthStepReport& rep = sim->last_sim_stats().health;
+  EXPECT_EQ(rep.gauss.status, SentinelStatus::kOk) << rep.Summary();
+  EXPECT_FALSE(rep.tripped());
+}
+
+// ---- One sentinel per fault class --------------------------------------------
+
+TEST(HealthSentinels, PositionBitFlipTripsParticleGuard) {
+  HwContext hw(MachineConfig::Lx2MultiCore(2));
+  auto sim = MakeUniformSimulation(hw, SmallUniform());
+  sim->EnableHealth(HealthConfig{});
+  sim->Run(2);
+
+  FaultPlan plan;
+  plan.faults.push_back(
+      {FaultKind::kParticleBitFlip, /*step=*/2, /*species=*/0, /*field=*/0,
+       /*lane=*/0, /*bit=*/-1});
+  FaultInjector inj(plan);
+  ASSERT_EQ(inj.ApplyPreStep(sim.get()), 1);
+  sim->Step();
+
+  const HealthStepReport& rep = sim->last_sim_stats().health;
+  EXPECT_TRUE(rep.particles.tripped()) << rep.Summary();
+  EXPECT_GE(rep.quarantined_tiles, 1);
+  // Quarantine kept the poison out of the grid: fields stay finite.
+  EXPECT_FALSE(rep.fields.tripped()) << rep.Summary();
+}
+
+TEST(HealthSentinels, MomentumBitFlipTripsEnergySentinel) {
+  HwContext hw(MachineConfig::Lx2MultiCore(2));
+  auto sim = MakeUniformSimulation(hw, SmallUniform());
+  sim->EnableHealth(HealthConfig{});
+  sim->Run(2);  // arm the energy baseline
+
+  FaultPlan plan;
+  plan.faults.push_back(
+      {FaultKind::kParticleBitFlip, /*step=*/2, /*species=*/0, /*field=*/0,
+       /*lane=*/3, /*bit=*/-1});  // ux: finite but ~2^512 too large
+  FaultInjector inj(plan);
+  ASSERT_EQ(inj.ApplyPreStep(sim.get()), 1);
+  sim->Step();
+
+  const HealthStepReport& rep = sim->last_sim_stats().health;
+  EXPECT_TRUE(rep.energy.tripped()) << rep.Summary();
+}
+
+TEST(HealthSentinels, FieldBitFlipTripsFieldSentinel) {
+  HwContext hw(MachineConfig::Lx2MultiCore(2));
+  auto sim = MakeUniformSimulation(hw, SmallUniform());
+  sim->EnableHealth(HealthConfig{});
+  sim->Run(2);
+
+  FaultPlan plan;
+  plan.faults.push_back({FaultKind::kFieldBitFlip, /*step=*/2, /*species=*/0,
+                         /*field=*/0, /*lane=*/0, /*bit=*/-1});
+  FaultInjector inj(plan);
+  ASSERT_EQ(inj.ApplyPreStep(sim.get()), 1);
+  sim->Step();
+
+  const HealthStepReport& rep = sim->last_sim_stats().health;
+  EXPECT_TRUE(rep.fields.tripped()) << rep.Summary();
+  EXPECT_GE(rep.fields.value, HealthConfig{}.max_field_magnitude);
+}
+
+TEST(HealthSentinels, TileSoACorruptTripsParticleGuard) {
+  HwContext hw(MachineConfig::Lx2MultiCore(2));
+  auto sim = MakeUniformSimulation(hw, SmallUniform());
+  sim->EnableHealth(HealthConfig{});
+  sim->Run(1);
+
+  FaultPlan plan;
+  FaultSpec spec;
+  spec.kind = FaultKind::kTileSoACorrupt;
+  spec.step = 1;
+  spec.count = 4;
+  plan.faults.push_back(spec);
+  FaultInjector inj(plan);
+  ASSERT_EQ(inj.ApplyPreStep(sim.get()), 1);
+  sim->Step();
+
+  const HealthStepReport& rep = sim->last_sim_stats().health;
+  EXPECT_TRUE(rep.particles.tripped()) << rep.Summary();
+  EXPECT_GE(rep.particles.count, 1);
+  EXPECT_GE(rep.quarantined_tiles, 1);
+}
+
+TEST(HealthSentinels, DroppedMoversTripCensusSentinel) {
+  UniformWorkloadParams p = SmallUniform();
+  p.u_th = 0.4;  // hot plasma: tile crossings every step
+  HwContext hw(MachineConfig::Lx2MultiCore(2));
+  auto sim = MakeUniformSimulation(hw, p);
+  sim->EnableHealth(HealthConfig{});
+
+  FaultPlan plan;
+  FaultSpec spec;
+  spec.kind = FaultKind::kDropStagedMovers;
+  spec.step = 1;  // arm after the census baseline step
+  plan.faults.push_back(spec);
+  FaultInjector inj(plan);
+  sim->SetFaultInjector(&inj);
+
+  bool tripped = false;
+  for (int s = 0; s < 6 && !tripped; ++s) {
+    sim->Step();
+    const HealthStepReport& rep = sim->last_sim_stats().health;
+    if (inj.faults_applied() > 0) {
+      EXPECT_TRUE(rep.census.tripped()) << rep.Summary();
+      EXPECT_GE(rep.census.count, 1);
+      tripped = rep.census.tripped();
+    } else {
+      EXPECT_FALSE(rep.tripped()) << rep.Summary();
+    }
+  }
+  sim->SetFaultInjector(nullptr);
+  EXPECT_TRUE(tripped) << "mover-drop fault never found staged movers";
+}
+
+// ---- Recovery ----------------------------------------------------------------
+
+TEST(Recovery, RollbackCompletesBitIdenticalToCleanRun) {
+  const UniformWorkloadParams p = SmallUniform();
+  constexpr int kSteps = 12;
+
+  HwContext clean_hw(MachineConfig::Lx2MultiCore(2));
+  auto clean = MakeUniformSimulation(clean_hw, p);
+  clean->EnableHealth(HealthConfig{});
+  clean->Run(kSteps);
+  const uint64_t want = SimulationDigest(*clean);
+
+  HwContext hw(MachineConfig::Lx2MultiCore(2));
+  auto sim = MakeUniformSimulation(hw, p);
+  sim->EnableHealth(HealthConfig{});
+  FaultPlan plan;
+  plan.faults.push_back({FaultKind::kFieldBitFlip, /*step=*/7, /*species=*/0,
+                         /*field=*/0, /*lane=*/0, /*bit=*/-1});
+  FaultInjector inj(plan);
+  RecoveryConfig rc;
+  rc.checkpoint_interval = 5;
+  ResilientRunner runner(sim.get(), rc);
+  runner.set_injector(&inj);
+
+  ASSERT_TRUE(runner.Run(kSteps));
+  EXPECT_EQ(sim->step_count(), kSteps);
+  EXPECT_EQ(runner.stats().rollbacks, 1);
+  EXPECT_EQ(runner.stats().degraded_recoveries, 0);
+  ASSERT_EQ(runner.stats().events.size(), 1u);
+  EXPECT_EQ(runner.stats().events[0].trip_step, 7);
+  EXPECT_EQ(runner.stats().events[0].restored_step, 5);
+  EXPECT_EQ(runner.stats().events[0].steps_lost, 3);
+  EXPECT_EQ(runner.stats().steps_replayed, 3);
+
+  EXPECT_EQ(SimulationDigest(*sim), want)
+      << "recovered run diverged from the clean timeline";
+}
+
+TEST(Recovery, MoverDropRollbackCompletesBitIdentical) {
+  UniformWorkloadParams p = SmallUniform();
+  p.u_th = 0.4;
+  constexpr int kSteps = 10;
+
+  HwContext clean_hw(MachineConfig::Lx2MultiCore(2));
+  auto clean = MakeUniformSimulation(clean_hw, p);
+  clean->EnableHealth(HealthConfig{});
+  clean->Run(kSteps);
+  const uint64_t want = SimulationDigest(*clean);
+
+  HwContext hw(MachineConfig::Lx2MultiCore(2));
+  auto sim = MakeUniformSimulation(hw, p);
+  sim->EnableHealth(HealthConfig{});
+  FaultPlan plan;
+  FaultSpec spec;
+  spec.kind = FaultKind::kDropStagedMovers;
+  spec.step = 3;
+  plan.faults.push_back(spec);
+  FaultInjector inj(plan);
+  RecoveryConfig rc;
+  rc.checkpoint_interval = 2;
+  ResilientRunner runner(sim.get(), rc);
+  runner.set_injector(&inj);
+
+  ASSERT_TRUE(runner.Run(kSteps));
+  EXPECT_EQ(sim->step_count(), kSteps);
+  EXPECT_EQ(runner.stats().rollbacks, 1);
+  EXPECT_EQ(SimulationDigest(*sim), want);
+}
+
+TEST(Recovery, DegradedModeKeepsRunAvailableWithoutCheckpoints) {
+  HwContext hw(MachineConfig::Lx2MultiCore(2));
+  auto sim = MakeUniformSimulation(hw, SmallUniform());
+  sim->EnableHealth(HealthConfig{});
+
+  FaultPlan plan;
+  FaultSpec spec;
+  spec.kind = FaultKind::kTileSoACorrupt;
+  spec.step = 3;
+  spec.count = 4;
+  plan.faults.push_back(spec);
+  FaultInjector inj(plan);
+
+  RecoveryConfig rc;
+  rc.checkpoint_interval = 0;  // no checkpoints: degraded is the only option
+  ResilientRunner runner(sim.get(), rc);
+  runner.set_injector(&inj);
+
+  ASSERT_TRUE(runner.Run(8));
+  EXPECT_EQ(sim->step_count(), 8);
+  EXPECT_EQ(runner.stats().rollbacks, 0);
+  EXPECT_EQ(runner.stats().degraded_recoveries, 1);
+  // The corrupted macro-particles were scrubbed out, and the post-recovery
+  // steps run clean.
+  const HealthStepReport& rep = sim->last_sim_stats().health;
+  EXPECT_FALSE(rep.tripped()) << rep.Summary();
+}
+
+TEST(Recovery, UnrecoverableWhenDegradedDisallowed) {
+  HwContext hw(MachineConfig::Lx2MultiCore(2));
+  auto sim = MakeUniformSimulation(hw, SmallUniform());
+  sim->EnableHealth(HealthConfig{});
+
+  FaultPlan plan;
+  FaultSpec spec;
+  spec.kind = FaultKind::kTileSoACorrupt;
+  spec.step = 2;
+  plan.faults.push_back(spec);
+  FaultInjector inj(plan);
+
+  RecoveryConfig rc;
+  rc.checkpoint_interval = 0;
+  rc.allow_degraded = false;
+  ResilientRunner runner(sim.get(), rc);
+  runner.set_injector(&inj);
+
+  EXPECT_FALSE(runner.Run(8));
+  EXPECT_LT(sim->step_count(), 8);
+}
+
+TEST(Recovery, ScrubRemovesPoisonAndRebuildsSortState) {
+  HwContext hw(MachineConfig::Lx2MultiCore(2));
+  auto sim = MakeUniformSimulation(hw, SmallUniform());
+  sim->EnableHealth(HealthConfig{});
+  sim->Run(2);
+  const int64_t live_before = sim->tiles().TotalLive();
+
+  FaultPlan plan;
+  FaultSpec spec;
+  spec.kind = FaultKind::kTileSoACorrupt;
+  spec.step = 2;
+  spec.count = 3;
+  plan.faults.push_back(spec);
+  FaultInjector inj(plan);
+  ASSERT_EQ(inj.ApplyPreStep(sim.get()), 1);
+
+  const int64_t repaired = ScrubSimulation(sim.get());
+  EXPECT_GE(repaired, 3);
+  EXPECT_EQ(sim->tiles().TotalLive(), live_before - 3);
+  sim->health_monitor()->Rebaseline(*sim);
+  // The scrubbed simulation steps cleanly.
+  sim->Run(3);
+  EXPECT_FALSE(sim->last_sim_stats().health.tripped())
+      << sim->last_sim_stats().health.Summary();
+}
+
+}  // namespace
+}  // namespace mpic
