@@ -1,0 +1,272 @@
+// Work-stealing scheduler ablation: static contiguous partition vs the
+// cost-guided LPT + work-stealing tile scheduler (TileSchedulePolicy), on the
+// clumped bunched-beam workload and the uniform control.
+//
+// Gates (non-zero exit on any failure):
+//   * Bunched beam at 4 modeled cores: stealing cuts modeled critical-path
+//     cycles by >= 25% vs the static partition.
+//   * Uniform plasma at 4 modeled cores: stealing regresses modeled cycles by
+//     <= 1% (LPT over near-equal costs must not cost anything material).
+//   * Physics digests (full SimulationDigest) bit-identical across
+//     static/stealing x cores {1, 2, 4} on both workloads — the scheduler
+//     moves tiles between modeled cores, never changes what they compute.
+//   * The bunched workload actually exhibits >= 4:1 per-tile imbalance.
+//
+// Also prints the modeled schedule for the final step (per-core tile counts
+// and finish times from the same BuildTileSchedule the region ran), steal
+// counters from the ledger, and the per-phase critical-path breakdown.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "bench/bench_util.h"
+#include "src/common/table.h"
+#include "src/hw/tile_scheduler.h"
+
+namespace mpic {
+namespace {
+
+struct StealPoint {
+  double cycles = 0.0;  // modeled cycles over the measured window
+  uint64_t digest = 0;  // SimulationDigest after the full run
+  uint64_t tasks_stolen = 0;
+  double steal_cycles = 0.0;
+  double imbalance = 1.0;
+  std::array<double, kNumPhases> phase_cycles{};
+  // Final-step pass-1 schedule: tiles per modeled core (stolen included).
+  std::vector<int> core_tiles;
+  std::vector<int> core_steals;
+};
+
+BunchedBeamParams BunchedParams() {
+  BunchedBeamParams p;
+  p.nx = p.ny = p.nz = 16;
+  p.tile = 4;
+  p.ppc_x = p.ppc_y = p.ppc_z = 4;
+  return p;
+}
+
+UniformWorkloadParams UniformParams() {
+  UniformWorkloadParams p;
+  p.nx = p.ny = p.nz = 16;
+  p.tile = 4;
+  p.ppc_x = p.ppc_y = p.ppc_z = 3;
+  return p;
+}
+
+template <typename MakeSim>
+StealPoint RunPoint(TileSchedulePolicy policy, int cores, int warmup, int steps,
+                    const MakeSim& make_sim) {
+#ifdef _OPENMP
+  omp_set_num_threads(cores);
+#endif
+  HwContext hw(policy == TileSchedulePolicy::kCostSteal
+                   ? MachineConfig::Lx2MultiCoreStealing(cores)
+                   : MachineConfig::Lx2MultiCore(cores));
+  std::unique_ptr<Simulation> sim = make_sim(hw);
+  StealPoint r;
+  r.imbalance = TileImbalance(*sim, 0);
+  sim->Run(warmup);
+  const double cycles_before = hw.ledger().TotalCycles();
+  std::array<double, kNumPhases> phase_before{};
+  for (int p = 0; p < kNumPhases; ++p) {
+    phase_before[static_cast<size_t>(p)] =
+        hw.ledger().PhaseCycles(static_cast<Phase>(p));
+  }
+  const uint64_t stolen_before = hw.ledger().counters().tasks_stolen;
+  const double steal_cyc_before = hw.ledger().counters().steal_cycles;
+  sim->Run(steps);
+  r.cycles = hw.ledger().TotalCycles() - cycles_before;
+  for (int p = 0; p < kNumPhases; ++p) {
+    r.phase_cycles[static_cast<size_t>(p)] =
+        hw.ledger().PhaseCycles(static_cast<Phase>(p)) -
+        phase_before[static_cast<size_t>(p)];
+  }
+  r.tasks_stolen = hw.ledger().counters().tasks_stolen - stolen_before;
+  r.steal_cycles = hw.ledger().counters().steal_cycles - steal_cyc_before;
+  r.digest = SimulationDigest(*sim);
+
+  // Reconstruct the final pass-1 schedule the model would build from the
+  // last committed estimates (exactly what the next step's region would run).
+  const SpeciesBlock& block = sim->block(0);
+  const std::vector<double>& est = block.pass1_costs.estimate;
+  const int n = block.tiles.num_tiles();
+  const double* est_ptr =
+      (policy == TileSchedulePolicy::kCostSteal &&
+       est.size() == static_cast<size_t>(n))
+          ? est.data()
+          : nullptr;
+  const TileScheduleResult sched = BuildTileSchedule(
+      n, cores, est_ptr, hw.cfg().steal_cost_cycles);
+  for (const std::vector<TileTask>& tasks : sched.worker_tasks) {
+    int steals = 0;
+    for (const TileTask& t : tasks) {
+      if (t.stolen) ++steals;
+    }
+    r.core_tiles.push_back(static_cast<int>(tasks.size()));
+    r.core_steals.push_back(steals);
+  }
+  return r;
+}
+
+const char* PolicyName(TileSchedulePolicy p) {
+  return p == TileSchedulePolicy::kCostSteal ? "steal" : "static";
+}
+
+std::string JoinInts(const std::vector<int>& v) {
+  std::string out;
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) out += "/";
+    out += std::to_string(v[i]);
+  }
+  return out;
+}
+
+bool Run(int warmup, int steps) {
+#ifdef _OPENMP
+  std::printf("OpenMP enabled, %d host thread(s) available.\n",
+              omp_get_max_threads());
+#else
+  std::printf("Built without OpenMP: partitions run serially.\n");
+#endif
+
+  const std::vector<int> core_counts = {1, 2, 4};
+  const std::vector<TileSchedulePolicy> policies = {
+      TileSchedulePolicy::kStatic, TileSchedulePolicy::kCostSteal};
+
+  const auto make_bunched = [](HwContext& hw) {
+    return MakeBunchedBeamSimulation(hw, BunchedParams());
+  };
+  const auto make_uniform = [](HwContext& hw) {
+    return MakeUniformSimulation(hw, UniformParams());
+  };
+
+  bool ok = true;
+  double bunched_static4 = 0.0, bunched_steal4 = 0.0;
+  double uniform_static4 = 0.0, uniform_steal4 = 0.0;
+  StealPoint bunched_steal4_point;
+  double bunched_imbalance = 0.0;
+
+  struct Workload {
+    const char* name;
+    std::function<std::unique_ptr<Simulation>(HwContext&)> make;
+  };
+  const std::vector<Workload> workloads = {{"bunched", make_bunched},
+                                           {"uniform", make_uniform}};
+
+  ConsoleTable t({"Workload", "Schedule", "Cores", "Model cycles", "vs static",
+                  "Stolen", "Tiles/core", "Steals/core", "Digest"});
+  for (const Workload& w : workloads) {
+    uint64_t ref_digest = 0;
+    bool have_ref = false;
+    std::vector<double> static_cycles(core_counts.size(), 0.0);
+    for (TileSchedulePolicy policy : policies) {
+      for (size_t ci = 0; ci < core_counts.size(); ++ci) {
+        const int cores = core_counts[ci];
+        const StealPoint r = RunPoint(policy, cores, warmup, steps, w.make);
+        if (!have_ref) {
+          ref_digest = r.digest;
+          have_ref = true;
+        }
+        if (r.digest != ref_digest) {
+          ok = false;
+        }
+        if (policy == TileSchedulePolicy::kStatic) {
+          static_cycles[ci] = r.cycles;
+        }
+        const double ratio =
+            static_cycles[ci] > 0.0 ? r.cycles / static_cycles[ci] : 1.0;
+        if (w.name == std::string("bunched")) {
+          bunched_imbalance = r.imbalance;
+          if (cores == 4) {
+            if (policy == TileSchedulePolicy::kStatic) {
+              bunched_static4 = r.cycles;
+            } else {
+              bunched_steal4 = r.cycles;
+              bunched_steal4_point = r;
+            }
+          }
+        } else if (cores == 4) {
+          if (policy == TileSchedulePolicy::kStatic) {
+            uniform_static4 = r.cycles;
+          } else {
+            uniform_steal4 = r.cycles;
+          }
+        }
+        char digest_hex[32];
+        std::snprintf(digest_hex, sizeof(digest_hex), "%016llx",
+                      static_cast<unsigned long long>(r.digest));
+        t.AddRow({w.name, PolicyName(policy), std::to_string(cores),
+                  FormatSci(r.cycles, 4), FormatDouble(ratio, 3),
+                  std::to_string(r.tasks_stolen), JoinInts(r.core_tiles),
+                  JoinInts(r.core_steals), digest_hex});
+      }
+    }
+  }
+  t.Print("Work-stealing scheduler ablation (bunched beam 16^3 vs uniform)");
+
+  // Critical-path breakdown of the 4-core stealing bunched run.
+  std::printf("\nBunched 4-core stealing critical path (modeled cycles):\n");
+  for (int p = 0; p < kNumPhases; ++p) {
+    const double c = bunched_steal4_point.phase_cycles[static_cast<size_t>(p)];
+    if (c > 0.0) {
+      std::printf("  %-8s %.3e\n", PhaseName(static_cast<Phase>(p)), c);
+    }
+  }
+  std::printf("  steal overhead: %.3e cycles over %llu steals\n",
+              bunched_steal4_point.steal_cycles,
+              static_cast<unsigned long long>(bunched_steal4_point.tasks_stolen));
+
+  const double improvement =
+      bunched_static4 > 0.0 ? 1.0 - bunched_steal4 / bunched_static4 : 0.0;
+  const double regression =
+      uniform_static4 > 0.0 ? uniform_steal4 / uniform_static4 - 1.0 : 0.0;
+  std::printf("\nBunched per-tile imbalance (max/mean): %.2f (gate >= 4)\n",
+              bunched_imbalance);
+  std::printf("Bunched 4-core improvement from stealing: %.1f%% (gate >= 25%%)\n",
+              improvement * 100.0);
+  std::printf("Uniform 4-core regression from stealing: %.2f%% (gate <= 1%%)\n",
+              regression * 100.0);
+  std::printf("Physics digests %s across schedules and core counts.\n",
+              ok ? "IDENTICAL" : "DIFFER (BUG!)");
+
+  bool pass = ok;
+  if (bunched_imbalance < 4.0) {
+    std::printf("FAIL: bunched workload imbalance below 4:1.\n");
+    pass = false;
+  }
+  if (improvement < 0.25) {
+    std::printf("FAIL: stealing improvement below 25%% on the bunched beam.\n");
+    pass = false;
+  }
+  if (regression > 0.01) {
+    std::printf("FAIL: stealing regresses the uniform workload by > 1%%.\n");
+    pass = false;
+  }
+  if (!ok) {
+    std::printf("FAIL: physics digests differ.\n");
+  }
+  return pass;
+}
+
+}  // namespace
+}  // namespace mpic
+
+int main(int argc, char** argv) {
+  int warmup = argc > 1 ? std::atoi(argv[1]) : 2;
+  int steps = argc > 2 ? std::atoi(argv[2]) : 6;
+  if (warmup < 1 || steps < 1) {
+    std::fprintf(stderr, "usage: %s [warmup >= 1] [steps >= 1]; using defaults\n",
+                 argv[0]);
+    warmup = warmup < 1 ? 2 : warmup;
+    steps = steps < 1 ? 6 : steps;
+  }
+  return mpic::Run(warmup, steps) ? 0 : 1;
+}

@@ -41,6 +41,18 @@ struct SpeciesConfig {
   double self_coulomb_log = 10.0;
 };
 
+// One stage's per-tile cost feedback loop for the cost-guided tile scheduler
+// (TileSchedulePolicy::kCostSteal). `estimate` feeds the current step's
+// schedule (RegionCosts::estimates); `measured` collects the current step's
+// per-tile cycle probe (RegionCosts::measured); Commit() rotates measured into
+// estimate at the end of the stage. Both start empty — the first step of a
+// stage schedules with uniform costs, then converges.
+struct StageCostFeedback {
+  std::vector<double> estimate;
+  std::vector<double> measured;
+  void Commit() { estimate.swap(measured); }
+};
+
 struct SpeciesBlock {
   SpeciesBlock(HwContext& hw, const SpeciesConfig& config, const GridGeometry& geom,
                int tile_x, int tile_y, int tile_z, const EngineConfig& engine_config)
@@ -61,6 +73,14 @@ struct SpeciesBlock {
   // Particle-push census: lifetime total and the most recent step's count.
   int64_t particles_pushed = 0;
   int64_t pushed_last_step = 0;
+
+  // Per-tile cycle feedback for the work-stealing scheduler, one loop per
+  // tile-parallel stage of the fused pipeline (indexed by tile id for the two
+  // full fan-outs; reduce_costs is also tile-indexed, gathered/scattered per
+  // color class). Unused (left empty) under TileSchedulePolicy::kStatic.
+  StageCostFeedback pass1_costs;
+  StageCostFeedback deposit_costs;
+  StageCostFeedback reduce_costs;
 };
 
 }  // namespace mpic

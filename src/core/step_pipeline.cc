@@ -199,6 +199,16 @@ void StepPipeline::FusedPass1Impl(const StepPipelineInputs& in, SpeciesBlock& bl
   // written by exactly one worker.
   std::vector<PaddedSlot<Pass1Partial>> partials(
       static_cast<size_t>(hw_.num_cores()));
+  // Under the cost-guided scheduler, feed last step's per-tile cycles in as
+  // estimates and capture this step's for the next (kStatic leaves the
+  // feedback loop untouched so static runs match the seed model exactly).
+  const bool cost_sched =
+      hw_.cfg().tile_schedule == TileSchedulePolicy::kCostSteal;
+  RegionCosts costs;
+  if (cost_sched) {
+    costs.estimates = &block.pass1_costs.estimate;
+    costs.measured = &block.pass1_costs.measured;
+  }
   ParallelForTiles(
       hw_, block.tiles.num_tiles(),
       [&](HwContext& hw, int worker, int t) {
@@ -231,7 +241,10 @@ void StepPipeline::FusedPass1Impl(const StepPipelineInputs& in, SpeciesBlock& bl
         BoundaryTile(hw, block, in.drop_behind_window, t, &part.dropped);
         block.engine.ScanTile(hw, block.tiles, t, &part.scan);
       },
-      RegionMerge::kFusedStages);
+      RegionMerge::kFusedStages, costs);
+  if (cost_sched) {
+    block.pass1_costs.Commit();
+  }
 
   block.pushed_last_step = 0;
   for (const PaddedSlot<Pass1Partial>& slot : partials) {
@@ -261,11 +274,19 @@ void StepPipeline::DepositTiles(const StepPipelineInputs& in,
     return any_q && monitor->IsQuarantined(sid, t);
   };
 
+  const bool cost_sched =
+      hw_.cfg().tile_schedule == TileSchedulePolicy::kCostSteal;
+
   // Pass 2: staging + kernel. Rhocell-backed kernels accumulate into
   // tile-private blocks and fan out; the baseline/scalar kernels scatter
   // straight into shared J and stay serial.
   if (ParallelEnabled(hw_) && engine.deposit_is_tile_parallel()) {
     engine.RefreshTileRegistrations(tiles);
+    RegionCosts costs;
+    if (cost_sched) {
+      costs.estimates = &block.deposit_costs.estimate;
+      costs.measured = &block.deposit_costs.measured;
+    }
     ParallelForTiles(
         hw_, tiles.num_tiles(),
         [&](HwContext& hw, int, int t) {
@@ -274,7 +295,10 @@ void StepPipeline::DepositTiles(const StepPipelineInputs& in,
           }
           engine.StageAndDepositTile(hw, tiles, fields, charge, t);
         },
-        RegionMerge::kFusedStages);
+        RegionMerge::kFusedStages, costs);
+    if (cost_sched) {
+      block.deposit_costs.Commit();
+    }
   } else {
     for (int t = 0; t < tiles.num_tiles(); ++t) {
       if (skip(t)) {
@@ -287,19 +311,52 @@ void StepPipeline::DepositTiles(const StepPipelineInputs& in,
   // Rhocell -> J reduction on the halo-disjoint colored schedule: tiles of
   // one class write disjoint node sets and fan out; the classes run as
   // sequential barriers, in the same class order the legacy serial sweep
-  // uses, so shared halo nodes accumulate identically either way.
+  // uses, so shared halo nodes accumulate identically either way. The cost
+  // feedback is tile-indexed across all classes: each class gathers its
+  // tiles' estimates into a positional list for the scheduler and scatters
+  // the positional measurements back by tile id.
+  const bool have_reduce_est =
+      cost_sched && block.reduce_costs.estimate.size() ==
+                        static_cast<size_t>(tiles.num_tiles());
+  if (cost_sched) {
+    block.reduce_costs.measured.assign(
+        static_cast<size_t>(tiles.num_tiles()), 0.0);
+  }
+  std::vector<double> class_est;
+  std::vector<double> class_meas;
   for (const std::vector<int>& color_class : engine.reduce_coloring()) {
     // A singleton class (common under the thin-tile per-coordinate fallback)
     // has nothing to overlap with — run it inline rather than paying a
     // fork/join for a one-tile region.
     if (ParallelEnabled(hw_) && engine.deposit_is_tile_parallel() &&
         color_class.size() > 1) {
-      ParallelForTileList(hw_, color_class, [&](HwContext& hw, int, int t) {
-        if (skip(t)) {
-          return;
+      RegionCosts costs;
+      if (cost_sched) {
+        if (have_reduce_est) {
+          class_est.clear();
+          for (int t : color_class) {
+            class_est.push_back(
+                block.reduce_costs.estimate[static_cast<size_t>(t)]);
+          }
+          costs.estimates = &class_est;
         }
-        engine.ReduceTile(hw, tiles, fields, t);
-      });
+        costs.measured = &class_meas;
+      }
+      ParallelForTileList(
+          hw_, color_class,
+          [&](HwContext& hw, int, int t) {
+            if (skip(t)) {
+              return;
+            }
+            engine.ReduceTile(hw, tiles, fields, t);
+          },
+          RegionMerge::kPhaseMax, costs);
+      if (cost_sched) {
+        for (size_t i = 0; i < color_class.size(); ++i) {
+          block.reduce_costs.measured[static_cast<size_t>(color_class[i])] =
+              class_meas[i];
+        }
+      }
     } else {
       for (int t : color_class) {
         if (skip(t)) {
@@ -308,6 +365,9 @@ void StepPipeline::DepositTiles(const StepPipelineInputs& in,
         engine.ReduceTile(hw_, tiles, fields, t);
       }
     }
+  }
+  if (cost_sched) {
+    block.reduce_costs.Commit();
   }
 }
 

@@ -80,6 +80,52 @@ SimulationConfig MakeUniformConfig(const UniformWorkloadParams& p);
 std::unique_ptr<Simulation> MakeUniformSimulation(HwContext& hw,
                                                   const UniformWorkloadParams& p);
 
+// Bunched beam: a dense 3D-Gaussian electron bunch over a thin uniform
+// background in a fully periodic box. Physically this is a beam-driven
+// (PWFA-style) drive bunch without a witness; computationally it is the
+// load-imbalance stress workload. Unlike the profiled injector (which holds
+// PPC constant and encodes density in macro-particle weight), this workload
+// modulates the per-cell particle *count* by the density profile at constant
+// weight, so a handful of tiles own most of the particle work: the static
+// contiguous partition hands nearly all of it to one modeled core while the
+// cost-guided work-stealing scheduler spreads it. Parameters default to far
+// above 4:1 per-tile particle imbalance (max tile / mean tile).
+struct BunchedBeamParams {
+  int nx = 16, ny = 16, nz = 16;
+  // Particles per cell per dimension *at the bunch peak*.
+  int ppc_x = 8, ppc_y = 8, ppc_z = 8;
+  int order = 1;
+  DepositVariant variant = DepositVariant::kFullOpt;
+  CurrentScheme scheme = CurrentScheme::kDirect;
+  double density = 1e25;      // bunch peak density, m^-3
+  double background = 0.002;  // background density as a fraction of the peak
+  // Bunch extent. Wide enough that the bunch spans several tiles per axis (a
+  // single indivisible mega-tile would floor the balanced makespan at that
+  // tile's own cost), narrow enough that the heavy tiles stay inside one
+  // contiguous z-slab of tile indices — the static partition's worst case.
+  double sigma_frac = 0.10;       // bunch sigma_z as a fraction of box length
+  double sigma_perp_frac = 0.18;  // bunch sigma_x/y as a fraction of box width
+  // Bunch center as a fraction of each axis; 0.375 on a 16-cell axis with
+  // 4-cell tiles puts the bunch at a tile center, maximizing concentration.
+  double center_frac = 0.375;
+  double u_drift_z = 0.2;  // bunch proper velocity / c (background is cold)
+  double u_th = 0.01;      // thermal spread / c (bunch and background)
+  int tile = 4;
+  uint64_t seed = 42;
+  // See UniformWorkloadParams::fuse_stages / policy.
+  bool fuse_stages = true;
+  std::optional<ResortPolicyConfig> policy;
+};
+
+SimulationConfig MakeBunchedBeamConfig(const BunchedBeamParams& p);
+std::unique_ptr<Simulation> MakeBunchedBeamSimulation(HwContext& hw,
+                                                      const BunchedBeamParams& p);
+
+// Per-tile live-particle imbalance of a seeded simulation: max over tiles
+// divided by mean over tiles (1.0 = perfectly uniform). The bunched-beam
+// bench asserts >= 4 here before measuring scheduler gains.
+double TileImbalance(const Simulation& sim, int sid);
+
 struct LwfaWorkloadParams {
   int nx = 16, ny = 16, nz = 64;
   int ppc_x = 2, ppc_y = 2, ppc_z = 2;

@@ -16,6 +16,7 @@ struct AxisPair {
   static constexpr int kWindow = Order + 2;
   int base = 0;               // lowest node index of the window
   bool wide = false;          // true iff the supports are offset (cell crossing)
+  bool backward = false;      // wide with the new support below the old one
   double s0[Order + 2] = {};  // weights at the old position
   double s1[Order + 2] = {};  // weights at the new position
   double ds[Order + 2] = {};  // s1 - s0
@@ -28,6 +29,7 @@ struct AxisPair {
     MPIC_DCHECK(std::abs(start1 - start0) <= 1);
     base = std::min(start0, start1);
     wide = start0 != start1;
+    backward = start1 < start0;
     for (int t = 0; t < kWindow; ++t) {
       s0[t] = 0.0;
       s1[t] = 0.0;
@@ -52,6 +54,7 @@ struct AxisWindow {
   static constexpr int kWindow = Order + 2;
   int base = 0;
   bool wide = false;
+  bool backward = false;
   double m[Order + 2];
   double d[Order + 2];
 
@@ -60,6 +63,7 @@ struct AxisWindow {
     pair.Eval(g_old, g_new);
     base = pair.base;
     wide = pair.wide;
+    backward = pair.backward;
     for (int t = 0; t < kWindow; ++t) {
       m[t] = 0.5 * (pair.s0[t] + pair.s1[t]);
       d[t] = pair.ds[t];
@@ -73,7 +77,9 @@ template <int Order>
 constexpr int ScalarEsirkepovStagingOps() {
   constexpr int kIndexOps = 18;  // gx and floor per axis, old + new
   constexpr int kShapeOps = 2 * (Order == 1 ? 3 : (Order == 2 ? 15 : 27));
-  constexpr int kCombineOps = 6 * (Order + 2);  // m and d per window lane
+  // m and d per window lane, minus the three never-staged last m lanes
+  // (reconstructed at combine from d and the direction bit).
+  constexpr int kCombineOps = 6 * (Order + 2) - 3;
   return kIndexOps + kShapeOps + kCombineOps + 2;  // + charge factor
 }
 
@@ -98,17 +104,26 @@ void StageOneEsirkepov(const ParticleSoA& soa, size_t i, const DepositParams& pa
   scratch.by[i] = static_cast<int32_t>(ay.base);
   scratch.bz[i] = static_cast<int32_t>(az.base);
   double* w = scratch.Win(i);
-  for (int t = 0; t < kW; ++t) {
-    w[t] = ax.m[t];
-    w[kW + t] = ax.d[t];
-    w[2 * kW + t] = ay.m[t];
-    w[3 * kW + t] = ay.d[t];
-    w[4 * kW + t] = az.m[t];
-    w[5 * kW + t] = az.d[t];
+  const AxisWindow<Order>* axes[3] = {&ax, &ay, &az};
+  for (int axis = 0; axis < 3; ++axis) {
+    double* m = w + scratch.OffM(axis);
+    double* d = w + scratch.OffD(axis);
+    for (int t = 0; t < kW - 1; ++t) {
+      m[t] = axes[axis]->m[t];
+    }
+    for (int t = 0; t < kW; ++t) {
+      d[t] = axes[axis]->d[t];
+    }
+    // The dropped lane really is what EsirkepovWideLastM will reconstruct.
+    MPIC_DCHECK(axes[axis]->m[kW - 1] ==
+                (axes[axis]->wide
+                     ? (axes[axis]->backward ? -0.5 : 0.5) * axes[axis]->d[kW - 1]
+                     : 0.0));
   }
   scratch.qf[i] = params.charge * soa.w[i] * params.InvCellVolume();
-  scratch.wide[i] = static_cast<uint8_t>((ax.wide ? 1 : 0) | (ay.wide ? 2 : 0) |
-                                         (az.wide ? 4 : 0));
+  scratch.wide[i] = static_cast<uint8_t>(
+      (ax.wide ? 1 : 0) | (ay.wide ? 2 : 0) | (az.wide ? 4 : 0) |
+      (ax.backward ? 8 : 0) | (ay.backward ? 16 : 0) | (az.backward ? 32 : 0));
 }
 
 }  // namespace
@@ -203,14 +218,25 @@ void DepositEsirkepovTile(HwContext& hw, const ParticleTile& tile,
     hw.TouchRead(scratch.Win(i),
                  sizeof(double) * static_cast<size_t>(scratch.stride()));
     hw.TouchRead(&scratch.qf[i], sizeof(double));
+    hw.TouchRead(&scratch.wide[i], sizeof(uint8_t));
 
     const double* w = scratch.Win(i);
-    const double* mX = w;
-    const double* dX = w + kW;
-    const double* mY = w + 2 * kW;
-    const double* dY = w + 3 * kW;
-    const double* mZ = w + 4 * kW;
-    const double* dZ = w + 5 * kW;
+    const double* dX = w + scratch.OffD(0);
+    const double* dY = w + scratch.OffD(1);
+    const double* dZ = w + scratch.OffD(2);
+    // Rebuild the full m windows: the stored kW - 1 lanes plus the
+    // reconstructed last lane (zero / +-d_last/2, see EsirkepovWideLastM).
+    const uint8_t wb = scratch.wide[i];
+    double mX[kW], mY[kW], mZ[kW];
+    double* ms[3] = {mX, mY, mZ};
+    for (int axis = 0; axis < 3; ++axis) {
+      const double* stored = w + scratch.OffM(axis);
+      for (int t = 0; t < kW - 1; ++t) {
+        ms[axis][t] = stored[t];
+      }
+      ms[axis][kW - 1] =
+          EsirkepovWideLastM(wb, axis, (w + scratch.OffD(axis))[kW - 1]);
+    }
 
     const double cfx = scratch.qf[i] * fx;
     const double cfy = scratch.qf[i] * fy;
@@ -218,7 +244,7 @@ void DepositEsirkepovTile(HwContext& hw, const ParticleTile& tile,
     const int bx = scratch.bx[i];
     const int by = scratch.by[i];
     const int bz = scratch.bz[i];
-    hw.ScalarOps(6);
+    hw.ScalarOps(9);  // cf scales + the three m-lane reconstructions
 
     // Jx: transverse plane T_yz = outer(my, mz) + (1/12) outer(dy, dz), then
     // the cumulative sum of -dx[a] * T along x lands at the Yee face a+1/2.

@@ -123,20 +123,28 @@ class TileCurrent {
 // weights m[t] = (S_old[t] + S_new[t]) / 2 and the difference weights
 // d[t] = S_new[t] - S_old[t] over the union support of Order + 2 nodes.
 //
-// Layout: one packed block of 6 * (Order + 2) doubles per particle —
-// [mx | dx | my | dy | mz | dz], each axis window contiguous — plus window
-// bases, charge factor, and width flags in side arrays. The packed block
-// keeps staging stores and combine loads down to a handful of sequential
-// streams (inside the stride prefetcher's stream budget, which the previous
-// one-array-per-lane layout blew past at order 3), and doubles as the Vec8
-// operand layout for the MPU kernel: each axis window is one unaligned
-// vector load.
+// The last m lane is never stored: on a narrow axis it is zero, and on a wide
+// axis exactly one of the two supports covers the last union node, so
+// m[W-1] = 0.5 * s1[W-1] = +d[W-1]/2 when the particle crossed forward and
+// m[W-1] = 0.5 * s0[W-1] = -d[W-1]/2 when it crossed backward. Combine
+// kernels reconstruct it from d and the direction bit via
+// EsirkepovWideLastM — bit-exactly, since the staged value was the same
+// product (0.5 * the single live support weight) and IEEE negation is exact.
+//
+// Layout: one packed block of 3 * (2 * (Order + 2) - 1) doubles per particle
+// — [mx | dx | my | dy | mz | dz] with each m window one lane short — plus
+// window bases, charge factor, and width/direction flags in side arrays. The
+// packed block keeps staging stores and combine loads down to a handful of
+// sequential streams (inside the stride prefetcher's stream budget, which the
+// previous one-array-per-lane layout blew past at order 3), and doubles as
+// the Vec8 operand layout for the MPU kernel: each axis window is one
+// unaligned vector load.
 struct EsirkepovScratch {
   static constexpr int kMaxWindow = 5;  // Order + 2 at order 3
 
   // Union-window width (Order + 2) the blocks are strided for.
   int window = 0;
-  int stride() const { return 6 * window; }
+  int stride() const { return 3 * (2 * window - 1); }
 
   double* Win(size_t pid) {
     return win.data() + static_cast<size_t>(stride()) * pid;
@@ -144,9 +152,10 @@ struct EsirkepovScratch {
   const double* Win(size_t pid) const {
     return win.data() + static_cast<size_t>(stride()) * pid;
   }
-  // Offsets of the m/d windows of `axis` (0=x, 1=y, 2=z) inside a block.
-  int OffM(int axis) const { return 2 * axis * window; }
-  int OffD(int axis) const { return (2 * axis + 1) * window; }
+  // Offsets of the m/d windows of `axis` (0=x, 1=y, 2=z) inside a block. The
+  // m window carries window - 1 stored lanes, d the full width.
+  int OffM(int axis) const { return axis * (2 * window - 1); }
+  int OffD(int axis) const { return OffM(axis) + window - 1; }
 
   void Resize(size_t n_slots, int order) {
     window = order + 2;
@@ -164,13 +173,27 @@ struct EsirkepovScratch {
   std::vector<double> win;
   // Per-particle charge factor q * w / cell_volume.
   std::vector<double> qf;
-  // Bit `axis` set when the particle crossed a cell boundary on that axis,
-  // i.e. its union window really is Order + 2 nodes wide. Unset means the
-  // effective width is Order + 1 and the last lane of m and d is exactly
+  // Bit `axis` (0..2) set when the particle crossed a cell boundary on that
+  // axis, i.e. its union window really is Order + 2 nodes wide. Unset means
+  // the effective width is Order + 1 and the last lane of m and d is exactly
   // zero — the width-adaptive MPU kernel packs and extracts only live lanes
-  // (at thermal drift almost all particles are narrow on every axis).
+  // (at thermal drift almost all particles are narrow on every axis). Bit
+  // 3 + axis is the crossing *direction*: set when the particle crossed
+  // backward (new support below the old one), clear for forward. Direction
+  // bits are only ever set alongside their width bit, so `wide == 0` still
+  // reads as "narrow on every axis".
   std::vector<uint8_t> wide;
 };
+
+// Reconstructs the unstored last m lane of `axis` from the last d lane and
+// the width/direction bits (see EsirkepovScratch): zero when narrow,
+// +d_last/2 on a forward crossing, -d_last/2 on a backward one. Every
+// combine kernel (staged scalar, sparse VPU fallback, MPU packing) must use
+// this one helper so the reconstructed values stay mutually bit-identical.
+inline double EsirkepovWideLastM(uint8_t wide_bits, int axis, double d_last) {
+  if (((wide_bits >> axis) & 1) == 0) return 0.0;
+  return ((wide_bits >> (3 + axis)) & 1) != 0 ? -0.5 * d_last : 0.5 * d_last;
+}
 
 // Stage 1: per-axis weight windows + charge factor for every live particle,
 // from the SoA old-position lanes and current positions. `vpu_staging`

@@ -17,11 +17,14 @@ void ChargeVpuOps(HwContext& hw, int n) {
 constexpr int kPlaneRowAxis[3] = {1, 2, 1};
 constexpr int kPlaneColAxis[3] = {2, 0, 0};
 
-// Decoded per-particle view of one staged window block.
+// Decoded per-particle view of one staged window block. The m windows are
+// materialized by value: the scratch stores only kW - 1 m lanes per axis and
+// MakeView reconstructs the last one from d and the direction bit (see
+// EsirkepovWideLastM), so downstream packing/extraction sees full windows.
 template <int Order>
 struct WindowView {
   static constexpr int kW = Order + 2;
-  const double* m[3];
+  double m[3][Order + 2];
   const double* d[3];
   int base[3];
   int width[3];  // effective per-axis window width: Order+1 narrow, Order+2 wide
@@ -35,14 +38,18 @@ WindowView<Order> MakeView(HwContext& hw, const EsirkepovScratch& scratch,
   constexpr int kW = Order + 2;
   WindowView<Order> v;
   const double* w = scratch.Win(i);
+  const uint8_t wide = scratch.wide[i];
   for (int axis = 0; axis < 3; ++axis) {
-    v.m[axis] = w + 2 * axis * kW;
-    v.d[axis] = w + (2 * axis + 1) * kW;
+    const double* stored_m = w + scratch.OffM(axis);
+    v.d[axis] = w + scratch.OffD(axis);
+    for (int t = 0; t < kW - 1; ++t) {
+      v.m[axis][t] = stored_m[t];
+    }
+    v.m[axis][kW - 1] = EsirkepovWideLastM(wide, axis, v.d[axis][kW - 1]);
   }
   v.base[0] = scratch.bx[i];
   v.base[1] = scratch.by[i];
   v.base[2] = scratch.bz[i];
-  const uint8_t wide = scratch.wide[i];
   for (int axis = 0; axis < 3; ++axis) {
     v.width[axis] = ((wide >> axis) & 1) != 0 ? kW : kW - 1;
   }
@@ -51,7 +58,9 @@ WindowView<Order> MakeView(HwContext& hw, const EsirkepovScratch& scratch,
   v.cf[1] = qf * f[1];
   v.cf[2] = qf * f[2];
   v.slot_width = wide == 0 ? kW - 1 : kW;
-  hw.ScalarOps(3);  // cf scales; the width decode rides the same issue slots
+  // cf scales + the three m-lane reconstructions; the width decode rides the
+  // same issue slots.
+  hw.ScalarOps(6);
   return v;
 }
 
@@ -392,21 +401,32 @@ void DepositEsirkepovBinVpu(HwContext& hw, const EsirkepovScratch& scratch,
     hw.TouchRead(scratch.Win(i),
                  sizeof(double) * static_cast<size_t>(scratch.stride()));
     hw.TouchRead(&scratch.qf[i], sizeof(double));
+    hw.TouchRead(&scratch.wide[i], sizeof(uint8_t));
 
     const double* w = scratch.Win(i);
-    const double* mX = w;
-    const double* dX = w + kW;
-    const double* mY = w + 2 * kW;
-    const double* dY = w + 3 * kW;
-    const double* mZ = w + 4 * kW;
-    const double* dZ = w + 5 * kW;
+    const double* dX = w + scratch.OffD(0);
+    const double* dY = w + scratch.OffD(1);
+    const double* dZ = w + scratch.OffD(2);
+    // Full m windows: stored lanes + the reconstructed last lane, exactly as
+    // the staged scalar kernel rebuilds them (bitwise-identical fallback).
+    const uint8_t wb = scratch.wide[i];
+    double mX[kW], mY[kW], mZ[kW];
+    double* ms[3] = {mX, mY, mZ};
+    for (int axis = 0; axis < 3; ++axis) {
+      const double* stored = w + scratch.OffM(axis);
+      for (int t = 0; t < kW - 1; ++t) {
+        ms[axis][t] = stored[t];
+      }
+      ms[axis][kW - 1] =
+          EsirkepovWideLastM(wb, axis, (w + scratch.OffD(axis))[kW - 1]);
+    }
     const double cfx = scratch.qf[i] * f[0];
     const double cfy = scratch.qf[i] * f[1];
     const double cfz = scratch.qf[i] * f[2];
     const int bx = scratch.bx[i];
     const int by = scratch.by[i];
     const int bz = scratch.bz[i];
-    hw.ScalarOps(6);
+    hw.ScalarOps(9);
 
     for (int c = 0; c < kW; ++c) {
       for (int b = 0; b < kW; ++b) {

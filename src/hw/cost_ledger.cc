@@ -79,6 +79,8 @@ void CostLedger::SumWorkerCounters(const std::vector<const CostLedger*>& workers
     counters_.mopas += c.mopas;
     counters_.mopa_valid_slots += c.mopa_valid_slots;
     counters_.atomics += c.atomics;
+    counters_.tasks_stolen += c.tasks_stolen;
+    counters_.steal_cycles += c.steal_cycles;
     counters_.l1_hits += c.l1_hits;
     counters_.l1_misses += c.l1_misses;
     counters_.l2_hits += c.l2_hits;
@@ -108,7 +110,9 @@ std::string CostLedger::Summary() const {
   out << "\nops: scalar=" << counters_.scalar_ops << " vpu=" << counters_.vpu_ops
       << " mopa=" << counters_.mopas << " mopa_valid=" << counters_.mopa_valid_slots
       << " gathers=" << counters_.gathers
-      << " scatters=" << counters_.scatters << " atomics=" << counters_.atomics;
+      << " scatters=" << counters_.scatters << " atomics=" << counters_.atomics
+      << " stolen=" << counters_.tasks_stolen
+      << " steal_cyc=" << counters_.steal_cycles;
   out << "\ncache: l1h=" << counters_.l1_hits << " l1m=" << counters_.l1_misses
       << " l2h=" << counters_.l2_hits << " l2m=" << counters_.l2_misses;
   return out.str();

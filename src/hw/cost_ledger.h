@@ -47,6 +47,11 @@ struct LedgerCounters {
   // (25% CIC / 50% QSP direct; window-width dependent for Esirkepov).
   uint64_t mopa_valid_slots = 0;
   uint64_t atomics = 0;
+  // Work-stealing events (TileSchedulePolicy::kCostSteal): number of tile
+  // tasks a core pulled from another core's queue, and the modeled cycles
+  // spent doing so (steal_cost_cycles + one remote line each).
+  uint64_t tasks_stolen = 0;
+  double steal_cycles = 0.0;
   // Cache events.
   uint64_t l1_hits = 0;
   uint64_t l1_misses = 0;

@@ -351,6 +351,14 @@ Vec8 HwContext::TileReadRow(const MpuTileReg& tile, int row) {
 
 // ---- Bulk accounting -------------------------------------------------------
 
+void HwContext::ChargeSteal() {
+  const double cycles = cfg_.steal_cost_cycles + cfg_.dram_penalty_cycles;
+  PhaseScope phase(ledger_, Phase::kOther);
+  ledger_.AddCycles(cycles);
+  ledger_.counters().tasks_stolen += 1;
+  ledger_.counters().steal_cycles += cycles;
+}
+
 void HwContext::ChargeBulk(double flops, double bytes) {
   const double compute_cycles = flops / cfg_.VpuPeakFlopsPerCycle();
   const double mem_cycles = bytes / cfg_.stream_bytes_per_cycle;

@@ -133,6 +133,12 @@ class HwContext {
   // Direct cycle charge (e.g. a modeled fixed-cost runtime call).
   void ChargeCycles(double cycles) { ledger_.AddCycles(cycles); }
 
+  // Charges one successful work-steal on this (worker) context: the deque
+  // CAS + coherence round-trip (cfg.steal_cost_cycles) plus one remote line
+  // for the migrated queue entry (cfg.dram_penalty_cycles), under
+  // Phase::kOther, and bumps the tasks_stolen / steal_cycles counters.
+  void ChargeSteal();
+
   // Seconds corresponding to the ledger's total cycles at the modeled clock.
   double TotalSeconds() const { return cfg_.CyclesToSeconds(ledger_.TotalCycles()); }
 

@@ -32,6 +32,23 @@ struct CacheLevelConfig {
   double hit_penalty_cycles = 0.0;
 };
 
+// How tile-parallel fan-outs (src/hw/parallel_for.h) map positions to the
+// modeled cores.
+enum class TileSchedulePolicy : int {
+  // Fixed contiguous block split over the cores (the seed model). Optimal for
+  // uniform workloads, pathological for clumped ones: the core owning the
+  // dense tiles carries the whole critical path.
+  kStatic = 0,
+  // Cost-guided task queues: positions are ordered by per-tile cycle
+  // estimates fed back from the previous step, assigned greedily to the
+  // least-loaded core (longest-processing-time), and idle cores steal from
+  // the tail of the most-loaded queue, paying steal_cost_cycles plus one
+  // remote-queue line per steal. The whole schedule — assignment and steal
+  // sequence — is computed from the estimates alone (src/hw/tile_scheduler.h),
+  // so it is bit-deterministic and independent of OpenMP timing.
+  kCostSteal = 1,
+};
+
 struct MachineConfig {
   // --- Core (Sec. 5.1) ---
   double freq_ghz = 1.3;
@@ -85,6 +102,16 @@ struct MachineConfig {
   // accounting for regular stencil sweeps.
   double stream_bytes_per_cycle = 16.0;
 
+  // --- Tile scheduling ---
+  // How tile-parallel regions map positions to cores; see TileSchedulePolicy.
+  TileSchedulePolicy tile_schedule = TileSchedulePolicy::kStatic;
+  // Modeled cost of one successful steal under kCostSteal: CAS on the victim's
+  // deque tail plus the coherence round-trip to pull the task descriptor. The
+  // thief additionally pays one remote line (dram_penalty_cycles) for the
+  // migrated queue entry; both are charged on the thief's ledger under
+  // Phase::kOther and counted in tasks_stolen / steal_cycles.
+  double steal_cost_cycles = 120.0;
+
   // Peak FP64 FLOP/s of the VPU complex on one core: pipes * lanes * 2 (FMA).
   double VpuPeakFlopsPerCycle() const {
     return static_cast<double>(vpu_pipes) * kVpuLanes * 2.0;
@@ -107,6 +134,15 @@ struct MachineConfig {
   static MachineConfig Lx2MultiCore(int cores) {
     MachineConfig cfg;
     cfg.num_cores = cores;
+    return cfg;
+  }
+
+  // An LX2 chip with `cores` cores and the cost-guided work-stealing tile
+  // scheduler instead of the static partition.
+  static MachineConfig Lx2MultiCoreStealing(int cores) {
+    MachineConfig cfg;
+    cfg.num_cores = cores;
+    cfg.tile_schedule = TileSchedulePolicy::kCostSteal;
     return cfg;
   }
 

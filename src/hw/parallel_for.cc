@@ -1,6 +1,7 @@
 #include "src/hw/parallel_for.h"
 
 #include "src/common/check.h"
+#include "src/hw/tile_scheduler.h"
 
 namespace mpic {
 namespace {
@@ -9,11 +10,21 @@ namespace {
 // `index_of`. Serial inline on the main context when the machine has one core.
 template <typename IndexOf>
 void RunRegion(HwContext& hw, int n, const TileBody& body, RegionMerge merge,
-               const IndexOf& index_of) {
+               const RegionCosts& costs, const IndexOf& index_of) {
   const int num_workers = hw.num_cores();
+  if (costs.measured != nullptr) {
+    costs.measured->assign(static_cast<size_t>(n), 0.0);
+  }
   if (num_workers <= 1) {
     for (int i = 0; i < n; ++i) {
-      body(hw, 0, index_of(i));
+      if (costs.measured != nullptr) {
+        const double before = hw.ledger().TotalCycles();
+        body(hw, 0, index_of(i));
+        (*costs.measured)[static_cast<size_t>(i)] =
+            hw.ledger().TotalCycles() - before;
+      } else {
+        body(hw, 0, index_of(i));
+      }
     }
     return;
   }
@@ -35,17 +46,58 @@ void RunRegion(HwContext& hw, int n, const TileBody& body, RegionMerge merge,
     region_ledgers.push_back(&ctx.ledger());
   }
 
-  // Static block partition: worker w always owns the same contiguous position
-  // range, regardless of how OpenMP maps workers to threads, so both the
-  // physics and the modeled ledger are independent of the real thread count.
+  if (hw.cfg().tile_schedule == TileSchedulePolicy::kCostSteal) {
+    // Cost-guided schedule: the task lists (and the steal sequence) are
+    // computed serially from the estimates before the fan-out, so they are
+    // identical for every OpenMP thread count; real threads just execute the
+    // lists the model assigned.
+    const double* est = nullptr;
+    if (costs.estimates != nullptr &&
+        costs.estimates->size() == static_cast<size_t>(n)) {
+      est = costs.estimates->data();
+    }
+    const TileScheduleResult sched =
+        BuildTileSchedule(n, num_workers, est, hw.cfg().steal_cost_cycles);
 #ifdef _OPENMP
 #pragma omp parallel for schedule(static, 1)
 #endif
-  for (int w = 0; w < num_workers; ++w) {
-    HwContext& ctx = hw.worker(w);
-    const TileRange range = WorkerTileRange(n, num_workers, w);
-    for (int i = range.begin; i < range.end; ++i) {
-      body(ctx, w, index_of(i));
+    for (int w = 0; w < num_workers; ++w) {
+      HwContext& ctx = hw.worker(w);
+      for (const TileTask& task : sched.worker_tasks[static_cast<size_t>(w)]) {
+        // Steal overhead lands before the measurement window so the per-tile
+        // probe records the tile's work, not where it ran.
+        if (task.stolen) ctx.ChargeSteal();
+        if (costs.measured != nullptr) {
+          const double before = ctx.ledger().TotalCycles();
+          body(ctx, w, index_of(task.pos));
+          (*costs.measured)[static_cast<size_t>(task.pos)] =
+              ctx.ledger().TotalCycles() - before;
+        } else {
+          body(ctx, w, index_of(task.pos));
+        }
+      }
+    }
+  } else {
+    // Static block partition: worker w always owns the same contiguous
+    // position range, regardless of how OpenMP maps workers to threads, so
+    // both the physics and the modeled ledger are independent of the real
+    // thread count.
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static, 1)
+#endif
+    for (int w = 0; w < num_workers; ++w) {
+      HwContext& ctx = hw.worker(w);
+      const TileRange range = WorkerTileRange(n, num_workers, w);
+      for (int i = range.begin; i < range.end; ++i) {
+        if (costs.measured != nullptr) {
+          const double before = ctx.ledger().TotalCycles();
+          body(ctx, w, index_of(i));
+          (*costs.measured)[static_cast<size_t>(i)] =
+              ctx.ledger().TotalCycles() - before;
+        } else {
+          body(ctx, w, index_of(i));
+        }
+      }
     }
   }
 
@@ -76,13 +128,14 @@ TileRange WorkerTileRange(int n, int num_workers, int worker) {
 }
 
 void ParallelForTiles(HwContext& hw, int n, const TileBody& body,
-                      RegionMerge merge) {
-  RunRegion(hw, n, body, merge, [](int i) { return i; });
+                      RegionMerge merge, const RegionCosts& costs) {
+  RunRegion(hw, n, body, merge, costs, [](int i) { return i; });
 }
 
 void ParallelForTileList(HwContext& hw, const std::vector<int>& tiles,
-                         const TileBody& body, RegionMerge merge) {
-  RunRegion(hw, static_cast<int>(tiles.size()), body, merge,
+                         const TileBody& body, RegionMerge merge,
+                         const RegionCosts& costs) {
+  RunRegion(hw, static_cast<int>(tiles.size()), body, merge, costs,
             [&tiles](int i) { return tiles[static_cast<size_t>(i)]; });
 }
 

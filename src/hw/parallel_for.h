@@ -1,18 +1,22 @@
 // Tile-parallel execution over the modeled multi-core machine.
 //
 // ParallelForTiles runs `body(ctx, worker, index)` for every index in [0, n),
-// partitioned statically over cfg().num_cores modeled cores. Each worker gets
-// its own HwContext view — a private CostLedger and CacheModel plus a snapshot
-// of the main context's MemMap — so kernels charge costs exactly as they do
-// serially. When the region ends, per-worker cycles merge into the main ledger
-// (see RegionMerge below) and a fixed fork/join cost
+// distributed over cfg().num_cores modeled cores — either as a static
+// contiguous block split (TileSchedulePolicy::kStatic, the seed model) or via
+// the cost-guided work-stealing scheduler (kCostSteal, fed by RegionCosts
+// estimates; see src/hw/tile_scheduler.h). Each worker gets its own HwContext
+// view — a private CostLedger and CacheModel plus a snapshot of the main
+// context's MemMap — so kernels charge costs exactly as they do serially.
+// When the region ends, per-worker cycles merge into the main ledger (see
+// RegionMerge below) and a fixed fork/join cost
 // (MachineConfig::parallel_region_fork_join_cycles) is charged per fan-out,
 // keeping the Fig. 1 / 8-10 phase breakdowns meaningful at num_cores > 1.
 //
-// Determinism: the partition is a fixed contiguous block split (independent of
-// OpenMP scheduling), every tile's computation touches only tile-private state,
-// and callers merge any cross-tile results in tile order — so the physics
-// output is bit-identical to the serial run for any core or thread count. With
+// Determinism: the position->worker mapping is computed from the machine
+// config and cost estimates alone (independent of OpenMP scheduling), every
+// tile's computation touches only tile-private state, and callers merge any
+// cross-tile results in tile order — so the physics output is bit-identical
+// to the serial run for any core or thread count under either policy. With
 // num_cores == 1 the body runs inline on the main context and the model
 // reproduces the single-core ledger exactly (no fork/join charge).
 //
@@ -51,15 +55,44 @@ enum class RegionMerge {
   kFusedStages,
 };
 
+// Optional per-position cost plumbing for a region. Both pointers are
+// caller-owned and may be null independently.
+//
+//  - `estimates`: per-position modeled-cycle estimates from a previous pass
+//    (typically last step's `measured`). Used only under
+//    TileSchedulePolicy::kCostSteal, and only when its size matches the
+//    region's position count; otherwise positions cost 1.0 each and the
+//    schedule degenerates to an even split with no steals.
+//  - `measured`: filled (resized to n, one slot per position) with the
+//    modeled cycles each position actually charged this region, measured as
+//    the executing worker's ledger delta around the body call. Steal charges
+//    are excluded, so feeding `measured` back as next step's `estimates`
+//    estimates the work, not the scheduling overhead. The probe itself is
+//    free in the model.
+struct RegionCosts {
+  const std::vector<double>* estimates = nullptr;
+  std::vector<double>* measured = nullptr;
+};
+
+// Runs body over [0, n). Under TileSchedulePolicy::kStatic positions are
+// partitioned as a contiguous block split; under kCostSteal each fan-out
+// builds a deterministic LPT + work-stealing schedule from costs.estimates
+// (see src/hw/tile_scheduler.h) and each worker executes exactly the task
+// list the model assigned it, charging ChargeSteal per stolen task. Physics
+// is bit-identical either way: bodies touch only tile-private state and
+// callers merge cross-tile results in tile order, so only the *mapping* of
+// tiles to modeled cores (and hence the modeled critical path) changes.
 void ParallelForTiles(HwContext& hw, int n, const TileBody& body,
-                      RegionMerge merge = RegionMerge::kPhaseMax);
+                      RegionMerge merge = RegionMerge::kPhaseMax,
+                      const RegionCosts& costs = RegionCosts{});
 
 // Fan-out over an explicit tile list (e.g. one color class of the reduction
-// schedule): `body(ctx, worker, tiles[i])` for every i, with the same static
-// contiguous partition — over list positions — as ParallelForTiles.
+// schedule): `body(ctx, worker, tiles[i])` for every i. Positions (and
+// RegionCosts slots) index into `tiles`, not the tile ids themselves.
 void ParallelForTileList(HwContext& hw, const std::vector<int>& tiles,
                          const TileBody& body,
-                         RegionMerge merge = RegionMerge::kPhaseMax);
+                         RegionMerge merge = RegionMerge::kPhaseMax,
+                         const RegionCosts& costs = RegionCosts{});
 
 // Per-worker accumulator slot padded to a cache line: callers index one slot
 // per worker, and the padding keeps concurrent per-particle increments from

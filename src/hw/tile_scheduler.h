@@ -1,0 +1,73 @@
+// Deterministic cost-guided work-stealing schedule for tile-parallel regions.
+//
+// BuildTileSchedule turns (n positions, per-position cost estimates) into an
+// explicit per-worker execution list: a greedy longest-processing-time (LPT)
+// assignment followed by a simulated steal sequence. Everything is computed
+// from the estimates alone — no wall-clock, no thread timing — so the same
+// inputs always produce the same schedule, the same steal events, and the
+// same modeled cycle charges, regardless of how many OpenMP threads actually
+// execute the lists. Real threads then run exactly the tile lists the model
+// assigned, which keeps physics bit-identical to the static partition (tiles
+// stay tile-private; cross-tile merges happen after the region, in tile
+// order).
+//
+// The steal rule is overlap-based: an idle worker steals the tail task of the
+// most-loaded queue iff it can *start* the task before the victim would have
+// drained its remaining queue (thief_now + steal_cost < victim_now +
+// victim_queued). Under LPT the load gap is bounded by one task, so steals
+// fire only on genuine granularity remainders; each event charges
+// steal_cost_cycles (plus one remote line, added by the caller) and the
+// overhead is bounded by steal_cost per event.
+
+#ifndef MPIC_SRC_HW_TILE_SCHEDULER_H_
+#define MPIC_SRC_HW_TILE_SCHEDULER_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace mpic {
+
+struct TileTask {
+  int pos = 0;          // position index in [0, n)
+  bool stolen = false;  // true if this worker pulled it from another queue
+};
+
+struct TileScheduleResult {
+  // worker_tasks[w] is worker w's execution list, in execution order.
+  std::vector<std::vector<TileTask>> worker_tasks;
+  int64_t total_steals = 0;
+  // Modeled finish time of each worker and the resulting makespan, in the
+  // same (estimate) units the caller supplied. Informational: the real cycle
+  // charges come from each worker's ledger as it executes its list.
+  std::vector<double> worker_finish;
+  double makespan = 0.0;
+};
+
+// Cost-spread ratio (max/min over per-position costs) below which the
+// schedule falls back to the contiguous block split: near-uniform costs gain
+// nothing from LPT but would lose the per-core cache affinity of a stable
+// contiguous partition.
+inline constexpr double kNearUniformCostRatio = 1.5;
+
+// Multiplicative width of the planner's cost classes: the LPT assignment
+// sees each position's cost rounded to the nearest power of this ratio. The
+// steal simulation runs on the raw costs, so the within-class spread the
+// planner ignores is exactly the imbalance stealing gets to fix (with exact
+// planning costs the LPT schedule never strands a stealable task and the
+// steal phase would be dead code); it also makes the assignment insensitive
+// to per-step cost jitter within a class, preserving cache affinity.
+inline constexpr double kCostBucketRatio = 1.25;
+
+// Builds the deterministic LPT + steal schedule for n positions over
+// num_workers workers. `estimates` may be nullptr (or any tile with a
+// non-positive / missing estimate), in which case affected positions cost
+// 1.0 — with no estimates at all (or a cost spread under
+// kNearUniformCostRatio) the schedule is the contiguous block split with no
+// steals. `steal_cost` is in the same units as the estimates.
+TileScheduleResult BuildTileSchedule(int n, int num_workers,
+                                     const double* estimates,
+                                     double steal_cost);
+
+}  // namespace mpic
+
+#endif  // MPIC_SRC_HW_TILE_SCHEDULER_H_

@@ -54,6 +54,10 @@ std::string HealthStepReport::Summary() const {
   if (gauss.status != SentinelStatus::kDisabled) {
     os << "(drift " << gauss.value << ")";
   }
+  item("cycles", cycles);
+  if (cycles.status != SentinelStatus::kDisabled && cycles.value > 0.0) {
+    os << "(x" << cycles.value << ")";
+  }
   if (quarantined_tiles > 0) {
     os << " quarantined=" << quarantined_tiles;
   }
@@ -329,6 +333,45 @@ void HealthMonitor::FinishStep(Simulation& sim, SimStepStats* stats) {
     prev_gauss_residual_ = std::move(res);
   }
 
+  if (cfg_.check_cycles) {
+    // Modeled cycles this step = ledger total now minus the mark taken at the
+    // previous epilogue (so the window spans one full step: particle stages,
+    // solver, and the sentinels themselves). The total is the modeled
+    // critical path, so a scheduler regression shows up here even when the
+    // per-phase sums are unchanged. All inputs are modeled, so the sentinel
+    // is bit-deterministic across OpenMP thread counts.
+    const double total = hw.ledger().TotalCycles();
+    hw.ChargeCycles(6.0);
+    if (!have_cycle_mark_) {
+      have_cycle_mark_ = true;
+      rep.cycles.status = SentinelStatus::kOk;
+    } else {
+      const double step_cycles = total - prev_total_cycles_;
+      const bool armed = cycle_samples_ >= cfg_.cycle_warmup_steps &&
+                         cycle_baseline_ > 0.0;
+      rep.cycles.count = static_cast<int64_t>(cycle_baseline_);
+      if (armed) {
+        rep.cycles.value = step_cycles / cycle_baseline_;
+        rep.cycles.status = rep.cycles.value <= cfg_.max_cycle_step_factor
+                                ? SentinelStatus::kOk
+                                : SentinelStatus::kTripped;
+      } else {
+        rep.cycles.status = SentinelStatus::kOk;
+      }
+      // A tripped step never feeds the baseline: a sustained fault must keep
+      // tripping rather than ratchet the baseline up to meet it.
+      if (!rep.cycles.tripped()) {
+        constexpr double kAlpha = 0.3;
+        cycle_baseline_ = cycle_samples_ == 0
+                              ? step_cycles
+                              : (1.0 - kAlpha) * cycle_baseline_ +
+                                    kAlpha * step_cycles;
+        ++cycle_samples_;
+      }
+    }
+    prev_total_cycles_ = hw.ledger().TotalCycles();
+  }
+
   ++steps_checked_;
   stats->health = rep;
 }
@@ -348,6 +391,12 @@ void HealthMonitor::Rebaseline(Simulation& sim) {
   }
   prev_gauss_residual_.reset();
   gauss_scale_ = 0.0;
+  // The cycle baseline describes the discarded timeline (and a rollback
+  // rewinds the modeled clock itself), so re-warm it from scratch.
+  have_cycle_mark_ = false;
+  prev_total_cycles_ = 0.0;
+  cycle_baseline_ = 0.0;
+  cycle_samples_ = 0;
   step_partial_ = HealthTilePartial{};
   std::fill(quarantined_.begin(), quarantined_.end(), 0);
 }

@@ -64,6 +64,15 @@ struct HealthConfig {
   // meaningful under the Esirkepov scheme, and expensive (a full charge
   // deposit), so it defaults off.
   int gauss_interval = 0;
+  // Cycle-ledger regression sentinel: trip when a step's modeled cycles
+  // exceed the rolling baseline by max_cycle_step_factor. This catches
+  // performance faults the physics sentinels never see — a poisoned cost
+  // estimate, a scheduler regression, a tile that suddenly re-sorts every
+  // step — while staying deterministic (modeled cycles, not wall clock).
+  // Defaults off: workloads with legitimate step-cost cliffs (moving-window
+  // shifts, periodic global sorts) should either widen the factor or leave
+  // it disabled.
+  bool check_cycles = false;
 
   // Any field node with |value| above this trips the field sentinel. Flipping
   // a high exponent bit of a physical field value lands ~300 decades out, so
@@ -77,6 +86,17 @@ struct HealthConfig {
   // Gauss sentinel: max residual change between consecutive monitored steps,
   // relative to max |rho|/eps0 at the baseline.
   double max_gauss_residual_drift = 1e-6;
+  // Cycle sentinel: a step trips when its modeled cycles exceed
+  // factor * baseline, where the baseline is an exponential moving average of
+  // prior (untripped) step costs. Steady-state PIC steps vary by a few
+  // percent, so 3x is far outside normal jitter yet catches an
+  // order-of-magnitude fault immediately.
+  double max_cycle_step_factor = 3.0;
+  // Steps whose cycle deltas feed the baseline before the trip arms. The
+  // first steps of a run legitimately cost more (cold modeled caches, the
+  // initial global sort), and at least one full delta is needed before a
+  // ratio means anything.
+  int cycle_warmup_steps = 3;
 };
 
 enum class SentinelStatus : int8_t { kDisabled = 0, kOk, kTripped };
@@ -100,11 +120,13 @@ struct HealthStepReport {
   SentinelReport census;
   SentinelReport energy;
   SentinelReport gauss;
+  // value = step cycles / baseline once armed; count carries the baseline.
+  SentinelReport cycles;
   int64_t quarantined_tiles = 0;
 
   bool tripped() const {
     return particles.tripped() || fields.tripped() || census.tripped() ||
-           energy.tripped() || gauss.tripped();
+           energy.tripped() || gauss.tripped() || cycles.tripped();
   }
   // One-line summary for per-step example prints.
   std::string Summary() const;
@@ -190,6 +212,13 @@ class HealthMonitor {
   std::optional<FieldArray> prev_gauss_residual_;
   double gauss_scale_ = 0.0;
   int64_t steps_checked_ = 0;
+
+  // Cycle sentinel state: ledger total at the previous step's epilogue, the
+  // EMA baseline of per-step cycles, and how many deltas have fed it.
+  bool have_cycle_mark_ = false;
+  double prev_total_cycles_ = 0.0;
+  double cycle_baseline_ = 0.0;
+  int cycle_samples_ = 0;
 };
 
 }  // namespace mpic

@@ -180,6 +180,74 @@ TEST(HealthSentinels, DroppedMoversTripCensusSentinel) {
   EXPECT_TRUE(tripped) << "mover-drop fault never found staged movers";
 }
 
+// ---- Cycle-ledger regression sentinel ----------------------------------------
+
+TEST(HealthSentinels, CycleSentinelOffByDefaultAndQuietWhenOn) {
+  HwContext hw(MachineConfig::Lx2MultiCore(2));
+  auto sim = MakeUniformSimulation(hw, SmallUniform());
+  sim->EnableHealth(HealthConfig{});
+  sim->Run(3);
+  EXPECT_EQ(sim->last_sim_stats().health.cycles.status,
+            SentinelStatus::kDisabled);
+
+  HwContext hw2(MachineConfig::Lx2MultiCore(2));
+  auto sim2 = MakeUniformSimulation(hw2, SmallUniform());
+  HealthConfig hc;
+  hc.check_cycles = true;
+  sim2->EnableHealth(hc);
+  sim2->Run(8);
+  const HealthStepReport& rep = sim2->last_sim_stats().health;
+  EXPECT_EQ(rep.cycles.status, SentinelStatus::kOk) << rep.Summary();
+  EXPECT_FALSE(rep.tripped());
+  // Armed: the report carries the rolling baseline and a near-1 ratio.
+  EXPECT_GT(rep.cycles.count, 0);
+  EXPECT_GT(rep.cycles.value, 0.5);
+  EXPECT_LT(rep.cycles.value, 2.0);
+}
+
+TEST(HealthSentinels, InjectedCycleSpikeTripsCycleSentinel) {
+  HwContext hw(MachineConfig::Lx2MultiCore(2));
+  auto sim = MakeUniformSimulation(hw, SmallUniform());
+  HealthConfig hc;
+  hc.check_cycles = true;
+  hc.cycle_warmup_steps = 2;
+  sim->EnableHealth(hc);
+  sim->Run(5);  // warm the baseline
+  const int64_t baseline = sim->last_sim_stats().health.cycles.count;
+  ASSERT_GT(baseline, 0);
+  EXPECT_FALSE(sim->last_sim_stats().health.tripped());
+
+  // A performance fault: this step costs 10x the baseline in modeled cycles
+  // (physics untouched — only the ledger sees it, which is exactly the fault
+  // class the physics sentinels cannot catch).
+  sim->hw().ChargeCycles(10.0 * static_cast<double>(baseline));
+  sim->Step();
+  const HealthStepReport& spiked = sim->last_sim_stats().health;
+  EXPECT_TRUE(spiked.cycles.tripped()) << spiked.Summary();
+  EXPECT_GT(spiked.cycles.value, HealthConfig{}.max_cycle_step_factor);
+
+  // The tripped step must not feed the baseline: a normal step right after
+  // reads clean again against the unpoisoned baseline.
+  sim->Step();
+  const HealthStepReport& after = sim->last_sim_stats().health;
+  EXPECT_FALSE(after.cycles.tripped()) << after.Summary();
+
+  // A sustained fault keeps tripping instead of ratcheting the baseline up.
+  for (int s = 0; s < 3; ++s) {
+    sim->hw().ChargeCycles(10.0 * static_cast<double>(baseline));
+    sim->Step();
+    EXPECT_TRUE(sim->last_sim_stats().health.cycles.tripped())
+        << sim->last_sim_stats().health.Summary();
+  }
+
+  // Rebaseline discards the cycle history and re-warms: the next steps run
+  // unarmed (no trip) while a fresh baseline accumulates.
+  sim->health_monitor()->Rebaseline(*sim);
+  sim->Run(4);
+  EXPECT_FALSE(sim->last_sim_stats().health.cycles.tripped())
+      << sim->last_sim_stats().health.Summary();
+}
+
 // ---- Recovery ----------------------------------------------------------------
 
 TEST(Recovery, RollbackCompletesBitIdenticalToCleanRun) {

@@ -1,0 +1,307 @@
+// Cost-guided work-stealing scheduler tests: the modeled schedule must be a
+// pure deterministic function of the cost estimates (LPT over bucketed costs,
+// steal simulation over raw costs), every position must execute exactly once,
+// and — the load-bearing invariant — physics must stay bit-identical between
+// the static partition and the stealing schedule for every workload, modeled
+// core count, and pipeline flavor. The OpenMP-thread dimension is covered by
+// CI running this binary at OMP_NUM_THREADS=1 and 4.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "src/core/simulation.h"
+#include "src/core/workloads.h"
+#include "src/hw/tile_scheduler.h"
+#include "src/runtime/digest.h"
+
+namespace mpic {
+namespace {
+
+void UseManyThreads() {
+#ifdef _OPENMP
+  omp_set_num_threads(4);
+#endif
+}
+
+// Flattens a schedule into per-position execution counts; fails the test if
+// any position is missing, duplicated, or out of range.
+std::vector<int> ExecutionCounts(const TileScheduleResult& r, int n) {
+  std::vector<int> counts(static_cast<size_t>(n), 0);
+  for (const auto& tasks : r.worker_tasks) {
+    for (const TileTask& task : tasks) {
+      EXPECT_GE(task.pos, 0);
+      EXPECT_LT(task.pos, n);
+      ++counts[static_cast<size_t>(task.pos)];
+    }
+  }
+  return counts;
+}
+
+void ExpectCoversEveryPositionOnce(const TileScheduleResult& r, int n) {
+  for (int c : ExecutionCounts(r, n)) {
+    EXPECT_EQ(c, 1);
+  }
+}
+
+int64_t CountStolenFlags(const TileScheduleResult& r) {
+  int64_t stolen = 0;
+  for (const auto& tasks : r.worker_tasks) {
+    for (const TileTask& task : tasks) {
+      if (task.stolen) {
+        ++stolen;
+      }
+    }
+  }
+  return stolen;
+}
+
+// Makespan of the plain contiguous block split on the same raw costs.
+double StaticMakespan(const std::vector<double>& cost, int workers) {
+  const int n = static_cast<int>(cost.size());
+  double makespan = 0.0;
+  for (int w = 0; w < workers; ++w) {
+    const int base = n / workers;
+    const int extra = n % workers;
+    const int begin = w * base + (w < extra ? w : extra);
+    const int end = begin + base + (w < extra ? 1 : 0);
+    double sum = 0.0;
+    for (int i = begin; i < end; ++i) {
+      sum += std::max(cost[static_cast<size_t>(i)], 1.0);
+    }
+    makespan = std::max(makespan, sum);
+  }
+  return makespan;
+}
+
+// ---- BuildTileSchedule unit tests -------------------------------------------
+
+TEST(TileScheduler, NearUniformCostsFallBackToContiguousSplit) {
+  // Spread 1.4 < kNearUniformCostRatio: the schedule must be the exact
+  // contiguous block split (cache-affine, zero steals).
+  std::vector<double> cost(10);
+  for (int i = 0; i < 10; ++i) {
+    cost[static_cast<size_t>(i)] = 100.0 + 4.0 * i;  // 100..136
+  }
+  const TileScheduleResult r = BuildTileSchedule(10, 3, cost.data(), 120.0);
+  EXPECT_EQ(r.total_steals, 0);
+  ExpectCoversEveryPositionOnce(r, 10);
+  // 10 over 3 workers: 4 + 3 + 3, contiguous ascending.
+  ASSERT_EQ(r.worker_tasks.size(), 3u);
+  ASSERT_EQ(r.worker_tasks[0].size(), 4u);
+  ASSERT_EQ(r.worker_tasks[1].size(), 3u);
+  ASSERT_EQ(r.worker_tasks[2].size(), 3u);
+  int expect = 0;
+  for (const auto& tasks : r.worker_tasks) {
+    for (const TileTask& task : tasks) {
+      EXPECT_EQ(task.pos, expect++);
+      EXPECT_FALSE(task.stolen);
+    }
+  }
+}
+
+TEST(TileScheduler, NullEstimatesFallBackToContiguousSplit) {
+  const TileScheduleResult r = BuildTileSchedule(7, 2, nullptr, 120.0);
+  EXPECT_EQ(r.total_steals, 0);
+  ASSERT_EQ(r.worker_tasks.size(), 2u);
+  EXPECT_EQ(r.worker_tasks[0].size(), 4u);
+  EXPECT_EQ(r.worker_tasks[1].size(), 3u);
+  ExpectCoversEveryPositionOnce(r, 7);
+}
+
+TEST(TileScheduler, EmptyAndSingleWorkerEdgeCases) {
+  const TileScheduleResult empty = BuildTileSchedule(0, 4, nullptr, 120.0);
+  EXPECT_EQ(empty.total_steals, 0);
+  EXPECT_EQ(empty.makespan, 0.0);
+
+  // Skewed costs on one worker: everything lands there, nothing to steal.
+  std::vector<double> cost = {900.0, 10.0, 10.0, 10.0, 400.0};
+  const TileScheduleResult solo = BuildTileSchedule(5, 1, cost.data(), 120.0);
+  EXPECT_EQ(solo.total_steals, 0);
+  ASSERT_EQ(solo.worker_tasks.size(), 1u);
+  EXPECT_EQ(solo.worker_tasks[0].size(), 5u);
+  ExpectCoversEveryPositionOnce(solo, 5);
+}
+
+TEST(TileScheduler, LptBalancesSkewedCostsBelowStaticMakespan) {
+  // A contiguous run of heavy positions — the static partition's worst case
+  // (one worker owns the whole clump).
+  std::vector<double> cost(32, 50.0);
+  for (int i = 4; i < 10; ++i) {
+    cost[static_cast<size_t>(i)] = 2000.0;
+  }
+  const TileScheduleResult r = BuildTileSchedule(32, 4, cost.data(), 120.0);
+  ExpectCoversEveryPositionOnce(r, 32);
+  double total = 0.0;
+  for (double c : cost) {
+    total += c;
+  }
+  EXPECT_GE(r.makespan, total / 4.0);  // cannot beat the perfect split
+  EXPECT_LT(r.makespan, 0.6 * StaticMakespan(cost, 4));
+}
+
+TEST(TileScheduler, ScheduleIsDeterministic) {
+  std::vector<double> cost(48);
+  for (int i = 0; i < 48; ++i) {
+    // Deterministic pseudo-jitter with spread well over the fallback ratio.
+    cost[static_cast<size_t>(i)] = 100.0 + 37.0 * ((i * 13) % 29);
+  }
+  const TileScheduleResult a = BuildTileSchedule(48, 4, cost.data(), 120.0);
+  const TileScheduleResult b = BuildTileSchedule(48, 4, cost.data(), 120.0);
+  ASSERT_EQ(a.worker_tasks.size(), b.worker_tasks.size());
+  for (size_t w = 0; w < a.worker_tasks.size(); ++w) {
+    ASSERT_EQ(a.worker_tasks[w].size(), b.worker_tasks[w].size());
+    for (size_t k = 0; k < a.worker_tasks[w].size(); ++k) {
+      EXPECT_EQ(a.worker_tasks[w][k].pos, b.worker_tasks[w][k].pos);
+      EXPECT_EQ(a.worker_tasks[w][k].stolen, b.worker_tasks[w][k].stolen);
+    }
+  }
+  EXPECT_EQ(a.total_steals, b.total_steals);
+  EXPECT_EQ(a.makespan, b.makespan);
+  ExpectCoversEveryPositionOnce(a, 48);
+}
+
+TEST(TileScheduler, StealsFireOnWithinBucketSpread) {
+  // Two heavy anchors pin one per worker; the 60 light tasks all quantize to
+  // the same planner bucket (1000 and 1115 both round to bucket 31 of ratio
+  // 1.25) but alternate in raw cost, so the LPT assignment splits them evenly
+  // in *planned* load while the raw loads diverge by 30 * 115 cycles — the
+  // within-bucket remainder the steal phase exists to polish.
+  std::vector<double> cost;
+  cost.push_back(5000.0);
+  cost.push_back(5000.0);
+  for (int i = 0; i < 30; ++i) {
+    cost.push_back(1115.0);
+    cost.push_back(1000.0);
+  }
+  const int n = static_cast<int>(cost.size());
+  const TileScheduleResult r = BuildTileSchedule(n, 2, cost.data(), 120.0);
+  ExpectCoversEveryPositionOnce(r, n);
+  EXPECT_GT(r.total_steals, 0);
+  EXPECT_EQ(CountStolenFlags(r), r.total_steals);
+  // Stealing must not cost more than it saves: the modeled makespan stays
+  // below the static contiguous split's.
+  EXPECT_LT(r.makespan, StaticMakespan(cost, 2));
+}
+
+// ---- Physics bit-identity: static vs stealing -------------------------------
+
+uint64_t DigestAfterRun(std::unique_ptr<Simulation> sim, int steps) {
+  sim->Run(steps);
+  return SimulationDigest(*sim);
+}
+
+// Builds (workload x pipeline) under one (policy, cores) machine and returns
+// the digests after a few steps.
+struct MatrixDigests {
+  uint64_t uniform_fused = 0;
+  uint64_t uniform_legacy = 0;
+  uint64_t bunched_fused = 0;
+  uint64_t bunched_legacy = 0;
+  uint64_t lwfa_fused = 0;
+};
+
+MatrixDigests RunMatrix(TileSchedulePolicy policy, int cores) {
+  UseManyThreads();
+  const auto mk_hw = [&] {
+    return policy == TileSchedulePolicy::kCostSteal
+               ? MachineConfig::Lx2MultiCoreStealing(cores)
+               : MachineConfig::Lx2MultiCore(cores);
+  };
+  MatrixDigests d;
+
+  UniformWorkloadParams up;
+  up.nx = up.ny = up.nz = 8;
+  up.ppc_x = up.ppc_y = up.ppc_z = 2;
+  up.tile = 4;
+  for (const bool fused : {true, false}) {
+    up.fuse_stages = fused;
+    HwContext hw(mk_hw());
+    const uint64_t digest = DigestAfterRun(MakeUniformSimulation(hw, up), 4);
+    (fused ? d.uniform_fused : d.uniform_legacy) = digest;
+  }
+
+  BunchedBeamParams bp;
+  bp.ppc_x = bp.ppc_y = bp.ppc_z = 4;  // lighter than the bench, same shape
+  for (const bool fused : {true, false}) {
+    bp.fuse_stages = fused;
+    HwContext hw(mk_hw());
+    const uint64_t digest = DigestAfterRun(MakeBunchedBeamSimulation(hw, bp), 3);
+    (fused ? d.bunched_fused : d.bunched_legacy) = digest;
+  }
+
+  LwfaWorkloadParams lp;
+  lp.nx = lp.ny = 8;
+  lp.nz = 32;
+  lp.tile = 4;
+  lp.tile_z = 8;
+  {
+    HwContext hw(mk_hw());
+    d.lwfa_fused = DigestAfterRun(MakeLwfaSimulation(hw, lp), 6);
+  }
+  return d;
+}
+
+class SchedulerBitIdentity : public ::testing::TestWithParam<int> {};
+
+TEST_P(SchedulerBitIdentity, DigestsMatchStaticAcrossPolicies) {
+  const int cores = GetParam();
+  const MatrixDigests st = RunMatrix(TileSchedulePolicy::kStatic, cores);
+  const MatrixDigests sl = RunMatrix(TileSchedulePolicy::kCostSteal, cores);
+  EXPECT_EQ(st.uniform_fused, sl.uniform_fused);
+  EXPECT_EQ(st.uniform_legacy, sl.uniform_legacy);
+  EXPECT_EQ(st.bunched_fused, sl.bunched_fused);
+  EXPECT_EQ(st.bunched_legacy, sl.bunched_legacy);
+  EXPECT_EQ(st.lwfa_fused, sl.lwfa_fused);
+  // Fused vs legacy is also bit-identical, under either policy.
+  EXPECT_EQ(st.uniform_fused, st.uniform_legacy);
+  EXPECT_EQ(sl.bunched_fused, sl.bunched_legacy);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cores, SchedulerBitIdentity, ::testing::Values(1, 2, 4));
+
+// ---- Steal accounting -------------------------------------------------------
+
+TEST(SchedulerLedger, BunchedRunStealsAndChargesDeterministically) {
+  UseManyThreads();
+  BunchedBeamParams p;
+  p.ppc_x = p.ppc_y = p.ppc_z = 4;
+
+  const auto run = [&](TileSchedulePolicy policy) {
+    HwContext hw(policy == TileSchedulePolicy::kCostSteal
+                     ? MachineConfig::Lx2MultiCoreStealing(4)
+                     : MachineConfig::Lx2MultiCore(4));
+    auto sim = MakeBunchedBeamSimulation(hw, p);
+    sim->Run(4);
+    struct {
+      uint64_t stolen;
+      double steal_cycles;
+      double total;
+    } out{hw.ledger().counters().tasks_stolen,
+          hw.ledger().counters().steal_cycles, hw.ledger().TotalCycles()};
+    return out;
+  };
+
+  const auto static_run = run(TileSchedulePolicy::kStatic);
+  EXPECT_EQ(static_run.stolen, 0u);
+  EXPECT_EQ(static_run.steal_cycles, 0.0);
+
+  const auto steal_a = run(TileSchedulePolicy::kCostSteal);
+  const auto steal_b = run(TileSchedulePolicy::kCostSteal);
+  EXPECT_GT(steal_a.stolen, 0u) << "clumped 4-core run should steal";
+  EXPECT_GT(steal_a.steal_cycles, 0.0);
+  // The schedule — and with it every modeled charge — is a pure function of
+  // the cost estimates, so two identical runs agree to the last cycle.
+  EXPECT_EQ(steal_a.stolen, steal_b.stolen);
+  EXPECT_EQ(steal_a.steal_cycles, steal_b.steal_cycles);
+  EXPECT_EQ(steal_a.total, steal_b.total);
+}
+
+}  // namespace
+}  // namespace mpic
