@@ -37,9 +37,11 @@ int main(int argc, char** argv) {
   params.tile = 4;
   params.tile_z = 8;
   params.with_ions = true;
-  // Strict restart bit-identity holds under physics-driven re-sort triggers;
-  // the throughput trigger reads modeled cache history a checkpoint does not
-  // carry (see src/runtime/checkpoint.h).
+  // This demo compares a rolled-back run against a clean run that never
+  // checkpoints, so the adaptive throughput trigger — whose modeled-history
+  // input differs between those two runs by construction — stays off. A
+  // same-machine restart with the trigger ON is bit-exact since checkpoint
+  // v2 (see src/runtime/checkpoint.h).
   mpic::ResortPolicyConfig policy;
   policy.trigger_perf_enable = false;
   params.policy = policy;

@@ -10,6 +10,7 @@
 #include "src/deposit/deposit_scalar.h"
 #include "src/deposit/deposit_staging.h"
 #include "src/hw/parallel_for.h"
+#include "src/hw/rank_topology.h"
 
 namespace mpic {
 
@@ -92,6 +93,9 @@ void DepositionEngine::Initialize(TileSet& tiles, FieldSet& fields) {
 }
 
 void DepositionEngine::GlobalSort(TileSet& tiles) {
+  // Per-tile counting sorts are rank-local work: ranks sort their own
+  // domains concurrently, so the serial charge scales down by the rank count.
+  ScopedRankScale rank_scale(hw_.ledger(), hw_.num_ranks());
   PhaseScope phase(hw_.ledger(), Phase::kSort);
   int64_t moved = 0;
   for (int t = 0; t < tiles.num_tiles(); ++t) {
@@ -166,6 +170,17 @@ void DepositionEngine::RemoveParticle(HwContext& hw, TileSet& tiles, int tile_in
 void DepositionEngine::BeginStep(TileSet& tiles, double dt) {
   tile_movers_.resize(static_cast<size_t>(tiles.num_tiles()));
   step_dt_ = dt;
+  if (rank_set_ != nullptr) {
+    cross_rank_movers_.assign(static_cast<size_t>(rank_set_->num_ranks()), 0);
+  }
+}
+
+void DepositionEngine::AttachRankSet(const RankSet* ranks) {
+  rank_set_ = ranks;
+  cross_rank_movers_.clear();
+  if (rank_set_ != nullptr) {
+    cross_rank_movers_.assign(static_cast<size_t>(rank_set_->num_ranks()), 0);
+  }
 }
 
 void DepositionEngine::ScanTile(HwContext& hw, TileSet& tiles, int t,
@@ -287,14 +302,23 @@ void DepositionEngine::AccumulateScan(const TileScanPartial& partial,
 
 void DepositionEngine::DeliverMovers(TileSet& tiles, EngineStepStats* stats) {
   const GridGeometry& geom = tiles.geom();
+  // With a rank decomposition attached, delivery work splits over the ranks
+  // (each rank inserts its own arrivals concurrently), so the serial charge
+  // scales down by the rank count; the link cost of the cross-rank movers is
+  // charged separately by RankComm::ChargeMigration from the counts taken
+  // here. The *execution* stays serial in source-tile order either way, so
+  // destination slot assignment is identical for any rank count.
+  ScopedRankScale rank_scale(hw_.ledger(), hw_.num_ranks());
   if (traits_.sort_mode == SortMode::kIncremental) {
     // Deliver cross-tile movers serially, in source-tile order: destination
     // slot assignment (AddParticle recycles free slots in stack order) must
     // not depend on the parallel schedule for results to stay bit-identical
     // to serial.
     PhaseScope phase(hw_.ledger(), Phase::kSort);
-    for (std::vector<Mover>& movers : tile_movers_) {
+    for (size_t src = 0; src < tile_movers_.size(); ++src) {
+      std::vector<Mover>& movers = tile_movers_[src];
       for (const Mover& m : movers) {
+        CountCrossRankMover(static_cast<int>(src), m.dest_tile);
         ParticleTile& dest = tiles.tile(m.dest_tile);
         const int32_t pid = dest.AddParticle(m.p);
         const int cell = dest.CellOfParticle(geom, pid);
@@ -317,12 +341,24 @@ void DepositionEngine::DeliverMovers(TileSet& tiles, EngineStepStats* stats) {
   }
   // Unsorted delivery: plain slot insertion, same ordering contract.
   PhaseScope phase(hw_.ledger(), Phase::kOther);
-  for (std::vector<Mover>& movers : tile_movers_) {
+  for (size_t src = 0; src < tile_movers_.size(); ++src) {
+    std::vector<Mover>& movers = tile_movers_[src];
     for (const Mover& m : movers) {
+      CountCrossRankMover(static_cast<int>(src), m.dest_tile);
       tiles.tile(m.dest_tile).AddParticle(m.p);
       hw_.ChargeCycles(8.0);
     }
     movers.clear();
+  }
+}
+
+void DepositionEngine::CountCrossRankMover(int src_tile, int dest_tile) {
+  if (rank_set_ == nullptr) {
+    return;
+  }
+  const int src_rank = rank_set_->RankOfTile(src_tile);
+  if (src_rank != rank_set_->RankOfTile(dest_tile)) {
+    ++cross_rank_movers_[static_cast<size_t>(src_rank)];
   }
 }
 
@@ -331,6 +367,8 @@ void DepositionEngine::PostScanGlobalSort(TileSet& tiles, FieldSet& fields,
   if (traits_.sort_mode != SortMode::kGlobalEachStep) {
     return;
   }
+  // Tiles sort independently; ranks run their domains concurrently.
+  ScopedRankScale rank_scale(hw_.ledger(), hw_.num_ranks());
   PhaseScope phase(hw_.ledger(), Phase::kSort);
   int64_t moved = 0;
   for (int t = 0; t < tiles.num_tiles(); ++t) {
@@ -559,6 +597,19 @@ void DepositionEngine::RegisterRegions(TileSet& tiles, FieldSet& fields) {
   }
 }
 
+void DepositionEngine::ReregisterModelRegions(TileSet& tiles, FieldSet& fields) {
+  for (int t = 0; t < tiles.num_tiles(); ++t) {
+    ParticleTile& tile = tiles.tile(t);
+    const size_t n = tile.soa().size();
+    if (esirkepov()) {
+      esirk_scratch_[static_cast<size_t>(t)].Resize(n, config_.order);
+    } else if (traits_.staging != StagingKind::kNone) {
+      scratch_[static_cast<size_t>(t)].Resize(n, config_.order);
+    }
+  }
+  RegisterRegions(tiles, fields);
+}
+
 void DepositionEngine::UpdateRankStats(TileSet& tiles, const EngineStepStats& stats,
                                        double step_cycles, int64_t live) {
   (void)stats;
@@ -593,12 +644,9 @@ void DepositionEngine::FinishStep(TileSet& tiles, FieldSet& fields,
   }
 }
 
-void DepositionEngine::RestoreSortState(int steps_since_sort,
-                                        int64_t local_rebuilds,
+void DepositionEngine::RestoreSortState(const RankSortStats& stats,
                                         int64_t total_global_sorts) {
-  rank_stats_ = RankSortStats{};
-  rank_stats_.steps_since_sort = steps_since_sort;
-  rank_stats_.local_rebuilds = local_rebuilds;
+  rank_stats_ = stats;
   total_global_sorts_ = total_global_sorts;
 }
 
@@ -613,6 +661,9 @@ int64_t DepositionEngine::ClearStagedMovers(int t) {
 }
 
 void DepositionEngine::FoldCurrentGuards(HwContext& hw, FieldSet& fields) {
+  // Each rank folds the guards of its own slab; the cross-rank z-boundary
+  // contributions ride the modeled J halo exchange (RankComm).
+  ScopedRankScale rank_scale(hw.ledger(), hw.num_ranks());
   PhaseScope phase(hw.ledger(), Phase::kReduce);
   fields.jx.FoldGuardsPeriodic();
   fields.jy.FoldGuardsPeriodic();
@@ -639,7 +690,7 @@ EngineStepStats DepositionEngine::DepositStep(
   // separate modeled cores), then the serial ordered delivery barrier.
   BeginStep(tiles, dt);
   std::vector<PaddedSlot<TileScanPartial>> partials(
-      static_cast<size_t>(hw_.num_cores()));
+      static_cast<size_t>(WorkerSlotCount(hw_)));
   ParallelForTiles(hw_, tiles.num_tiles(), [&](HwContext& hw, int worker, int t) {
     if (skip_tile && skip_tile(t)) {
       return;  // quarantined: poisoned positions must not reach the cell math
@@ -665,6 +716,9 @@ EngineStepStats DepositionEngine::DepositStep(
       StageAndDepositTile(hw, tiles, fields, charge, t);
     });
   } else {
+    // Serial deposit: on a multi-rank machine each rank sweeps its own
+    // domain's tiles concurrently, so the charge scales by the rank count.
+    ScopedRankScale rank_scale(hw_.ledger(), hw_.num_ranks());
     for (int t = 0; t < tiles.num_tiles(); ++t) {
       if (skip_tile && skip_tile(t)) {
         continue;
@@ -675,13 +729,17 @@ EngineStepStats DepositionEngine::DepositStep(
 
   // Sweep 3: rhocell -> J reduction, serial here but in the same color-major
   // tile order as the parallel colored schedule, so legacy and fused paths
-  // accumulate shared halo nodes identically.
-  for (const std::vector<int>& color_class : reduce_coloring_) {
-    for (int t : color_class) {
-      if (skip_tile && skip_tile(t)) {
-        continue;  // its scratch was not staged this step
+  // accumulate shared halo nodes identically. Reduction is rank-local (each
+  // rank reduces onto its own slab of J), so it too scales by the rank count.
+  {
+    ScopedRankScale rank_scale(hw_.ledger(), hw_.num_ranks());
+    for (const std::vector<int>& color_class : reduce_coloring_) {
+      for (int t : color_class) {
+        if (skip_tile && skip_tile(t)) {
+          continue;  // its scratch was not staged this step
+        }
+        ReduceTile(hw_, tiles, fields, t);
       }
-      ReduceTile(hw_, tiles, fields, t);
     }
   }
 

@@ -46,6 +46,8 @@
 
 namespace mpic {
 
+class RankSet;  // src/hw/rank_topology.h
+
 struct EngineConfig {
   DepositVariant variant = DepositVariant::kFullOpt;
   int order = 1;  // 1 (CIC), 2 (TSC: scalar/baseline only), 3 (QSP)
@@ -145,6 +147,15 @@ class DepositionEngine {
   // identity mapping.
   void RefreshTileRegistrations(TileSet& tiles);
 
+  // Replays the engine's full region-registration sequence (field arrays,
+  // per-tile staging, rhocell blocks, Esirkepov scratch) against the current
+  // address map — the engine-level slice of Simulation::ModelSyncPoint()'s
+  // deterministic layout rebuild after MemMap::Clear(). Re-sizes every tile's
+  // scratch from the current particle storage first, so the registered byte
+  // counts (and with them the whole logical layout) are a pure function of
+  // simulation state, not of this run's resize history.
+  void ReregisterModelRegions(TileSet& tiles, FieldSet& fields);
+
   // Pass-2 stage of one tile: staging + the configured deposition kernel for
   // a species of the given charge [C]. Rhocell-backed kernels and the
   // Esirkepov scheme write only tile-private staging and scratch blocks and
@@ -231,16 +242,31 @@ class DepositionEngine {
   const RankSortStats& rank_stats() const { return rank_stats_; }
   int64_t total_global_sorts() const { return total_global_sorts_; }
 
+  // ---- Multi-rank hooks (src/hw/rank_topology.h) ---------------------------
+
+  // Attaches the modeled rank decomposition. While attached, DeliverMovers
+  // counts the cross-tile movers whose source and destination tiles live on
+  // different ranks — the particles a real cluster would serialize over the
+  // link — per source rank. StepPipeline feeds the counts to
+  // RankComm::ChargeMigration. Pass nullptr to detach.
+  void AttachRankSet(const RankSet* ranks);
+  // Per-source-rank cross-rank mover counts of the current/last step (reset
+  // by BeginStep; empty when no RankSet is attached).
+  const std::vector<int64_t>& cross_rank_movers_last_step() const {
+    return cross_rank_movers_;
+  }
+
   // ---- Resilience hooks (src/runtime/) -------------------------------------
 
-  // Checkpoint restore: reinstates the physics-driven re-sort policy inputs
-  // (steps since sort, accumulated rebuilds) and the lifetime sort count. The
-  // throughput pair is deliberately zeroed — the modeled caches are cold after
-  // a restore, so the performance trigger re-baselines on the next step,
-  // exactly as it does after a global sort (the same caveat that already
-  // bounds fused-vs-legacy bit identity, see core/step_pipeline.h).
-  void RestoreSortState(int steps_since_sort, int64_t local_rebuilds,
-                        int64_t total_global_sorts);
+  // Checkpoint restore: reinstates the complete re-sort policy state — the
+  // physics-driven inputs (steps since sort, accumulated rebuilds), the
+  // adaptive throughput pair driving the performance trigger, and the
+  // lifetime sort count. Together with the checkpoint model-sync protocol
+  // (runtime/checkpoint.h) this makes restart bit-exact with every trigger
+  // enabled: the saving run and the restored run see identical baselines and
+  // identical post-sync modeled throughput, so the trigger fires on the same
+  // steps.
+  void RestoreSortState(const RankSortStats& stats, int64_t total_global_sorts);
 
   // Fault-injection hook (src/runtime/fault_injection.h): discards tile `t`'s
   // staged cross-tile movers between the scan and DeliverMovers, modeling a
@@ -261,6 +287,8 @@ class DepositionEngine {
   void RegisterRegions(TileSet& tiles, FieldSet& fields);
   void UpdateRankStats(TileSet& tiles, const EngineStepStats& stats,
                        double step_cycles, int64_t live);
+  // Bumps cross_rank_movers_ for a mover whose tiles live on different ranks.
+  void CountCrossRankMover(int src_tile, int dest_tile);
 
   // Key bases for this engine's keyed region registrations: SoA + staging of
   // tile t use MemRegionKey(mem_owner_id_, t, 0..31), the Esirkepov scratch
@@ -279,6 +307,8 @@ class DepositionEngine {
   ResortPolicy policy_;
   RankSortStats rank_stats_;
   int64_t total_global_sorts_ = 0;
+  const RankSet* rank_set_ = nullptr;
+  std::vector<int64_t> cross_rank_movers_;  // per source rank, this step
 
   std::vector<DepositScratch> scratch_;   // per tile
   std::vector<RhocellBuffer> rhocells_;   // per tile

@@ -1,0 +1,91 @@
+// Modeled inter-rank communication: halo exchange and particle migration.
+//
+// The rank decomposition (src/hw/rank_topology.h) is a *model*: all ranks
+// share one address space and one global grid, so the numerics of a halo
+// exchange are a no-op (the neighbor's plane is already there). What is NOT a
+// no-op is the cost: a real cluster pays pack -> link transfer -> unpack for
+// every boundary plane and for every particle that crosses a rank boundary.
+// RankComm performs the real pack/unpack work against scratch message buffers
+// (so byte counts are honest and tests can check round-trip bit-exactness)
+// and charges the modeled cycles under Phase::kComm:
+//
+//  - pack/unpack: streaming roofline on the message bytes (ChargeBulk);
+//  - link: rank_link_latency_cycles per message plus bytes at
+//    rank_link_bytes_per_cycle (LinkTransferCycles), charged as the max over
+//    ranks — ranks communicate concurrently, so the wall clock is the
+//    busiest rank's share, exactly how ParallelForTiles merges core ledgers.
+//
+// Three exchanges per step, mirroring a distributed PIC loop:
+//  - ChargeMigration: particles whose cross-tile movers crossed a rank
+//    boundary this step (counted by DepositionEngine during delivery);
+//  - ExchangeCurrentHalos: guard-plane J contributions folded across the
+//    rank boundary after deposition (3 components);
+//  - ExchangeFieldHalos: E/B boundary planes after the field solve
+//    (6 components).
+//
+// Determinism contract: nothing here touches physics state, so digests are
+// bit-identical across rank counts by construction; the charges themselves
+// are pure functions of the machine config, grid shape, and migration
+// counts, so modeled cycles are bit-deterministic too.
+
+#ifndef MPIC_SRC_CORE_RANK_COMM_H_
+#define MPIC_SRC_CORE_RANK_COMM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/grid/field_set.h"
+#include "src/hw/hw_context.h"
+#include "src/hw/rank_topology.h"
+
+namespace mpic {
+
+// Cumulative per-rank communication totals (serialized into the checkpoint
+// RANKS section so a restored ensemble keeps its communication history).
+struct RankCommStats {
+  uint64_t bytes_sent = 0;
+  uint64_t messages = 0;
+  double comm_cycles = 0.0;  // this rank's share of Phase::kComm charges
+  uint64_t migrated_particles = 0;
+};
+
+class RankComm {
+ public:
+  // `tile_nz` is the tile extent in cells along z, mapping a domain's tile
+  // planes to node planes (rank r owns node planes [tz_begin, tz_end) *
+  // tile_nz).
+  RankComm(HwContext& hw, const RankSet& ranks, int tile_nz);
+
+  int num_ranks() const { return ranks_.num_ranks(); }
+  const RankSet& ranks() const { return ranks_; }
+
+  // Post-deposition J guard-plane fold across rank boundaries (jx, jy, jz).
+  void ExchangeCurrentHalos(FieldSet& fields);
+  // Post-solve E/B boundary-plane refresh (ex..ez, bx..bz).
+  void ExchangeFieldHalos(FieldSet& fields);
+  // Charges the link cost of `per_rank_movers[r]` particles leaving rank r
+  // this step (one message per sending rank; kParticleWireBytes each).
+  void ChargeMigration(const std::vector<int64_t>& per_rank_movers);
+
+  const std::vector<RankCommStats>& stats() const { return stats_; }
+  std::vector<RankCommStats>& mutable_stats() { return stats_; }
+
+  // Serialized bytes of one migrated particle: the ten SoA lanes plus a
+  // destination-cell tag.
+  static constexpr double kParticleWireBytes = 10.0 * 8.0 + 8.0;
+
+ private:
+  // Packs both boundary halos (ng planes each) of every listed component for
+  // every rank and charges one exchange round. `comps` die after the charge.
+  void Exchange(std::vector<const FieldArray*> comps);
+
+  HwContext& hw_;
+  RankSet ranks_;
+  int tile_nz_;
+  std::vector<RankCommStats> stats_;
+  std::vector<double> buffer_;  // reusable pack scratch
+};
+
+}  // namespace mpic
+
+#endif  // MPIC_SRC_CORE_RANK_COMM_H_

@@ -81,9 +81,21 @@ void Simulation::Initialize() {
                  "CurrentScheme must match across species: the shared J is "
                  "either node-centered (direct) or Yee-staggered (Esirkepov)");
   staggered_j_ = n_esirkepov > 0;
+
+  // Modeled multi-rank decomposition: slab-partition the tile grid along z
+  // and engage the communication model. Every species shares the tile grid
+  // (one global tile_x/y/z in the config), so one RankSet serves them all.
+  if (hw_.num_ranks() > 1) {
+    const TileSet& t0 = blocks_.front()->tiles;
+    rank_set_.emplace(hw_.cfg(), t0.ntx(), t0.nty(), t0.ntz());
+    rank_comm_.emplace(hw_, *rank_set_, t0.tile_z());
+  }
   for (auto& b : blocks_) {
     b->gather_scratch.assign(static_cast<size_t>(b->tiles.num_tiles()),
                              GatherScratch{});
+    if (rank_set_.has_value()) {
+      b->engine.AttachRankSet(&*rank_set_);
+    }
     b->engine.Initialize(b->tiles, fields_);
     // Pre-size and register the gather staging so the very first step's
     // fan-out already runs against a fully mapped address space.
@@ -131,6 +143,31 @@ void Simulation::Initialize() {
   initialized_ = true;
 }
 
+void Simulation::RegisterModelRegions() {
+  for (auto& b : blocks_) {
+    b->engine.ReregisterModelRegions(b->tiles, fields_);
+    for (int t = 0; t < b->tiles.num_tiles(); ++t) {
+      ParticleTile& tile = b->tiles.tile(t);
+      if (tile.num_live() == 0) {
+        continue;
+      }
+      GatherScratch& gs = b->gather_scratch[static_cast<size_t>(t)];
+      gs.Resize(tile.soa().size());
+      RegisterGatherRegions(hw_, MemRegionKey(b->mem_owner_id, t, 0), gs);
+    }
+  }
+  // Collision scratch and the per-step gather/staging refreshes re-register
+  // keyed at the top of every step, so they rebuild deterministically on the
+  // first step after a sync point without help from here.
+}
+
+void Simulation::ModelSyncPoint() {
+  MPIC_CHECK_MSG(initialized_, "ModelSyncPoint requires Initialize()");
+  hw_.FlushModelCaches();
+  hw_.mem().Clear();
+  RegisterModelRegions();
+}
+
 int64_t Simulation::particles_pushed() const {
   int64_t sum = 0;
   for (const auto& b : blocks_) {
@@ -145,7 +182,12 @@ void Simulation::AdvanceWindow() {
   }
   const int shifts = window_->StepsToShift(dt_);
   for (int s = 0; s < shifts; ++s) {
-    ShiftWindowZ(hw_, fields_);
+    {
+      // Each rank shifts its own slab of the field arrays concurrently (the
+      // slab handoff planes ride the regular halo exchange).
+      ScopedRankScale rank_scale(hw_.ledger(), hw_.num_ranks());
+      ShiftWindowZ(hw_, fields_);
+    }
     GridGeometry g = config_.geom;
     g.z0 = fields_.geom.z0;
     config_.geom = g;
@@ -160,7 +202,7 @@ void Simulation::AdvanceWindow() {
       // ledger through the RemoveParticle(HwContext&, ...) overload. Drops
       // count into the census the health monitor balances at step end.
       std::vector<PaddedSlot<int64_t>> tail_drops(
-          static_cast<size_t>(hw_.num_cores()));
+          static_cast<size_t>(WorkerSlotCount(hw_)));
       ParallelForTiles(hw_, b->tiles.num_tiles(),
                        [&](HwContext& hw, int worker, int t) {
         PhaseScope phase(hw.ledger(), Phase::kOther);
@@ -204,7 +246,7 @@ void Simulation::AdvanceWindow() {
           win_injected += static_cast<int64_t>(list.size());
         }
         std::vector<PaddedSlot<int64_t>> rebuilds(
-            static_cast<size_t>(hw_.num_cores()));
+            static_cast<size_t>(WorkerSlotCount(hw_)));
         ParallelForTiles(
             hw_, b->tiles.num_tiles(), [&](HwContext& hw, int worker, int t) {
               ParticleTile& tile = b->tiles.tile(t);
@@ -237,6 +279,7 @@ void Simulation::Step() {
   in.collisions = collide_.has_value() ? &*collide_ : nullptr;
   in.health = health_.has_value() ? &*health_ : nullptr;
   in.injector = injector_;
+  in.rank_comm = rank_comm_.has_value() ? &*rank_comm_ : nullptr;
   pipeline_.RunParticleStages(in, blocks_, fields_, &last_sim_stats_);
   last_step_stats_ = last_sim_stats_.Aggregate();
 
@@ -251,9 +294,19 @@ void Simulation::Step() {
     last_sim_stats_.species[i].live = blocks_[i]->tiles.TotalLive();
   }
 
-  solver_.UpdateB(hw_, fields_, 0.5 * dt_);
-  solver_.UpdateE(hw_, fields_, dt_, staggered_j_);
-  solver_.UpdateB(hw_, fields_, 0.5 * dt_);
+  {
+    // The field solve is a serial sweep on one rank; on a multi-rank machine
+    // each rank sweeps its own z-slab concurrently, so the modeled charge
+    // scales by the rank count. The boundary planes each slab needs from its
+    // neighbors are settled by the halo exchange below.
+    ScopedRankScale rank_scale(hw_.ledger(), hw_.num_ranks());
+    solver_.UpdateB(hw_, fields_, 0.5 * dt_);
+    solver_.UpdateE(hw_, fields_, dt_, staggered_j_);
+    solver_.UpdateB(hw_, fields_, 0.5 * dt_);
+  }
+  if (rank_comm_.has_value()) {
+    rank_comm_->ExchangeFieldHalos(fields_);
+  }
 
   // Step epilogue: the field/census/energy sentinels inspect the post-solve
   // state the next step will consume.

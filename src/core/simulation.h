@@ -31,6 +31,7 @@
 
 #include "src/collide/collision.h"
 #include "src/core/deposition_engine.h"
+#include "src/core/rank_comm.h"
 #include "src/core/species_block.h"
 #include "src/core/step_pipeline.h"
 #include "src/grid/field_set.h"
@@ -130,6 +131,17 @@ class Simulation {
   const CollisionModule* collisions() const {
     return collide_.has_value() ? &*collide_ : nullptr;
   }
+  // Modeled multi-rank decomposition (src/hw/rank_topology.h). Both are
+  // engaged at Initialize() when MachineConfig::num_ranks > 1 and null
+  // otherwise. The RankSet is the z-slab tile partition; RankComm charges the
+  // per-step halo exchanges and particle migration under Phase::kComm.
+  const RankSet* rank_set() const {
+    return rank_set_.has_value() ? &*rank_set_ : nullptr;
+  }
+  RankComm* rank_comm() { return rank_comm_.has_value() ? &*rank_comm_ : nullptr; }
+  const RankComm* rank_comm() const {
+    return rank_comm_.has_value() ? &*rank_comm_ : nullptr;
+  }
   // Aggregate engine stats of the last step (sums across species).
   const EngineStepStats& last_step_stats() const { return last_step_stats_; }
   // Per-species breakdown of the last step.
@@ -170,12 +182,26 @@ class Simulation {
     step_count_ = step;
     time_ = time;
   }
+  // Model-state synchronization point for cycle-exact restore: flushes every
+  // modeled cache (main, workers, ranks), clears the logical address map, and
+  // replays the full region-registration sequence. Because the logical layout
+  // of a MemMap is a pure function of its registration order, a saving run
+  // and its restored twin that both sync at the same execution point continue
+  // with bit-identical cache/address model state — which is what makes the
+  // restored ledger cycles match a never-interrupted run exactly. Invoked by
+  // the checkpoint layer when `model_sync` is requested; callable any time
+  // after Initialize().
+  void ModelSyncPoint();
   // Reinstates a checkpointed geometry (the moving window shifts z0) across
   // the config, the field set, and every species' tile set.
   void RestoreGeometry(const GridGeometry& g);
 
  private:
   void AdvanceWindow();
+  // Replays the deterministic region-registration sequence (fields, per-tile
+  // staging/rhocell/Esirkepov scratch, gather staging) against the current
+  // address map. Shared by Initialize() and ModelSyncPoint().
+  void RegisterModelRegions();
 
   HwContext& hw_;
   SimulationConfig config_;
@@ -184,6 +210,8 @@ class Simulation {
   MaxwellSolver solver_;
   StepPipeline pipeline_;
   std::optional<CollisionModule> collide_;
+  std::optional<RankSet> rank_set_;
+  std::optional<RankComm> rank_comm_;
   std::optional<LaserAntenna> laser_;
   std::optional<MovingWindow> window_;
   std::optional<HealthMonitor> health_;

@@ -4,6 +4,7 @@
 #include <functional>
 
 #include "src/common/check.h"
+#include "src/core/rank_comm.h"
 #include "src/particles/species.h"
 #include "src/push/boris_pusher.h"
 #include "src/push/field_gather.h"
@@ -52,11 +53,12 @@ void StepPipeline::ZeroCurrentsStage(FieldSet& fields) {
     hw_.ChargeBulk(0.0, bytes);
     return;
   }
-  // Dedicated fan-out: each core zeroes a contiguous chunk of jx/jy/jz
-  // (disjoint writes), so the charge overlaps across cores like every other
-  // tile-parallel stage instead of serializing at the top of the step.
+  // Dedicated fan-out: each worker (core, or rank x core) zeroes a contiguous
+  // chunk of jx/jy/jz (disjoint writes), so the charge overlaps across cores
+  // like every other tile-parallel stage instead of serializing at the top of
+  // the step.
   const int n = static_cast<int>(fields.jx.size());
-  const int chunks = hw_.num_cores();
+  const int chunks = WorkerSlotCount(hw_);
   ParallelForTiles(hw_, chunks, [&](HwContext& hw, int, int c) {
     PhaseScope phase(hw.ledger(), Phase::kOther);
     const TileRange r = WorkerTileRange(n, chunks, c);
@@ -198,7 +200,7 @@ void StepPipeline::FusedPass1Impl(const StepPipelineInputs& in, SpeciesBlock& bl
   // guards keep that property: quarantine bytes are per (species, tile), each
   // written by exactly one worker.
   std::vector<PaddedSlot<Pass1Partial>> partials(
-      static_cast<size_t>(hw_.num_cores()));
+      static_cast<size_t>(WorkerSlotCount(hw_)));
   // Under the cost-guided scheduler, feed last step's per-tile cycles in as
   // estimates and capture this step's for the next (kStatic leaves the
   // feedback loop untouched so static runs match the seed model exactly).
@@ -300,6 +302,9 @@ void StepPipeline::DepositTiles(const StepPipelineInputs& in,
       block.deposit_costs.Commit();
     }
   } else {
+    // Serial deposit (shared-J scatter kernels): on a multi-rank machine each
+    // rank sweeps its own domain's tiles concurrently.
+    ScopedRankScale rank_scale(hw_.ledger(), hw_.num_ranks());
     for (int t = 0; t < tiles.num_tiles(); ++t) {
       if (skip(t)) {
         continue;
@@ -409,7 +414,7 @@ void StepPipeline::LegacyGatherAndPushImpl(const StepPipelineInputs& in,
   // scratch, so tiles fan out over the modeled cores. The guards sit at the
   // same per-tile sites as in the fused schedule.
   std::vector<PaddedSlot<Pass1Partial>> partials(
-      static_cast<size_t>(hw_.num_cores()));
+      static_cast<size_t>(WorkerSlotCount(hw_)));
   ParallelForTiles(hw_, block.tiles.num_tiles(),
                    [&](HwContext& hw, int worker, int t) {
                      ParticleTile& tile = block.tiles.tile(t);
@@ -456,7 +461,7 @@ void StepPipeline::LegacyBoundaries(const StepPipelineInputs& in,
   // wrap would launder their out-of-bounds evidence and CellX of a
   // non-finite position is undefined.
   const HealthMonitor* monitor = in.health;
-  std::vector<PaddedSlot<int64_t>> drops(static_cast<size_t>(hw_.num_cores()));
+  std::vector<PaddedSlot<int64_t>> drops(static_cast<size_t>(WorkerSlotCount(hw_)));
   ParallelForTiles(hw_, block.tiles.num_tiles(),
                    [&](HwContext& hw, int worker, int t) {
                      if (monitor != nullptr && monitor->IsQuarantined(sid, t)) {
@@ -558,6 +563,25 @@ void StepPipeline::RunParticleStages(const StepPipelineInputs& in,
 
   if (shared_fold) {
     DepositionEngine::FoldCurrentGuards(hw_, fields);
+  }
+
+  // Modeled inter-rank communication of the particle stages: the particles
+  // whose cross-tile movers crossed a rank boundary (counted per source rank
+  // by every species' DeliverMovers) and the guard-plane J contributions the
+  // fold just merged across the rank boundaries. Charged under Phase::kComm;
+  // physics is untouched (see src/core/rank_comm.h).
+  if (in.rank_comm != nullptr) {
+    std::vector<int64_t> movers(
+        static_cast<size_t>(in.rank_comm->num_ranks()), 0);
+    for (const std::unique_ptr<SpeciesBlock>& b : blocks) {
+      const std::vector<int64_t>& per_rank =
+          b->engine.cross_rank_movers_last_step();
+      for (size_t r = 0; r < per_rank.size() && r < movers.size(); ++r) {
+        movers[r] += per_rank[r];
+      }
+    }
+    in.rank_comm->ChargeMigration(movers);
+    in.rank_comm->ExchangeCurrentHalos(fields);
   }
 
   // Collision stage (shared by both orchestrations): after every species has

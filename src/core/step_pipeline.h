@@ -60,6 +60,7 @@
 namespace mpic {
 
 class FaultInjector;
+class RankComm;
 
 // Per-species slice of one Step()'s accounting.
 struct SpeciesStepStats {
@@ -108,6 +109,11 @@ struct StepPipelineInputs {
   // Optional deterministic fault injector; its mover-drop faults hook in
   // between the scan and the delivery barrier.
   FaultInjector* injector = nullptr;
+  // Optional modeled inter-rank communication (set by Simulation when
+  // MachineConfig::num_ranks > 1): after the particle stages it charges the
+  // step's cross-rank particle migration and the post-fold J halo exchange
+  // under Phase::kComm. Purely a cost-model hook — physics is untouched.
+  RankComm* rank_comm = nullptr;
 };
 
 class StepPipeline {

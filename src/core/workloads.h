@@ -60,11 +60,11 @@ struct UniformWorkloadParams {
   // Fused two-pass step pipeline (default) vs. the legacy sweep-per-stage
   // schedule; physics is bit-identical, only modeled cost differs.
   bool fuse_stages = true;
-  // Workload-wide re-sort policy override. Strict bit-exact restart tests set
-  // trigger_perf_enable = false here: the throughput trigger responds to the
-  // modeled cache history, which a checkpoint deliberately does not carry
-  // (see runtime/checkpoint.h), while the remaining triggers are
-  // physics-driven and restore exactly.
+  // Workload-wide re-sort policy override (all triggers, including the
+  // adaptive performance trigger, restore bit-exactly: checkpoint v2 carries
+  // the trigger's throughput baselines, and the `model_sync` handshake makes
+  // the post-restore modeled throughput input identical too — see
+  // runtime/checkpoint.h).
   std::optional<ResortPolicyConfig> policy;
   // Every listed species is seeded with the same density/PPC/u_th (e.g.
   // {Electron, Proton} gives a neutral two-species plasma).

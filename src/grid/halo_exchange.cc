@@ -1,0 +1,34 @@
+#include "src/grid/halo_exchange.h"
+
+#include "src/common/check.h"
+
+namespace mpic {
+
+void PackZPlanes(const FieldArray& f, int z_begin, int z_count,
+                 std::vector<double>& out) {
+  MPIC_CHECK(z_begin >= -f.ng() && z_begin + z_count - 1 <= f.nz() + f.ng());
+  const int64_t plane = ZPlaneNodes(f);
+  const std::vector<double>& data = f.vec();
+  for (int k = 0; k < z_count; ++k) {
+    const int64_t base = f.Index(-f.ng(), -f.ng(), z_begin + k);
+    out.insert(out.end(), data.begin() + base, data.begin() + base + plane);
+  }
+}
+
+int64_t UnpackZPlanes(FieldArray& f, int z_begin, int z_count,
+                      const std::vector<double>& in, int64_t offset) {
+  MPIC_CHECK(z_begin >= -f.ng() && z_begin + z_count - 1 <= f.nz() + f.ng());
+  const int64_t plane = ZPlaneNodes(f);
+  MPIC_CHECK(offset + plane * z_count <= static_cast<int64_t>(in.size()));
+  std::vector<double>& data = f.vec();
+  for (int k = 0; k < z_count; ++k) {
+    const int64_t base = f.Index(-f.ng(), -f.ng(), z_begin + k);
+    for (int64_t i = 0; i < plane; ++i) {
+      data[static_cast<size_t>(base + i)] = in[static_cast<size_t>(offset)];
+      ++offset;
+    }
+  }
+  return offset;
+}
+
+}  // namespace mpic

@@ -1,0 +1,39 @@
+// Guard-plane pack/unpack for the modeled multi-rank halo exchange.
+//
+// The rank decomposition slabs the grid along z (src/hw/rank_topology.h), so
+// a rank's halo with its neighbor is a set of constant-z node planes. These
+// helpers copy whole z-planes (all sx*sy nodes of a plane, guards included —
+// exactly what a neighbor needs to fill its guard region) between a
+// FieldArray and a flat message buffer. RankComm (src/core/rank_comm.h) uses
+// them to model the pack -> link transfer -> unpack protocol and to verify
+// round-trip bit-exactness in tests.
+//
+// Plane index `k` is in node coordinates, i.e. [-ng, nz + ng].
+
+#ifndef MPIC_SRC_GRID_HALO_EXCHANGE_H_
+#define MPIC_SRC_GRID_HALO_EXCHANGE_H_
+
+#include <vector>
+
+#include "src/grid/field_array.h"
+
+namespace mpic {
+
+// Nodes in one z-plane of `f` (guards included along x and y).
+inline int64_t ZPlaneNodes(const FieldArray& f) {
+  return static_cast<int64_t>(f.sx()) * f.sy();
+}
+
+// Appends `z_count` consecutive z-planes starting at node plane `z_begin`
+// onto `out` (plane-major, x fastest within a plane).
+void PackZPlanes(const FieldArray& f, int z_begin, int z_count,
+                 std::vector<double>& out);
+
+// Copies `z_count` planes from `in` (starting at element `offset`) into `f`
+// at node plane `z_begin`; returns the number of elements consumed.
+int64_t UnpackZPlanes(FieldArray& f, int z_begin, int z_count,
+                      const std::vector<double>& in, int64_t offset);
+
+}  // namespace mpic
+
+#endif  // MPIC_SRC_GRID_HALO_EXCHANGE_H_

@@ -125,6 +125,13 @@ double CacheModel::TouchRange(uint64_t addr, uint64_t bytes, CostLedger& ledger)
 void CacheModel::Reset() {
   l1_.Reset();
   l2_.Reset();
+  // The stride-prefetcher streams are cache state too: leaving them warm
+  // across a reset lets a pre-reset access pattern discount post-reset
+  // misses, which breaks the model-sync guarantee that two runs flushed at
+  // the same execution point charge identical cycles from there on.
+  stream_next_.assign(stream_next_.size(), ~uint64_t{0});
+  stream_lru_.assign(stream_lru_.size(), 0);
+  stream_clock_ = 0;
 }
 
 }  // namespace mpic

@@ -24,6 +24,8 @@ const char* PhaseName(Phase p) {
       return "collide";
     case Phase::kHealth:
       return "health";
+    case Phase::kComm:
+      return "comm";
     case Phase::kOther:
       return "other";
   }
@@ -85,6 +87,14 @@ void CostLedger::SumWorkerCounters(const std::vector<const CostLedger*>& workers
     counters_.l1_misses += c.l1_misses;
     counters_.l2_hits += c.l2_hits;
     counters_.l2_misses += c.l2_misses;
+  }
+}
+
+void CostLedger::ScaleCyclesDelta(const std::array<double, kNumPhases>& before,
+                                  double factor) {
+  for (int p = 0; p < kNumPhases; ++p) {
+    const double delta = cycles_[static_cast<size_t>(p)] - before[static_cast<size_t>(p)];
+    cycles_[static_cast<size_t>(p)] = before[static_cast<size_t>(p)] + delta * factor;
   }
 }
 

@@ -50,6 +50,12 @@ class HwContext {
   // cycles). Region registrations survive; call mem().Clear() to drop them.
   void ResetModel();
 
+  // Empties every modeled cache (this context, its workers, its ranks) without
+  // touching ledgers or registrations. Checkpoint model-sync points call this
+  // so a saving run and its restored twin resume from identical (cold) cache
+  // state; see runtime/checkpoint.h.
+  void FlushModelCaches();
+
   // ---- Scalar stream -------------------------------------------------------
 
   // n scalar ALU/FPU micro-ops.
@@ -154,6 +160,19 @@ class HwContext {
   // receive a snapshot of this context's memory map at each region start.
   HwContext& worker(int w);
 
+  // ---- Multi-rank execution (see src/hw/rank_topology.h) ------------------
+
+  // Modeled rank count (>= 1).
+  int num_ranks() const { return cfg_.num_ranks < 1 ? 1 : cfg_.num_ranks; }
+
+  // Per-rank context used by tile-parallel fan-outs when num_ranks() > 1.
+  // Lazily created; a rank keeps the full per-rank core count (its own
+  // workers fan out inside it) but is itself single-rank, and owns a private
+  // ledger, cache hierarchy, and memory map — the node one level out from the
+  // core model. Ranks receive a snapshot of this context's memory map at each
+  // region start, mirroring the worker protocol.
+  HwContext& rank(int r);
+
  private:
   void ChargeMem(const void* p, size_t bytes, double issue_cycles, bool write,
                  uint64_t count_as_vpu_mem);
@@ -165,6 +184,7 @@ class HwContext {
   double vpu_op_cycles_;
   double scalar_op_cycles_;
   std::vector<std::unique_ptr<HwContext>> workers_;
+  std::vector<std::unique_ptr<HwContext>> ranks_;
 };
 
 }  // namespace mpic

@@ -102,6 +102,23 @@ struct MachineConfig {
   // accounting for regular stencil sweeps.
   double stream_bytes_per_cycle = 16.0;
 
+  // --- Multi-rank model ---
+  // Modeled rank count. At > 1 the global grid shards into contiguous z-slab
+  // domains of tiles (src/hw/rank_topology.h); each rank owns `num_cores`
+  // cores with private caches, ledgers, and a private MemMap one level out
+  // from the core model. Tile-parallel regions fan out rank-first, then
+  // core-within-rank; inter-rank traffic (field/J halo exchange, particle
+  // migration) is charged under Phase::kComm via the link parameters below.
+  // 1 reproduces the single-rank model exactly.
+  int num_ranks = 1;
+  // Fixed per-message latency of the modeled inter-rank link (software stack
+  // + wire), in core cycles.
+  double rank_link_latency_cycles = 600.0;
+  // Sustained link bandwidth in bytes per core cycle (~10 GB/s at 1.3 GHz —
+  // a commodity interconnect, deliberately slower than the
+  // stream_bytes_per_cycle memory path).
+  double rank_link_bytes_per_cycle = 8.0;
+
   // --- Tile scheduling ---
   // How tile-parallel regions map positions to cores; see TileSchedulePolicy.
   TileSchedulePolicy tile_schedule = TileSchedulePolicy::kStatic;
@@ -143,6 +160,19 @@ struct MachineConfig {
     MachineConfig cfg;
     cfg.num_cores = cores;
     cfg.tile_schedule = TileSchedulePolicy::kCostSteal;
+    return cfg;
+  }
+
+  // A modeled cluster of `ranks` LX2 nodes, each with `cores` cores;
+  // `stealing` selects the cost-guided work-stealing tile scheduler inside
+  // each rank.
+  static MachineConfig Lx2Cluster(int ranks, int cores, bool stealing = false) {
+    MachineConfig cfg;
+    cfg.num_ranks = ranks;
+    cfg.num_cores = cores;
+    if (stealing) {
+      cfg.tile_schedule = TileSchedulePolicy::kCostSteal;
+    }
     return cfg;
   }
 

@@ -6,24 +6,29 @@
 namespace mpic {
 namespace {
 
-// Shared fan-out: `n` logical positions, position i mapped to a tile index by
-// `index_of`. Serial inline on the main context when the machine has one core.
+// One rank's (or the single-rank machine's) share of a fan-out: positions
+// [begin, end) of the region run on `node`'s cores. `worker_base` offsets the
+// worker index handed to the body so per-worker slots stay globally unique
+// across ranks (rank r core w -> slot r * num_cores + w). `est` points at the
+// node's slice of the region's cost estimates (null when unavailable);
+// `measured` (when non-null) is the region-global measured vector, written at
+// global positions. Serial inline on `node` when it has one core (no
+// fork/join charge).
 template <typename IndexOf>
-void RunRegion(HwContext& hw, int n, const TileBody& body, RegionMerge merge,
-               const RegionCosts& costs, const IndexOf& index_of) {
-  const int num_workers = hw.num_cores();
-  if (costs.measured != nullptr) {
-    costs.measured->assign(static_cast<size_t>(n), 0.0);
-  }
+void RunRegionOnNode(HwContext& node, int begin, int end, int worker_base,
+                     const TileBody& body, RegionMerge merge, const double* est,
+                     std::vector<double>* measured, const IndexOf& index_of) {
+  const int n_local = end - begin;
+  const int num_workers = node.num_cores();
   if (num_workers <= 1) {
-    for (int i = 0; i < n; ++i) {
-      if (costs.measured != nullptr) {
-        const double before = hw.ledger().TotalCycles();
-        body(hw, 0, index_of(i));
-        (*costs.measured)[static_cast<size_t>(i)] =
-            hw.ledger().TotalCycles() - before;
+    for (int i = begin; i < end; ++i) {
+      if (measured != nullptr) {
+        const double before = node.ledger().TotalCycles();
+        body(node, worker_base, index_of(i));
+        (*measured)[static_cast<size_t>(i)] =
+            node.ledger().TotalCycles() - before;
       } else {
-        body(hw, 0, index_of(i));
+        body(node, worker_base, index_of(i));
       }
     }
     return;
@@ -38,42 +43,38 @@ void RunRegion(HwContext& hw, int n, const TileBody& body, RegionMerge merge,
   std::vector<const CostLedger*> region_ledgers;
   region_ledgers.reserve(static_cast<size_t>(num_workers));
   for (int w = 0; w < num_workers; ++w) {
-    HwContext& ctx = hw.worker(w);
+    HwContext& ctx = node.worker(w);
     ctx.ledger().Reset();
-    if (ctx.mem().version() != hw.mem().version()) {
-      ctx.mem() = hw.mem();
+    if (ctx.mem().version() != node.mem().version()) {
+      ctx.mem() = node.mem();
     }
     region_ledgers.push_back(&ctx.ledger());
   }
 
-  if (hw.cfg().tile_schedule == TileSchedulePolicy::kCostSteal) {
+  if (node.cfg().tile_schedule == TileSchedulePolicy::kCostSteal) {
     // Cost-guided schedule: the task lists (and the steal sequence) are
     // computed serially from the estimates before the fan-out, so they are
     // identical for every OpenMP thread count; real threads just execute the
     // lists the model assigned.
-    const double* est = nullptr;
-    if (costs.estimates != nullptr &&
-        costs.estimates->size() == static_cast<size_t>(n)) {
-      est = costs.estimates->data();
-    }
     const TileScheduleResult sched =
-        BuildTileSchedule(n, num_workers, est, hw.cfg().steal_cost_cycles);
+        BuildTileSchedule(n_local, num_workers, est, node.cfg().steal_cost_cycles);
 #ifdef _OPENMP
 #pragma omp parallel for schedule(static, 1)
 #endif
     for (int w = 0; w < num_workers; ++w) {
-      HwContext& ctx = hw.worker(w);
+      HwContext& ctx = node.worker(w);
       for (const TileTask& task : sched.worker_tasks[static_cast<size_t>(w)]) {
         // Steal overhead lands before the measurement window so the per-tile
         // probe records the tile's work, not where it ran.
         if (task.stolen) ctx.ChargeSteal();
-        if (costs.measured != nullptr) {
+        const int pos = begin + task.pos;
+        if (measured != nullptr) {
           const double before = ctx.ledger().TotalCycles();
-          body(ctx, w, index_of(task.pos));
-          (*costs.measured)[static_cast<size_t>(task.pos)] =
+          body(ctx, worker_base + w, index_of(pos));
+          (*measured)[static_cast<size_t>(pos)] =
               ctx.ledger().TotalCycles() - before;
         } else {
-          body(ctx, w, index_of(task.pos));
+          body(ctx, worker_base + w, index_of(pos));
         }
       }
     }
@@ -86,16 +87,16 @@ void RunRegion(HwContext& hw, int n, const TileBody& body, RegionMerge merge,
 #pragma omp parallel for schedule(static, 1)
 #endif
     for (int w = 0; w < num_workers; ++w) {
-      HwContext& ctx = hw.worker(w);
-      const TileRange range = WorkerTileRange(n, num_workers, w);
-      for (int i = range.begin; i < range.end; ++i) {
-        if (costs.measured != nullptr) {
+      HwContext& ctx = node.worker(w);
+      const TileRange range = WorkerTileRange(n_local, num_workers, w);
+      for (int i = begin + range.begin; i < begin + range.end; ++i) {
+        if (measured != nullptr) {
           const double before = ctx.ledger().TotalCycles();
-          body(ctx, w, index_of(i));
-          (*costs.measured)[static_cast<size_t>(i)] =
+          body(ctx, worker_base + w, index_of(i));
+          (*measured)[static_cast<size_t>(i)] =
               ctx.ledger().TotalCycles() - before;
         } else {
-          body(ctx, w, index_of(i));
+          body(ctx, worker_base + w, index_of(i));
         }
       }
     }
@@ -103,14 +104,71 @@ void RunRegion(HwContext& hw, int n, const TileBody& body, RegionMerge merge,
 
   switch (merge) {
     case RegionMerge::kPhaseMax:
-      hw.ledger().MergeParallel(region_ledgers);
+      node.ledger().MergeParallel(region_ledgers);
       break;
     case RegionMerge::kFusedStages:
-      hw.ledger().MergeParallelFused(region_ledgers);
+      node.ledger().MergeParallelFused(region_ledgers);
       break;
   }
-  // Thread wake-up + join barrier for this fan-out (serial on the main
+  // Thread wake-up + join barrier for this fan-out (serial on the node
   // context, so the cost lands once per region, not per core).
+  PhaseScope phase(node.ledger(), Phase::kOther);
+  node.ChargeCycles(node.cfg().parallel_region_fork_join_cycles);
+}
+
+// Shared fan-out: `n` logical positions, position i mapped to a tile index by
+// `index_of`. With one modeled rank this is exactly the single-node fan-out
+// (inline on the main context when the machine also has one core). With
+// num_ranks > 1 the positions first split contiguously over the ranks — a
+// z-slab split whenever the region runs over the full tile grid (tile indices
+// linearize z-slowest) — and each rank's HwContext runs its share with its
+// own cores, caches, and memory map. Rank ledgers then merge into the main
+// ledger with the region's own merge semantics (ranks overlap in time, like
+// cores), plus one rank-level launch/barrier charge.
+template <typename IndexOf>
+void RunRegion(HwContext& hw, int n, const TileBody& body, RegionMerge merge,
+               const RegionCosts& costs, const IndexOf& index_of) {
+  if (costs.measured != nullptr) {
+    costs.measured->assign(static_cast<size_t>(n), 0.0);
+  }
+  const double* est = nullptr;
+  if (costs.estimates != nullptr &&
+      costs.estimates->size() == static_cast<size_t>(n)) {
+    est = costs.estimates->data();
+  }
+  const int num_ranks = hw.num_ranks();
+  if (num_ranks <= 1) {
+    RunRegionOnNode(hw, 0, n, 0, body, merge, est, costs.measured, index_of);
+    return;
+  }
+
+  std::vector<const CostLedger*> rank_ledgers;
+  rank_ledgers.reserve(static_cast<size_t>(num_ranks));
+  for (int r = 0; r < num_ranks; ++r) {
+    HwContext& node = hw.rank(r);
+    node.ledger().Reset();
+    if (node.mem().version() != hw.mem().version()) {
+      node.mem() = hw.mem();
+    }
+    rank_ledgers.push_back(&node.ledger());
+  }
+  // Ranks execute serially here (real OpenMP threads parallelize the cores
+  // inside each rank); the model treats them as concurrent via the merge.
+  for (int r = 0; r < num_ranks; ++r) {
+    const TileRange range = WorkerTileRange(n, num_ranks, r);
+    RunRegionOnNode(hw.rank(r), range.begin, range.end, r * hw.num_cores(),
+                    body, merge, est != nullptr ? est + range.begin : nullptr,
+                    costs.measured, index_of);
+  }
+  switch (merge) {
+    case RegionMerge::kPhaseMax:
+      hw.ledger().MergeParallel(rank_ledgers);
+      break;
+    case RegionMerge::kFusedStages:
+      hw.ledger().MergeParallelFused(rank_ledgers);
+      break;
+  }
+  // Rank-level launch + barrier, charged once on the main ledger.
   PhaseScope phase(hw.ledger(), Phase::kOther);
   hw.ChargeCycles(hw.cfg().parallel_region_fork_join_cycles);
 }

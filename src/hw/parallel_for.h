@@ -23,6 +23,13 @@
 // Real parallelism comes from OpenMP: modeled workers map to OpenMP threads
 // (capped by OMP_NUM_THREADS). Without OpenMP the same partition runs serially
 // with identical results, including the multi-core ledger accounting.
+//
+// With MachineConfig::num_ranks > 1 (src/hw/rank_topology.h) positions first
+// split contiguously over the modeled ranks — a z-slab split whenever the
+// region covers the full tile grid — and each rank runs its share on its own
+// HwContext (private cores, caches, ledger, memory map). Rank ledgers merge
+// into the main ledger exactly like core ledgers do (ranks overlap in time),
+// plus one rank-level launch/barrier charge per region.
 
 #ifndef MPIC_SRC_HW_PARALLEL_FOR_H_
 #define MPIC_SRC_HW_PARALLEL_FOR_H_
@@ -102,8 +109,17 @@ struct alignas(64) PaddedSlot {
   T value{};
 };
 
-// True when ParallelForTiles will fan out (modeled cores > 1).
-inline bool ParallelEnabled(const HwContext& hw) { return hw.num_cores() > 1; }
+// True when ParallelForTiles will fan out (modeled cores or ranks > 1).
+inline bool ParallelEnabled(const HwContext& hw) {
+  return hw.num_cores() > 1 || hw.num_ranks() > 1;
+}
+
+// Number of distinct worker indices a fan-out can hand to bodies: rank r's
+// core w runs as worker r * num_cores + w. Callers size per-worker slot
+// arrays with this (not num_cores()) so slots stay private across ranks.
+inline int WorkerSlotCount(const HwContext& hw) {
+  return hw.num_cores() * hw.num_ranks();
+}
 
 }  // namespace mpic
 

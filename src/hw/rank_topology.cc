@@ -1,0 +1,25 @@
+#include "src/hw/rank_topology.h"
+
+#include "src/common/check.h"
+
+namespace mpic {
+
+RankSet::RankSet(const MachineConfig& cfg, int ntx, int nty, int ntz)
+    : ntx_(ntx), nty_(nty), ntz_(ntz) {
+  const int ranks = cfg.num_ranks < 1 ? 1 : cfg.num_ranks;
+  MPIC_CHECK(ntx > 0 && nty > 0 && ntz > 0);
+  MPIC_CHECK_MSG(ranks == 1 || ntz % ranks == 0,
+                 "rank decomposition requires ntz divisible by num_ranks");
+  tiles_per_plane_ = ntx * nty;
+  planes_per_rank_ = ntz / ranks;
+  domains_.resize(static_cast<size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    RankDomain& d = domains_[static_cast<size_t>(r)];
+    d.tz_begin = r * planes_per_rank_;
+    d.tz_end = (r + 1) * planes_per_rank_;
+    d.tile_begin = d.tz_begin * tiles_per_plane_;
+    d.tile_end = d.tz_end * tiles_per_plane_;
+  }
+}
+
+}  // namespace mpic

@@ -1,0 +1,71 @@
+// Modeled multi-rank domain decomposition (the node level above the cores).
+//
+// A RankSet shards the global tile grid into contiguous z-slab domains, one
+// per modeled rank. The split is over tile indices, which linearize as
+// t = tx + ntx*(ty + nty*tz) (z slowest), so a contiguous block of tile
+// indices IS a z-slab — the same decomposition Athena++'s meshblock tree
+// produces for a 1D z ordering, and the layout POLAR-PIC co-designs its
+// communication around. Simulation enforces ntz % num_ranks == 0 so every
+// rank owns an integer number of full tile planes.
+//
+// The physics executes exactly as in the single-rank model (one address
+// space, one global grid): ranks exist in the cost model. Tile-parallel
+// fan-outs split rank-first (src/hw/parallel_for.cc), halo exchange and
+// particle migration charge Phase::kComm through the link parameters in
+// MachineConfig (src/core/rank_comm.h).
+
+#ifndef MPIC_SRC_HW_RANK_TOPOLOGY_H_
+#define MPIC_SRC_HW_RANK_TOPOLOGY_H_
+
+#include <vector>
+
+#include "src/hw/machine_config.h"
+
+namespace mpic {
+
+// One rank's share of the global tile grid: the half-open tile-index range
+// [tile_begin, tile_end) covering tile planes [tz_begin, tz_end).
+struct RankDomain {
+  int tile_begin = 0;
+  int tile_end = 0;
+  int tz_begin = 0;
+  int tz_end = 0;
+  int num_tiles() const { return tile_end - tile_begin; }
+};
+
+class RankSet {
+ public:
+  RankSet() = default;
+  // Builds the z-slab decomposition of an ntx x nty x ntz tile grid over
+  // cfg.num_ranks ranks. Requires ntz % num_ranks == 0 when num_ranks > 1.
+  RankSet(const MachineConfig& cfg, int ntx, int nty, int ntz);
+
+  int num_ranks() const { return static_cast<int>(domains_.size()); }
+  const RankDomain& domain(int r) const { return domains_[static_cast<size_t>(r)]; }
+
+  // Owning rank of a global tile index.
+  int RankOfTile(int tile) const {
+    const int tz = tile / tiles_per_plane_;
+    return tz / planes_per_rank_;
+  }
+
+  int ntx() const { return ntx_; }
+  int nty() const { return nty_; }
+  int ntz() const { return ntz_; }
+
+ private:
+  std::vector<RankDomain> domains_;
+  int ntx_ = 0, nty_ = 0, ntz_ = 0;
+  int tiles_per_plane_ = 1;
+  int planes_per_rank_ = 1;
+};
+
+// Modeled cycles to move `bytes` over the inter-rank link: fixed per-message
+// latency plus the serialization time at link bandwidth.
+inline double LinkTransferCycles(const MachineConfig& cfg, double bytes) {
+  return cfg.rank_link_latency_cycles + bytes / cfg.rank_link_bytes_per_cycle;
+}
+
+}  // namespace mpic
+
+#endif  // MPIC_SRC_HW_RANK_TOPOLOGY_H_

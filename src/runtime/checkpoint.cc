@@ -12,13 +12,19 @@ namespace mpic {
 namespace {
 
 constexpr char kMagic[8] = {'M', 'P', 'I', 'C', 'C', 'K', 'P', '\1'};
-constexpr uint32_t kVersion = 1;
+// Version 2: the SPECIES tail gained the re-sort policy's adaptive throughput
+// baselines and the three kCostSteal per-tile estimate vectors, the LEDGER
+// counters gained the steal pair, and multi-rank machines write a RANKS
+// section. Version 1 images omitted state a bit-exact restart needs, so they
+// are rejected rather than half-restored.
+constexpr uint32_t kVersion = 2;
 
 enum SectionId : uint32_t {
   kSectionMeta = 1,
   kSectionFields = 2,
   kSectionSpecies = 3,
   kSectionLedger = 4,
+  kSectionRanks = 5,
 };
 
 // ---- Little serialization helpers -------------------------------------------
@@ -128,9 +134,10 @@ struct StagedTile {
 
 struct StagedSpecies {
   std::vector<StagedTile> tiles;
-  int32_t steps_since_sort = 0;
-  int64_t local_rebuilds = 0;
+  RankSortStats sort_stats;
   int64_t total_global_sorts = 0;
+  // Committed kCostSteal per-tile estimates (what the next step plans from).
+  std::vector<double> pass1_est, deposit_est, reduce_est;
 };
 
 struct StagedLedger {
@@ -138,11 +145,10 @@ struct StagedLedger {
   LedgerCounters counters;
 };
 
-const FieldArray* FieldByIndex(const FieldSet& f, int i) {
-  const FieldArray* arrays[] = {&f.ex, &f.ey, &f.ez, &f.bx, &f.by,
-                                &f.bz, &f.jx, &f.jy, &f.jz, &f.rho};
-  return arrays[i];
-}
+struct StagedRanks {
+  std::vector<RankCommStats> stats;
+};
+
 FieldArray* FieldByIndex(FieldSet& f, int i) {
   FieldArray* arrays[] = {&f.ex, &f.ey, &f.ez, &f.bx, &f.by,
                           &f.bz, &f.jx, &f.jy, &f.jz, &f.rho};
@@ -156,6 +162,10 @@ void WriteCounters(Writer* w, const LedgerCounters& c) {
         c.l1_misses, c.l2_hits, c.l2_misses}) {
     w->Pod<uint64_t>(v);
   }
+  // v2: the work-stealing pair — a restored kCostSteal run must resume its
+  // steal accounting, not restart it from zero.
+  w->Pod<uint64_t>(c.tasks_stolen);
+  w->Pod<double>(c.steal_cycles);
 }
 
 bool ReadCounters(Reader* r, LedgerCounters* c) {
@@ -167,7 +177,7 @@ bool ReadCounters(Reader* r, LedgerCounters* c) {
       return false;
     }
   }
-  return true;
+  return r->Pod(&c->tasks_stolen) && r->Pod(&c->steal_cycles);
 }
 
 CheckpointStatus ParseError(const std::string& what) {
@@ -178,7 +188,7 @@ CheckpointStatus ParseError(const std::string& what) {
 
 // ---- Save --------------------------------------------------------------------
 
-CheckpointStatus SaveCheckpoint(const Simulation& sim,
+CheckpointStatus SaveCheckpoint(Simulation& sim,
                                 std::vector<uint8_t>* out,
                                 const CheckpointWriteOptions& opts) {
   if (!sim.initialized()) {
@@ -265,6 +275,18 @@ CheckpointStatus SaveCheckpoint(const Simulation& sim,
     w.Pod<int32_t>(rs.steps_since_sort);
     w.Pod<int64_t>(rs.local_rebuilds);
     w.Pod<int64_t>(b.engine.total_global_sorts());
+    // v2 tail: the adaptive trigger's throughput baselines — omitting these
+    // made the performance trigger re-baseline after restore, breaking
+    // bit-exact restart whenever it was enabled.
+    w.Pod<double>(rs.empty_slot_ratio);
+    w.Pod<double>(rs.step_throughput);
+    w.Pod<double>(rs.baseline_throughput);
+    // v2 tail: the committed kCostSteal per-tile estimates, so a restored
+    // run replans the same schedule (and therefore the same steal ledger)
+    // as a never-interrupted one.
+    w.Vec(b.pass1_costs.estimate);
+    w.Vec(b.deposit_costs.estimate);
+    w.Vec(b.reduce_costs.estimate);
     AppendSection(out, kSectionSpecies, static_cast<uint32_t>(sid), sp);
   }
 
@@ -280,6 +302,22 @@ CheckpointStatus SaveCheckpoint(const Simulation& sim,
     AppendSection(out, kSectionLedger, 0, led);
   }
 
+  // RANKS: cumulative per-rank communication totals (multi-rank model only).
+  const bool have_ranks = sim.rank_comm() != nullptr;
+  if (have_ranks) {
+    std::vector<uint8_t> rk;
+    Writer w(&rk);
+    const std::vector<RankCommStats>& stats = sim.rank_comm()->stats();
+    w.Pod<int32_t>(static_cast<int32_t>(stats.size()));
+    for (const RankCommStats& s : stats) {
+      w.Pod<uint64_t>(s.bytes_sent);
+      w.Pod<uint64_t>(s.messages);
+      w.Pod<double>(s.comm_cycles);
+      w.Pod<uint64_t>(s.migrated_particles);
+    }
+    AppendSection(out, kSectionRanks, 0, rk);
+  }
+
   // Prepend the header.
   std::vector<uint8_t> file;
   file.reserve(out->size() + 16);
@@ -289,10 +327,18 @@ CheckpointStatus SaveCheckpoint(const Simulation& sim,
     w.Pod<uint32_t>(kVersion);
     w.Pod<uint32_t>(
         static_cast<uint32_t>(2 + sim.num_species() +
-                              (opts.include_ledger ? 1 : 0)));
+                              (opts.include_ledger ? 1 : 0) +
+                              (have_ranks ? 1 : 0)));
   }
   file.insert(file.end(), out->begin(), out->end());
   *out = std::move(file);
+
+  if (opts.model_sync) {
+    // Save-side half of the cycle-exact handshake: continue this run from
+    // the same deterministic model state a restored twin rebuilds. Runs
+    // after serialization so the image itself is unaffected.
+    sim.ModelSyncPoint();
+  }
 
   if (opts.charge != nullptr) {
     // Serialization is a streaming copy of the whole image (read state, write
@@ -365,6 +411,7 @@ CheckpointStatus RestoreCheckpoint(Simulation* sim,
   const Section* meta_sec = nullptr;
   const Section* fields_sec = nullptr;
   const Section* ledger_sec = nullptr;
+  const Section* ranks_sec = nullptr;
   std::vector<const Section*> species_secs(
       static_cast<size_t>(sim->num_species()), nullptr);
   for (const Section& s : sections) {
@@ -377,6 +424,9 @@ CheckpointStatus RestoreCheckpoint(Simulation* sim,
         break;
       case kSectionLedger:
         ledger_sec = &s;
+        break;
+      case kSectionRanks:
+        ranks_sec = &s;
         break;
       case kSectionSpecies:
         if (s.index >= species_secs.size()) {
@@ -561,9 +611,15 @@ CheckpointStatus RestoreCheckpoint(Simulation* sim,
         }
       }
     }
-    r.Pod(&ss.steps_since_sort);
-    r.Pod(&ss.local_rebuilds);
+    r.Pod(&ss.sort_stats.steps_since_sort);
+    r.Pod(&ss.sort_stats.local_rebuilds);
     r.Pod(&ss.total_global_sorts);
+    r.Pod(&ss.sort_stats.empty_slot_ratio);
+    r.Pod(&ss.sort_stats.step_throughput);
+    r.Pod(&ss.sort_stats.baseline_throughput);
+    r.Vec(&ss.pass1_est);
+    r.Vec(&ss.deposit_est);
+    r.Vec(&ss.reduce_est);
     if (!r.ok()) {
       return ParseError("malformed SPECIES section tail");
     }
@@ -587,6 +643,34 @@ CheckpointStatus RestoreCheckpoint(Simulation* sim,
       return ParseError("malformed LEDGER section");
     }
     have_ledger = true;
+  }
+
+  // RANKS (present iff the saving machine modeled multiple ranks). Applied
+  // only when the target models the same rank count; a rank-count change is
+  // a machine reconfiguration, and the per-rank history is meaningless then.
+  StagedRanks staged_ranks;
+  bool have_ranks_state = false;
+  if (ranks_sec != nullptr && sim->rank_comm() != nullptr) {
+    Reader r(ranks_sec->payload, ranks_sec->bytes);
+    int32_t n_ranks = 0;
+    r.Pod(&n_ranks);
+    if (!r.ok() || n_ranks < 0 || n_ranks > 1 << 20) {
+      return ParseError("malformed RANKS section");
+    }
+    if (n_ranks != sim->rank_comm()->num_ranks()) {
+      return ParseError("rank count mismatch");
+    }
+    staged_ranks.stats.resize(static_cast<size_t>(n_ranks));
+    for (RankCommStats& s : staged_ranks.stats) {
+      r.Pod(&s.bytes_sent);
+      r.Pod(&s.messages);
+      r.Pod(&s.comm_cycles);
+      r.Pod(&s.migrated_particles);
+    }
+    if (!r.ok()) {
+      return ParseError("malformed RANKS section");
+    }
+    have_ranks_state = true;
   }
 
   // ---- Phase 2: everything verified — apply (no failure paths below) ----
@@ -618,8 +702,10 @@ CheckpointStatus RestoreCheckpoint(Simulation* sim,
                           std::move(st.free_slots));
       tile.gpma().ImportState(std::move(st.gpma));
     }
-    b.engine.RestoreSortState(ss.steps_since_sort, ss.local_rebuilds,
-                              ss.total_global_sorts);
+    b.engine.RestoreSortState(ss.sort_stats, ss.total_global_sorts);
+    b.pass1_costs.estimate = std::move(ss.pass1_est);
+    b.deposit_costs.estimate = std::move(ss.deposit_est);
+    b.reduce_costs.estimate = std::move(ss.reduce_est);
   }
   sim->RestoreClock(meta.step, meta.time);
   sim->set_injection_seed(meta.injection_seed);
@@ -636,6 +722,17 @@ CheckpointStatus RestoreCheckpoint(Simulation* sim,
     ledger.SetPhase(Phase::kOther);
     ledger.counters() = staged_ledger.counters;
   }
+  if (have_ranks_state) {
+    sim->rank_comm()->mutable_stats() = std::move(staged_ranks.stats);
+  }
+
+  if (opts.model_sync) {
+    // Restore-side half of the cycle-exact handshake. Runs after the state
+    // apply (the tile SoA storage just moved, so the old registrations are
+    // stale either way) and before the serialization charge, mirroring the
+    // save side's serialize -> sync -> charge order.
+    sim->ModelSyncPoint();
+  }
 
   if (opts.charge != nullptr) {
     // Tile-parallel like the save path: read buffer, write state.
@@ -649,7 +746,7 @@ CheckpointStatus RestoreCheckpoint(Simulation* sim,
 
 // ---- File wrappers -------------------------------------------------------------
 
-CheckpointStatus SaveCheckpointFile(const Simulation& sim,
+CheckpointStatus SaveCheckpointFile(Simulation& sim,
                                     const std::string& path,
                                     const CheckpointWriteOptions& opts) {
   std::vector<uint8_t> buf;

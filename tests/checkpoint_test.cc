@@ -160,24 +160,26 @@ TEST(CheckpointRoundTrip, LwfaMovingWindowWithIons) {
   p.tile = 4;
   p.tile_z = 8;
   p.with_ions = true;
-  // Strict bit-exact restart holds under physics-driven re-sort triggers
-  // only: the throughput trigger reads modeled cache history, which the
-  // checkpoint deliberately does not carry (see runtime/checkpoint.h).
-  ResortPolicyConfig pol;
-  pol.trigger_perf_enable = false;
-  p.policy = pol;
+  // The re-sort policy keeps its default configuration — including the
+  // adaptive performance trigger. Its throughput baselines ride the v2
+  // SPECIES tail, and the model_sync handshake makes the trigger's modeled
+  // throughput input identical on both sides (see runtime/checkpoint.h).
 
   HwContext ref_hw(MachineConfig::Lx2MultiCore(2));
   auto ref = MakeLwfaSimulation(ref_hw, p);
   ref->Run(6);
   std::vector<uint8_t> ckpt;
-  ASSERT_TRUE(SaveCheckpoint(*ref, &ckpt));
+  CheckpointWriteOptions wopts;
+  wopts.model_sync = true;
+  ASSERT_TRUE(SaveCheckpoint(*ref, &ckpt, wopts));
   ref->Run(6);
   const uint64_t want = SimulationDigest(*ref);
 
   HwContext twin_hw(MachineConfig::Lx2MultiCore(2));
   auto twin = MakeLwfaSimulation(twin_hw, p);
-  const CheckpointStatus st = RestoreCheckpoint(twin.get(), ckpt);
+  CheckpointReadOptions ropts;
+  ropts.model_sync = true;
+  const CheckpointStatus st = RestoreCheckpoint(twin.get(), ckpt, ropts);
   ASSERT_TRUE(st) << st.error;
   // The twin starts at z0 = 0; the restore must reinstate the shifted window.
   EXPECT_GT(twin->config().geom.z0, 0.0);
@@ -263,7 +265,137 @@ TEST(CheckpointRoundTrip, LedgerRestoreResumesModeledClock) {
   EXPECT_DOUBLE_EQ(twin_hw.ledger().TotalCycles(), cycles_at_save);
 }
 
+// ---- Cycle-exact restore: the model-sync handshake ---------------------------
+
+// Save with model_sync, restore with restore_ledger + model_sync: the twin
+// must match the saving run bit-for-bit in physics AND in every modeled
+// phase-cycle bucket and ledger counter — including the steal pair and with
+// the adaptive performance trigger at its enabled default — across schedules,
+// tile-schedule policies, core counts, and the multi-rank machine. These are
+// exactly the states version-1 images omitted.
+TEST(CheckpointCycleExact, RestoreMatchesUninterruptedRun) {
+  struct Combo {
+    int ranks, cores;
+    bool fused, steal;
+  };
+  const std::vector<Combo> combos = {
+      {1, 4, true, false}, {1, 4, true, true}, {1, 4, false, true},
+      {1, 1, true, true},  {2, 4, true, true}, {2, 2, false, false},
+  };
+  for (const Combo& c : combos) {
+    SCOPED_TRACE(std::to_string(c.ranks) + " ranks, " +
+                 std::to_string(c.cores) + " cores, " +
+                 (c.fused ? "fused, " : "legacy, ") +
+                 (c.steal ? "steal" : "static"));
+    UniformWorkloadParams p;
+    p.nx = p.ny = 8;
+    p.nz = 16;
+    p.ppc_x = p.ppc_y = p.ppc_z = 2;
+    p.tile = 4;
+    p.u_th = 0.1;
+    p.fuse_stages = c.fused;
+
+    const MachineConfig mc = MachineConfig::Lx2Cluster(c.ranks, c.cores, c.steal);
+    HwContext ref_hw(mc);
+    auto ref = MakeUniformSimulation(ref_hw, p);
+    ref->Run(4);
+    std::vector<uint8_t> ckpt;
+    CheckpointWriteOptions wopts;
+    wopts.model_sync = true;
+    ASSERT_TRUE(SaveCheckpoint(*ref, &ckpt, wopts));
+    const std::vector<double> est_at_save = ref->block(0).pass1_costs.estimate;
+    ref->Run(4);
+    const uint64_t want = SimulationDigest(*ref);
+
+    HwContext twin_hw(mc);
+    auto twin = MakeUniformSimulation(twin_hw, p);
+    twin->Run(2);  // desynchronize; restore must overwrite everything
+    CheckpointReadOptions ropts;
+    ropts.restore_ledger = true;
+    ropts.model_sync = true;
+    const CheckpointStatus st = RestoreCheckpoint(twin.get(), ckpt, ropts);
+    ASSERT_TRUE(st) << st.error;
+    if (c.steal && c.fused) {
+      // Only the fused pipeline feeds the cost scheduler; legacy sweeps leave
+      // the feedback vectors empty on both sides, which round-trips trivially.
+      EXPECT_FALSE(twin->block(0).pass1_costs.estimate.empty())
+          << "kCostSteal per-tile estimates not restored";
+    }
+    if (c.steal) {
+      EXPECT_EQ(twin->block(0).pass1_costs.estimate, est_at_save);
+    }
+    twin->Run(4);
+
+    EXPECT_EQ(SimulationDigest(*twin), want);
+    for (int ph = 0; ph < kNumPhases; ++ph) {
+      EXPECT_DOUBLE_EQ(twin_hw.ledger().PhaseCycles(static_cast<Phase>(ph)),
+                       ref_hw.ledger().PhaseCycles(static_cast<Phase>(ph)))
+          << "phase " << PhaseName(static_cast<Phase>(ph));
+    }
+    const LedgerCounters& a = ref_hw.ledger().counters();
+    const LedgerCounters& b = twin_hw.ledger().counters();
+    EXPECT_EQ(b.scalar_ops, a.scalar_ops);
+    EXPECT_EQ(b.vpu_ops, a.vpu_ops);
+    EXPECT_EQ(b.vpu_mem, a.vpu_mem);
+    EXPECT_EQ(b.gathers, a.gathers);
+    EXPECT_EQ(b.scatters, a.scatters);
+    EXPECT_EQ(b.mopas, a.mopas);
+    EXPECT_EQ(b.l1_hits, a.l1_hits);
+    EXPECT_EQ(b.l1_misses, a.l1_misses);
+    EXPECT_EQ(b.l2_hits, a.l2_hits);
+    EXPECT_EQ(b.l2_misses, a.l2_misses);
+    EXPECT_EQ(b.tasks_stolen, a.tasks_stolen);
+    EXPECT_DOUBLE_EQ(b.steal_cycles, a.steal_cycles);
+  }
+}
+
+// The kCostSteal estimate wire-through is not cosmetic: a restored stealing
+// run must replan the same schedule and therefore accumulate the same steal
+// counters as the uninterrupted run (checked above); this test pins the
+// baseline expectation that the stealing machine actually steals on an
+// imbalanced workload, so the counter comparisons above are non-vacuous.
+TEST(CheckpointCycleExact, StealCountersAreNonVacuous) {
+  BunchedBeamParams p;
+  p.nx = p.ny = p.nz = 16;
+  p.ppc_x = p.ppc_y = p.ppc_z = 4;
+
+  HwContext hw(MachineConfig::Lx2Cluster(1, 4, /*stealing=*/true));
+  auto sim = MakeBunchedBeamSimulation(hw, p);
+  sim->Run(3);
+  EXPECT_GT(hw.ledger().counters().tasks_stolen, 0u);
+}
+
 // ---- Rejection of damaged or incompatible checkpoints ------------------------
+
+// Version 1 images lack the adaptive-trigger baselines, the kCostSteal
+// estimates, and the steal counters; restoring one would silently break the
+// bit-exact contract, so the version gate must reject it outright.
+TEST(CheckpointRejection, RejectsVersion1Image) {
+  UniformWorkloadParams p;
+  p.nx = p.ny = p.nz = 8;
+  p.ppc_x = p.ppc_y = p.ppc_z = 1;
+  p.tile = 4;
+
+  HwContext src_hw(MachineConfig::Lx2MultiCore(1));
+  auto src = MakeUniformSimulation(src_hw, p);
+  src->Run(1);
+  std::vector<uint8_t> ckpt;
+  ASSERT_TRUE(SaveCheckpoint(*src, &ckpt));
+
+  HwContext tgt_hw(MachineConfig::Lx2MultiCore(1));
+  auto tgt = MakeUniformSimulation(tgt_hw, p);
+  const uint64_t before = SimulationDigest(*tgt);
+
+  std::vector<uint8_t> old_image = ckpt;
+  old_image[8] = 1;  // u32 version field, little-endian, at offset 8
+  const CheckpointStatus st = RestoreCheckpoint(tgt.get(), old_image);
+  EXPECT_FALSE(st.ok);
+  EXPECT_NE(st.error.find("unsupported version"), std::string::npos)
+      << st.error;
+  EXPECT_EQ(SimulationDigest(*tgt), before) << "target mutated on reject";
+}
+
+
 
 TEST(CheckpointRejection, TruncationAndCorruptionLeaveTargetUnmutated) {
   UniformWorkloadParams p;
