@@ -94,7 +94,9 @@ StealPoint RunPoint(TileSchedulePolicy policy, int cores, int warmup, int steps,
   r.digest = SimulationDigest(*sim);
 
   // Reconstruct the final pass-1 schedule the model would build from the
-  // last committed estimates (exactly what the next step's region would run).
+  // last committed estimates (exactly what the next step's region would run),
+  // including the placement inputs parallel_for now derives from the machine
+  // config and the committed owner feedback.
   const SpeciesBlock& block = sim->block(0);
   const std::vector<double>& est = block.pass1_costs.estimate;
   const int n = block.tiles.num_tiles();
@@ -103,8 +105,22 @@ StealPoint RunPoint(TileSchedulePolicy policy, int cores, int warmup, int steps,
        est.size() == static_cast<size_t>(n))
           ? est.data()
           : nullptr;
+  TileSchedulePlacement placement;
+  placement.num_domains = hw.cfg().num_numa_domains;
+  placement.remote_steal_factor = hw.cfg().remote_mem_latency_factor;
+  placement.remote_line_cost = hw.cfg().remote_line_transfer_cycles;
+  placement.sticky = hw.cfg().sticky_placement;
+  std::vector<int> prev_local;
+  const std::vector<int32_t>& own = block.pass1_costs.owner;
+  if (own.size() == static_cast<size_t>(n)) {
+    prev_local.resize(own.size());
+    for (size_t i = 0; i < own.size(); ++i) {
+      prev_local[i] = (own[i] >= 0 && own[i] < cores) ? own[i] : -1;
+    }
+    placement.prev_owner = prev_local.data();
+  }
   const TileScheduleResult sched = BuildTileSchedule(
-      n, cores, est_ptr, hw.cfg().steal_cost_cycles);
+      n, cores, est_ptr, hw.cfg().steal_cost_cycles, placement);
   for (const std::vector<TileTask>& tasks : sched.worker_tasks) {
     int steals = 0;
     for (const TileTask& t : tasks) {
@@ -161,6 +177,12 @@ bool Run(int warmup, int steps) {
   const std::vector<Workload> workloads = {{"bunched", make_bunched},
                                            {"uniform", make_uniform}};
 
+  JsonWriter json;
+  json.Field("bench", "abl_stealing");
+  json.Field("warmup", warmup);
+  json.Field("steps", steps);
+  json.BeginArray("runs");
+
   ConsoleTable t({"Workload", "Schedule", "Cores", "Model cycles", "vs static",
                   "Stolen", "Tiles/core", "Steals/core", "Digest"});
   for (const Workload& w : workloads) {
@@ -200,9 +222,17 @@ bool Run(int warmup, int steps) {
             uniform_steal4 = r.cycles;
           }
         }
-        char digest_hex[32];
-        std::snprintf(digest_hex, sizeof(digest_hex), "%016llx",
-                      static_cast<unsigned long long>(r.digest));
+        const std::string digest_hex = DigestHex(r.digest);
+        json.BeginObject();
+        json.Field("workload", w.name);
+        json.Field("schedule", PolicyName(policy));
+        json.Field("cores", cores);
+        json.Field("cycles", r.cycles);
+        json.Field("vs_static", ratio);
+        json.Field("tasks_stolen", r.tasks_stolen);
+        json.Field("steal_cycles", r.steal_cycles);
+        json.Field("digest", digest_hex);
+        json.EndObject();
         t.AddRow({w.name, PolicyName(policy), std::to_string(cores),
                   FormatSci(r.cycles, 4), FormatDouble(ratio, 3),
                   std::to_string(r.tasks_stolen), JoinInts(r.core_tiles),
@@ -253,6 +283,16 @@ bool Run(int warmup, int steps) {
   if (!ok) {
     std::printf("FAIL: physics digests differ.\n");
   }
+
+  json.EndArray();
+  json.BeginObject("gates");
+  json.Field("bunched_imbalance", bunched_imbalance);
+  json.Field("bunched_improvement", improvement);
+  json.Field("uniform_regression", regression);
+  json.Field("digests_identical", ok);
+  json.Field("pass", pass);
+  json.EndObject();
+  json.WriteFile("BENCH_stealing.json");
   return pass;
 }
 

@@ -10,8 +10,11 @@
 #define MPIC_BENCH_BENCH_UTIL_H_
 
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
+#include <vector>
 
 // Fnv1a and the FieldsDigest/ParticlesDigest/SimulationDigest family the
 // benches gate bit-identity with live in the library; benches and tests must
@@ -81,6 +84,110 @@ inline BenchResult RunLwfa(const LwfaWorkloadParams& params, int warmup, int ste
 
 inline double PhaseSec(const RunReport& r, Phase p) {
   return r.phase_seconds[static_cast<size_t>(p)];
+}
+
+// Tiny append-only JSON emitter for the BENCH_*.json sidecars the ablation
+// benches write next to their console tables, so the perf trajectory is
+// machine-diffable across PRs instead of living only in CI logs. Covers just
+// the subset the benches need — objects, arrays, string/number/bool fields —
+// and assumes keys and string values need no escaping (identifiers, hex
+// digests, workload names).
+class JsonWriter {
+ public:
+  JsonWriter() { Open('{'); }
+
+  void BeginObject() { Sep(); Open('{'); }
+  void BeginObject(const char* key) { KeyedSep(key); Open('{'); }
+  void EndObject() { Close('}'); }
+  void BeginArray(const char* key) { KeyedSep(key); Open('['); }
+  void EndArray() { Close(']'); }
+
+  void Field(const char* key, const std::string& v) {
+    KeyedSep(key);
+    out_ += '"';
+    out_ += v;
+    out_ += '"';
+  }
+  void Field(const char* key, const char* v) { Field(key, std::string(v)); }
+  void Field(const char* key, bool v) {
+    KeyedSep(key);
+    out_ += v ? "true" : "false";
+  }
+  void Field(const char* key, double v) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    KeyedSep(key);
+    out_ += buf;
+  }
+  void Field(const char* key, int v) { Field(key, static_cast<int64_t>(v)); }
+  void Field(const char* key, int64_t v) {
+    KeyedSep(key);
+    out_ += std::to_string(v);
+  }
+  void Field(const char* key, uint64_t v) {
+    KeyedSep(key);
+    out_ += std::to_string(v);
+  }
+
+  // Closes any open scopes (including the root object) and returns the
+  // document.
+  std::string Finish() {
+    while (!open_.empty()) {
+      Close(open_.back() == '[' ? ']' : '}');
+    }
+    return out_;
+  }
+
+  // Finishes the document and writes it to `path`; prints a warning and
+  // returns false on I/O failure (the bench gates stay console-driven).
+  bool WriteFile(const std::string& path) {
+    std::ofstream f(path, std::ios::trunc);
+    if (f) {
+      f << Finish() << "\n";
+    }
+    if (!f) {
+      std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+      return false;
+    }
+    std::printf("Wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  void Open(char c) {
+    out_ += c;
+    open_.push_back(c);
+    has_member_.push_back(false);
+  }
+  void Close(char c) {
+    out_ += c;
+    open_.pop_back();
+    has_member_.pop_back();
+  }
+  void Sep() {
+    if (has_member_.back()) {
+      out_ += ',';
+    }
+    has_member_.back() = true;
+  }
+  void KeyedSep(const char* key) {
+    Sep();
+    out_ += '"';
+    out_ += key;
+    out_ += "\":";
+  }
+
+  std::string out_;
+  std::vector<char> open_;
+  std::vector<bool> has_member_;
+};
+
+// 16-digit lowercase hex of an FNV digest, the form the benches print and gate.
+inline std::string DigestHex(uint64_t digest) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(digest));
+  return std::string(buf);
 }
 
 }  // namespace mpic

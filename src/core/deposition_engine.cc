@@ -382,12 +382,19 @@ void DepositionEngine::PostScanGlobalSort(TileSet& tiles, FieldSet& fields,
 
 // ---- Pass-2 staging + kernel + reduction -----------------------------------
 
-void DepositionEngine::RefreshTileRegistrations(TileSet& tiles) {
+void DepositionEngine::RefreshTileRegistrations(
+    TileSet& tiles, const std::vector<int>* home_domains) {
   for (int t = 0; t < tiles.num_tiles(); ++t) {
     ParticleTile& tile = tiles.tile(t);
     if (tile.num_live() == 0) {
       continue;
     }
+    // Placement pass: registrations below run under the tile's home domain
+    // (the NUMA domain of its last scheduled owner), re-homing the tile's
+    // SoA/scratch pages so they follow the tile between domains.
+    ScopedHomeDomain home_scope(
+        hw_, home_domains != nullptr ? (*home_domains)[static_cast<size_t>(t)]
+                                     : -1);
     DepositScratch& scratch = scratch_[static_cast<size_t>(t)];
     // Size the staging ahead of the region so the kernels' writes land in
     // registered (deterministically mapped) memory from the first touch. The

@@ -144,8 +144,11 @@ class DepositionEngine {
   // Worker-local registrations are dropped when the next region refreshes the
   // snapshot, so arrays that (re)allocated since the last step (mover
   // delivery, window injection) would otherwise fall back to nondeterministic
-  // identity mapping.
-  void RefreshTileRegistrations(TileSet& tiles);
+  // identity mapping. `home_domains` (optional, one entry per tile, -1 =
+  // leave) re-homes each tile's regions to its scheduled owner's NUMA domain
+  // while registering (see ScopedHomeDomain).
+  void RefreshTileRegistrations(TileSet& tiles,
+                                const std::vector<int>* home_domains = nullptr);
 
   // Replays the engine's full region-registration sequence (field arrays,
   // per-tile staging, rhocell blocks, Esirkepov scratch) against the current

@@ -45,12 +45,21 @@ struct SpeciesConfig {
 // (TileSchedulePolicy::kCostSteal). `estimate` feeds the current step's
 // schedule (RegionCosts::estimates); `measured` collects the current step's
 // per-tile cycle probe (RegionCosts::measured); Commit() rotates measured into
-// estimate at the end of the stage. Both start empty — the first step of a
-// stage schedules with uniform costs, then converges.
+// estimate at the end of the stage. The owner pair rotates the same way:
+// `owner` is the global worker id that executed each tile last step (the
+// sticky-placement preference and the tile's NUMA home domain),
+// `owner_measured` collects this step's placements (RegionCosts::owners).
+// All four start empty — the first step of a stage schedules with uniform
+// costs and no affinity, then converges.
 struct StageCostFeedback {
   std::vector<double> estimate;
   std::vector<double> measured;
-  void Commit() { estimate.swap(measured); }
+  std::vector<int32_t> owner;
+  std::vector<int32_t> owner_measured;
+  void Commit() {
+    estimate.swap(measured);
+    owner.swap(owner_measured);
+  }
 };
 
 struct SpeciesBlock {

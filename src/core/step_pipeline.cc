@@ -42,6 +42,41 @@ EngineStepStats SimStepStats::Aggregate() const {
   return agg;
 }
 
+namespace {
+
+// Per-tile NUMA home domains for one species this step, derived from last
+// step's pass1 owners — the canonical placement anchor: every stage of the
+// species touches the same SoA/scratch, so all of a tile's pages home where
+// its pass1 ran. Empty when the model has nothing to re-home (flat memory,
+// static schedule, or no owner feedback yet); -1 entries leave a tile's
+// current homes untouched.
+std::vector<int> TileHomeDomains(const HwContext& hw,
+                                 const SpeciesBlock& block) {
+  std::vector<int> domains;
+  const MachineConfig& cfg = hw.cfg();
+  if (cfg.num_numa_domains <= 1 ||
+      cfg.tile_schedule != TileSchedulePolicy::kCostSteal) {
+    return domains;
+  }
+  const std::vector<int32_t>& owner = block.pass1_costs.owner;
+  if (owner.size() != static_cast<size_t>(block.tiles.num_tiles())) {
+    return domains;
+  }
+  const int cores = cfg.num_cores < 1 ? 1 : cfg.num_cores;
+  domains.resize(owner.size());
+  for (size_t t = 0; t < owner.size(); ++t) {
+    const int g = owner[t];
+    // Owners are global worker ids (rank * num_cores + core); the domain
+    // split is per node, so only the core-within-rank part matters.
+    domains[t] = g < 0 ? -1
+                       : NumaDomainOfWorker(g % cores, cores,
+                                            cfg.num_numa_domains);
+  }
+  return domains;
+}
+
+}  // namespace
+
 // ---- Shared per-tile stages -------------------------------------------------
 
 void StepPipeline::ZeroCurrentsStage(FieldSet& fields) {
@@ -70,7 +105,13 @@ void StepPipeline::ZeroCurrentsStage(FieldSet& fields) {
 }
 
 void StepPipeline::PrepareTileRegions(SpeciesBlock& block) {
-  block.engine.RefreshTileRegistrations(block.tiles);
+  // On a NUMA machine the serial refresh doubles as the placement pass: each
+  // tile's registrations run under its owner's home domain, migrating the
+  // tile's SoA/scratch pages to wherever the tile ran last step — which is
+  // also where the sticky scheduler will prefer to run it this step.
+  const std::vector<int> home = TileHomeDomains(hw_, block);
+  block.engine.RefreshTileRegistrations(block.tiles,
+                                        home.empty() ? nullptr : &home);
   for (int t = 0; t < block.tiles.num_tiles(); ++t) {
     ParticleTile& tile = block.tiles.tile(t);
     if (tile.num_live() == 0) {
@@ -78,6 +119,8 @@ void StepPipeline::PrepareTileRegions(SpeciesBlock& block) {
     }
     GatherScratch& gs = block.gather_scratch[static_cast<size_t>(t)];
     gs.Resize(tile.soa().size());
+    ScopedHomeDomain scope(hw_,
+                           home.empty() ? -1 : home[static_cast<size_t>(t)]);
     RegisterGatherRegions(hw_, MemRegionKey(block.mem_owner_id, t, 0), gs);
   }
 }
@@ -210,6 +253,8 @@ void StepPipeline::FusedPass1Impl(const StepPipelineInputs& in, SpeciesBlock& bl
   if (cost_sched) {
     costs.estimates = &block.pass1_costs.estimate;
     costs.measured = &block.pass1_costs.measured;
+    costs.prev_owners = &block.pass1_costs.owner;
+    costs.owners = &block.pass1_costs.owner_measured;
   }
   ParallelForTiles(
       hw_, block.tiles.num_tiles(),
@@ -283,11 +328,14 @@ void StepPipeline::DepositTiles(const StepPipelineInputs& in,
   // tile-private blocks and fan out; the baseline/scalar kernels scatter
   // straight into shared J and stay serial.
   if (ParallelEnabled(hw_) && engine.deposit_is_tile_parallel()) {
-    engine.RefreshTileRegistrations(tiles);
+    const std::vector<int> home = TileHomeDomains(hw_, block);
+    engine.RefreshTileRegistrations(tiles, home.empty() ? nullptr : &home);
     RegionCosts costs;
     if (cost_sched) {
       costs.estimates = &block.deposit_costs.estimate;
       costs.measured = &block.deposit_costs.measured;
+      costs.prev_owners = &block.deposit_costs.owner;
+      costs.owners = &block.deposit_costs.owner_measured;
     }
     ParallelForTiles(
         hw_, tiles.num_tiles(),
@@ -323,12 +371,19 @@ void StepPipeline::DepositTiles(const StepPipelineInputs& in,
   const bool have_reduce_est =
       cost_sched && block.reduce_costs.estimate.size() ==
                         static_cast<size_t>(tiles.num_tiles());
+  const bool have_reduce_own =
+      cost_sched && block.reduce_costs.owner.size() ==
+                        static_cast<size_t>(tiles.num_tiles());
   if (cost_sched) {
     block.reduce_costs.measured.assign(
         static_cast<size_t>(tiles.num_tiles()), 0.0);
+    block.reduce_costs.owner_measured.assign(
+        static_cast<size_t>(tiles.num_tiles()), -1);
   }
   std::vector<double> class_est;
   std::vector<double> class_meas;
+  std::vector<int32_t> class_own_est;
+  std::vector<int32_t> class_own;
   for (const std::vector<int>& color_class : engine.reduce_coloring()) {
     // A singleton class (common under the thin-tile per-coordinate fallback)
     // has nothing to overlap with — run it inline rather than paying a
@@ -345,7 +400,16 @@ void StepPipeline::DepositTiles(const StepPipelineInputs& in,
           }
           costs.estimates = &class_est;
         }
+        if (have_reduce_own) {
+          class_own_est.clear();
+          for (int t : color_class) {
+            class_own_est.push_back(
+                block.reduce_costs.owner[static_cast<size_t>(t)]);
+          }
+          costs.prev_owners = &class_own_est;
+        }
         costs.measured = &class_meas;
+        costs.owners = &class_own;
       }
       ParallelForTileList(
           hw_, color_class,
@@ -360,6 +424,8 @@ void StepPipeline::DepositTiles(const StepPipelineInputs& in,
         for (size_t i = 0; i < color_class.size(); ++i) {
           block.reduce_costs.measured[static_cast<size_t>(color_class[i])] =
               class_meas[i];
+          block.reduce_costs.owner_measured[static_cast<size_t>(
+              color_class[i])] = class_own[i];
         }
       }
     } else {

@@ -62,7 +62,8 @@ CacheModel::CacheModel(const MachineConfig& cfg)
       l2_(cfg.l2, kCacheLineBytes),
       l2_penalty_(cfg.l2.hit_penalty_cycles),
       dram_penalty_(cfg.dram_penalty_cycles),
-      prefetch_factor_(cfg.prefetch_factor) {
+      prefetch_factor_(cfg.prefetch_factor),
+      remote_factor_(cfg.remote_mem_latency_factor) {
   stream_next_.assign(static_cast<size_t>(cfg.prefetch_streams), ~uint64_t{0});
   stream_lru_.assign(static_cast<size_t>(cfg.prefetch_streams), 0);
 }
@@ -89,7 +90,7 @@ bool CacheModel::PrefetchHit(uint64_t line) {
   return false;
 }
 
-double CacheModel::Touch(uint64_t addr, CostLedger& ledger) {
+double CacheModel::Touch(uint64_t addr, CostLedger& ledger, bool remote) {
   const uint64_t line = addr / kCacheLineBytes;
   auto& c = ledger.counters();
   if (l1_.Access(line)) {
@@ -106,10 +107,20 @@ double CacheModel::Touch(uint64_t addr, CostLedger& ledger) {
   ++c.l2_misses;
   l2_.Fill(line);
   l1_.Fill(line);
-  return dram_penalty_ * discount;
+  double penalty = dram_penalty_ * discount;
+  if (remote) {
+    // The line crosses the interconnect: scale the (post-discount) miss
+    // penalty by the remote factor and book the surcharge separately.
+    const double surcharge = penalty * (remote_factor_ - 1.0);
+    penalty += surcharge;
+    ++c.remote_lines;
+    c.remote_cycles += surcharge;
+  }
+  return penalty;
 }
 
-double CacheModel::TouchRange(uint64_t addr, uint64_t bytes, CostLedger& ledger) {
+double CacheModel::TouchRange(uint64_t addr, uint64_t bytes, CostLedger& ledger,
+                              bool remote) {
   if (bytes == 0) {
     return 0.0;
   }
@@ -117,7 +128,7 @@ double CacheModel::TouchRange(uint64_t addr, uint64_t bytes, CostLedger& ledger)
   const uint64_t last = (addr + bytes - 1) / kCacheLineBytes;
   double penalty = 0.0;
   for (uint64_t line = first; line <= last; ++line) {
-    penalty += Touch(line * kCacheLineBytes, ledger);
+    penalty += Touch(line * kCacheLineBytes, ledger, remote);
   }
   return penalty;
 }

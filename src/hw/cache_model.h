@@ -47,10 +47,16 @@ class CacheModel {
   // Models one access to the line containing `addr`. Returns the extra penalty
   // cycles (0 for an L1 hit; discounted by the stride prefetcher when the line
   // continues a tracked sequential stream) and records events in `ledger`.
-  double Touch(uint64_t addr, CostLedger& ledger);
+  // `remote` marks the line as homed in another NUMA domain: a miss that goes
+  // all the way to DRAM then pays remote_mem_latency_factor on the (post-
+  // discount) penalty, with the surcharge counted in remote_lines /
+  // remote_cycles. Cache hits cost the same either way — only the memory
+  // round-trip crosses the interconnect.
+  double Touch(uint64_t addr, CostLedger& ledger, bool remote = false);
 
   // Models an access spanning [addr, addr+bytes): touches every line in range.
-  double TouchRange(uint64_t addr, uint64_t bytes, CostLedger& ledger);
+  double TouchRange(uint64_t addr, uint64_t bytes, CostLedger& ledger,
+                    bool remote = false);
 
   void Reset();
 
@@ -62,6 +68,7 @@ class CacheModel {
   double l2_penalty_;
   double dram_penalty_;
   double prefetch_factor_;
+  double remote_factor_;
   // Next-line stride prefetcher state (LRU-replaced stream trackers).
   std::vector<uint64_t> stream_next_;
   std::vector<uint64_t> stream_lru_;

@@ -82,11 +82,14 @@ void CostLedger::SumWorkerCounters(const std::vector<const CostLedger*>& workers
     counters_.mopa_valid_slots += c.mopa_valid_slots;
     counters_.atomics += c.atomics;
     counters_.tasks_stolen += c.tasks_stolen;
+    counters_.tasks_stolen_remote += c.tasks_stolen_remote;
     counters_.steal_cycles += c.steal_cycles;
     counters_.l1_hits += c.l1_hits;
     counters_.l1_misses += c.l1_misses;
     counters_.l2_hits += c.l2_hits;
     counters_.l2_misses += c.l2_misses;
+    counters_.remote_lines += c.remote_lines;
+    counters_.remote_cycles += c.remote_cycles;
   }
 }
 
@@ -122,9 +125,19 @@ std::string CostLedger::Summary() const {
       << " gathers=" << counters_.gathers
       << " scatters=" << counters_.scatters << " atomics=" << counters_.atomics
       << " stolen=" << counters_.tasks_stolen
+      << " (remote=" << counters_.tasks_stolen_remote << ")"
       << " steal_cyc=" << counters_.steal_cycles;
   out << "\ncache: l1h=" << counters_.l1_hits << " l1m=" << counters_.l1_misses
       << " l2h=" << counters_.l2_hits << " l2m=" << counters_.l2_misses;
+  // Remote/local DRAM line split (remote_lines is a subset of l2_misses).
+  const uint64_t local_lines = counters_.l2_misses - counters_.remote_lines;
+  out << "\nnuma: remote_lines=" << counters_.remote_lines
+      << " local_lines=" << local_lines
+      << " rem/loc=" << (local_lines > 0
+                             ? static_cast<double>(counters_.remote_lines) /
+                                   static_cast<double>(local_lines)
+                             : 0.0)
+      << " remote_cyc=" << counters_.remote_cycles;
   return out.str();
 }
 

@@ -51,13 +51,23 @@ struct LedgerCounters {
   // Work-stealing events (TileSchedulePolicy::kCostSteal): number of tile
   // tasks a core pulled from another core's queue, and the modeled cycles
   // spent doing so (steal_cost_cycles + one remote line each).
+  // tasks_stolen_remote counts the subset pulled across a NUMA domain
+  // boundary (charged steal_cost * remote_mem_latency_factor +
+  // remote_line_transfer_cycles instead).
   uint64_t tasks_stolen = 0;
+  uint64_t tasks_stolen_remote = 0;
   double steal_cycles = 0.0;
   // Cache events.
   uint64_t l1_hits = 0;
   uint64_t l1_misses = 0;
   uint64_t l2_hits = 0;
   uint64_t l2_misses = 0;
+  // NUMA events: DRAM-level misses whose line is homed in another domain (a
+  // subset of l2_misses), and the extra cycles the remote factor charged for
+  // them. remote_lines / (l2_misses - remote_lines) is the remote/local line
+  // ratio the placement policy tries to push down.
+  uint64_t remote_lines = 0;
+  double remote_cycles = 0.0;
 };
 
 class CostLedger {

@@ -52,6 +52,9 @@ HwContext& HwContext::worker(int w) {
     MachineConfig core_cfg = cfg_;
     core_cfg.num_cores = 1;
     workers_.push_back(std::make_unique<HwContext>(core_cfg));
+    workers_.back()->numa_domain_ = NumaDomainOfWorker(
+        static_cast<int>(workers_.size()) - 1, num_cores(),
+        cfg_.num_numa_domains);
   }
   return *workers_[static_cast<size_t>(w)];
 }
@@ -59,8 +62,8 @@ HwContext& HwContext::worker(int w) {
 void HwContext::ChargeMem(const void* p, size_t bytes, double issue_cycles,
                           bool write, uint64_t count_as_vpu_mem) {
   (void)write;  // the model charges reads and writes identically
-  const uint64_t addr = mem_.Translate(p);
-  const double penalty = cache_.TouchRange(addr, bytes, ledger_);
+  const MemLocation loc = mem_.TranslateEx(p);
+  const double penalty = cache_.TouchRange(loc.addr, bytes, ledger_, IsRemote(loc));
   ledger_.AddCycles(issue_cycles + penalty);
   if (count_as_vpu_mem != 0) {
     ledger_.counters().vpu_mem += count_as_vpu_mem;
@@ -146,8 +149,9 @@ Vec8 HwContext::VGather(const double* base, const int64_t* idx, const Mask8& m) 
       continue;
     }
     const double* p = base + idx[i];
-    const uint64_t addr = mem_.Translate(p);
-    ledger_.AddCycles(cache_.TouchRange(addr, sizeof(double), ledger_));
+    const MemLocation loc = mem_.TranslateEx(p);
+    ledger_.AddCycles(
+        cache_.TouchRange(loc.addr, sizeof(double), ledger_, IsRemote(loc)));
     r[i] = *p;
   }
   return r;
@@ -189,8 +193,9 @@ void HwContext::VScatter(double* base, const int64_t* idx, const Vec8& v,
       continue;
     }
     double* p = base + idx[i];
-    const uint64_t addr = mem_.Translate(p);
-    ledger_.AddCycles(cache_.TouchRange(addr, sizeof(double), ledger_));
+    const MemLocation loc = mem_.TranslateEx(p);
+    ledger_.AddCycles(
+        cache_.TouchRange(loc.addr, sizeof(double), ledger_, IsRemote(loc)));
     *p = v[i];
   }
 }
@@ -204,8 +209,9 @@ void HwContext::VScatterAccum(double* base, const int64_t* idx, const Vec8& v,
       continue;
     }
     double* p = base + idx[i];
-    const uint64_t addr = mem_.Translate(p);
-    ledger_.AddCycles(cache_.TouchRange(addr, sizeof(double), ledger_));
+    const MemLocation loc = mem_.TranslateEx(p);
+    ledger_.AddCycles(
+        cache_.TouchRange(loc.addr, sizeof(double), ledger_, IsRemote(loc)));
     *p += v[i];
   }
 }
@@ -376,11 +382,16 @@ Vec8 HwContext::TileReadRow(const MpuTileReg& tile, int row) {
 
 // ---- Bulk accounting -------------------------------------------------------
 
-void HwContext::ChargeSteal() {
-  const double cycles = cfg_.steal_cost_cycles + cfg_.dram_penalty_cycles;
+void HwContext::ChargeSteal(bool remote) {
+  double cycles = cfg_.steal_cost_cycles + cfg_.dram_penalty_cycles;
+  if (remote) {
+    cycles = cfg_.steal_cost_cycles * cfg_.remote_mem_latency_factor +
+             cfg_.remote_line_transfer_cycles + cfg_.dram_penalty_cycles;
+  }
   PhaseScope phase(ledger_, Phase::kOther);
   ledger_.AddCycles(cycles);
   ledger_.counters().tasks_stolen += 1;
+  if (remote) ledger_.counters().tasks_stolen_remote += 1;
   ledger_.counters().steal_cycles += cycles;
 }
 

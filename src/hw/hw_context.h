@@ -38,13 +38,24 @@ class HwContext {
 
   // Registers an array with the deterministic logical address space. Kernels
   // register every array they model accesses to (particles, J, rhocells, GPMA
-  // index arrays) once per configuration.
-  void RegisterRegion(const void* p, size_t bytes) { mem_.Register(p, bytes); }
+  // index arrays) once per configuration. A region created here is homed in
+  // this context's NUMA domain (model first-touch) — or in the scoped home
+  // domain when a ScopedHomeDomain is active, which also re-homes regions
+  // that already exist (an explicit placement decision, not a mere touch).
+  void RegisterRegion(const void* p, size_t bytes) {
+    mem_.Register(p, bytes, RegistrationHome());
+  }
   // Keyed registration for arrays that may reallocate over the run (particle
   // SoA streams, staging scratch): see MemMap::RegisterKeyed.
   void RegisterRegionKeyed(uint64_t key, const void* p, size_t bytes) {
-    mem_.RegisterKeyed(key, p, bytes);
+    mem_.RegisterKeyed(key, p, bytes, RegistrationHome());
   }
+  // Re-homes the region containing `p` (see MemMap::SetHomeDomain).
+  void SetHomeDomain(const void* p, int domain) { mem_.SetHomeDomain(p, domain); }
+
+  // NUMA domain this context models (0 for the main/rank contexts; workers
+  // get theirs from NumaDomainOfWorker at creation).
+  int numa_domain() const { return numa_domain_; }
 
   // Resets modeled state between bench configurations (cold caches, zero
   // cycles). Region registrations survive; call mem().Clear() to drop them.
@@ -143,7 +154,10 @@ class HwContext {
   // CAS + coherence round-trip (cfg.steal_cost_cycles) plus one remote line
   // for the migrated queue entry (cfg.dram_penalty_cycles), under
   // Phase::kOther, and bumps the tasks_stolen / steal_cycles counters.
-  void ChargeSteal();
+  // `remote` marks a steal across a NUMA domain boundary: the CAS round-trip
+  // scales by cfg.remote_mem_latency_factor and the descriptor line pays
+  // cfg.remote_line_transfer_cycles on top, counted in tasks_stolen_remote.
+  void ChargeSteal(bool remote = false);
 
   // Seconds corresponding to the ledger's total cycles at the modeled clock.
   double TotalSeconds() const { return cfg_.CyclesToSeconds(ledger_.TotalCycles()); }
@@ -174,8 +188,24 @@ class HwContext {
   HwContext& rank(int r);
 
  private:
+  friend class ScopedHomeDomain;
+
   void ChargeMem(const void* p, size_t bytes, double issue_cycles, bool write,
                  uint64_t count_as_vpu_mem);
+  // Home-domain intent for registrations issued by this context: the scoped
+  // placement domain when one is active (authoritative), this context's own
+  // domain otherwise (first-touch).
+  HomeDomain RegistrationHome() const {
+    if (scoped_home_domain_ >= 0) {
+      return HomeDomain{scoped_home_domain_, /*authoritative=*/true};
+    }
+    return HomeDomain{numa_domain_, /*authoritative=*/false};
+  }
+  // True when an access to `loc` crosses a domain boundary on a DRAM miss.
+  bool IsRemote(const MemLocation& loc) const {
+    return cfg_.num_numa_domains > 1 && loc.home_domain >= 0 &&
+           loc.home_domain != numa_domain_;
+  }
 
   MachineConfig cfg_;
   CostLedger ledger_;
@@ -183,8 +213,30 @@ class HwContext {
   MemMap mem_;
   double vpu_op_cycles_;
   double scalar_op_cycles_;
+  int numa_domain_ = 0;
+  int scoped_home_domain_ = -1;
   std::vector<std::unique_ptr<HwContext>> workers_;
   std::vector<std::unique_ptr<HwContext>> ranks_;
+};
+
+// RAII placement scope: registrations issued through `ctx` while the scope is
+// live home their regions in `domain` — authoritatively, i.e. regions that
+// already exist are re-homed too. Used by the per-step region refresh to make
+// a tile's SoA/scratch pages follow the tile's scheduled owner. A negative
+// domain is a no-op scope (registrations keep first-touch semantics).
+class ScopedHomeDomain {
+ public:
+  ScopedHomeDomain(HwContext& ctx, int domain)
+      : ctx_(ctx), prev_(ctx.scoped_home_domain_) {
+    ctx_.scoped_home_domain_ = domain;
+  }
+  ~ScopedHomeDomain() { ctx_.scoped_home_domain_ = prev_; }
+  ScopedHomeDomain(const ScopedHomeDomain&) = delete;
+  ScopedHomeDomain& operator=(const ScopedHomeDomain&) = delete;
+
+ private:
+  HwContext& ctx_;
+  int prev_;
 };
 
 }  // namespace mpic

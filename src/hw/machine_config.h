@@ -119,6 +119,25 @@ struct MachineConfig {
   // stream_bytes_per_cycle memory path).
   double rank_link_bytes_per_cycle = 8.0;
 
+  // --- NUMA model ---
+  // Number of NUMA domains the modeled cores split into (contiguous split,
+  // like the rank split of tiles: NumaDomainOfWorker below). Each MemMap
+  // region carries a home domain (first-touch at registration by the
+  // registering worker's domain; tile-owned SoA/scratch is re-homed to the
+  // tile's scheduled owner each step). A cache miss that goes to DRAM in a
+  // non-local home domain pays remote_mem_latency_factor on the miss penalty,
+  // counted in the remote_lines / remote_cycles ledger counters. 1 reproduces
+  // the flat-memory model exactly.
+  int num_numa_domains = 1;
+  // Multiplier on the DRAM miss penalty for a line homed in another domain
+  // (typical 1.5-2x for a two-socket interconnect hop). Also multiplies
+  // steal_cost_cycles for a cross-domain steal.
+  double remote_mem_latency_factor = 2.0;
+  // Extra cycles per cross-domain steal: the migrated task descriptor's line
+  // crosses the interconnect once (on top of the dram_penalty_cycles every
+  // steal pays for the queue entry).
+  double remote_line_transfer_cycles = 60.0;
+
   // --- Tile scheduling ---
   // How tile-parallel regions map positions to cores; see TileSchedulePolicy.
   TileSchedulePolicy tile_schedule = TileSchedulePolicy::kStatic;
@@ -126,8 +145,16 @@ struct MachineConfig {
   // deque tail plus the coherence round-trip to pull the task descriptor. The
   // thief additionally pays one remote line (dram_penalty_cycles) for the
   // migrated queue entry; both are charged on the thief's ledger under
-  // Phase::kOther and counted in tasks_stolen / steal_cycles.
+  // Phase::kOther and counted in tasks_stolen / steal_cycles. Stealing across
+  // a NUMA domain boundary costs steal_cost_cycles * remote_mem_latency_factor
+  // + remote_line_transfer_cycles instead.
   double steal_cost_cycles = 120.0;
+  // Under kCostSteal, bias the LPT assignment toward each tile's previous
+  // owner (then toward the previous owner's NUMA domain) whenever the choice
+  // stays within one planner cost bucket of the least-loaded worker. Keeps a
+  // tile's pages and cached lines where they already are; false restores the
+  // owner-oblivious PR 8 assignment (the naive-LPT ablation arm).
+  bool sticky_placement = true;
 
   // Peak FP64 FLOP/s of the VPU complex on one core: pipes * lanes * 2 (FMA).
   double VpuPeakFlopsPerCycle() const {
@@ -163,6 +190,17 @@ struct MachineConfig {
     return cfg;
   }
 
+  // An LX2 node with `cores` cores split over `domains` NUMA domains, running
+  // the cost-guided work-stealing scheduler (the configuration where placement
+  // matters; kStatic callers can flip tile_schedule back).
+  static MachineConfig Lx2MultiCoreNuma(int cores, int domains) {
+    MachineConfig cfg;
+    cfg.num_cores = cores;
+    cfg.num_numa_domains = domains;
+    cfg.tile_schedule = TileSchedulePolicy::kCostSteal;
+    return cfg;
+  }
+
   // A modeled cluster of `ranks` LX2 nodes, each with `cores` cores;
   // `stealing` selects the cost-guided work-stealing tile scheduler inside
   // each rank.
@@ -186,6 +224,22 @@ struct MachineConfig {
 
   bool has_mpu = true;
 };
+
+// NUMA domain of a node-local worker id: the cores split contiguously over
+// the domains with the remainder spread over the leading domains, mirroring
+// how tiles split over ranks (WorkerTileRange). Degenerate inputs (one
+// domain, one core, more domains than cores) clamp sanely so call sites can
+// use it unconditionally.
+inline int NumaDomainOfWorker(int worker, int num_cores, int num_domains) {
+  if (num_domains <= 1 || num_cores <= 1 || worker <= 0) return 0;
+  if (num_domains > num_cores) num_domains = num_cores;
+  if (worker >= num_cores) worker = num_cores - 1;
+  const int base = num_cores / num_domains;
+  const int extra = num_cores % num_domains;
+  const int leading = extra * (base + 1);
+  if (worker < leading) return worker / (base + 1);
+  return extra + (worker - leading) / base;
+}
 
 }  // namespace mpic
 

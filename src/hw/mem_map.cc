@@ -24,10 +24,11 @@ void MemMap::BumpVersion() {
   version_ = g_mem_map_stamp.fetch_add(1, std::memory_order_relaxed) + 1;
 }
 
-uint64_t MemMap::InsertRegion(uintptr_t host, size_t bytes) {
+uint64_t MemMap::InsertRegion(uintptr_t host, size_t bytes, int home_domain) {
   Region r;
   r.host_base = host;
   r.host_end = host + bytes;
+  r.home_domain = home_domain;
   // Stagger bases across cache sets: page-aligning every region would start
   // all streams in set 0 and make interleaved multi-stream loops thrash in a
   // way real (physically-colored) caches do not.
@@ -74,32 +75,42 @@ void MemMap::EraseRegion(uintptr_t host_base, uint64_t logical_base) {
   }
 }
 
-uint64_t MemMap::Register(const void* base, size_t bytes) {
+uint64_t MemMap::Register(const void* base, size_t bytes, HomeDomain home) {
   const auto host = reinterpret_cast<uintptr_t>(base);
   // Existing region starting at the same base? If it grew (vector realloc that
   // landed on the same address), move it to a fresh logical range so logical
-  // addresses never alias a neighbor.
+  // addresses never alias a neighbor. The home domain follows first-touch:
+  // only a new/moved region (or an authoritative placement) re-homes it.
   for (Region& r : regions_) {
     if (r.host_base == host) {
       if (host + bytes <= r.host_end) {
+        if (home.authoritative && r.home_domain != home.domain) {
+          r.home_domain = home.domain;
+          BumpVersion();
+        }
         return r.logical_base;
       }
       r.host_end = host + bytes;
       r.logical_base = next_logical_;
+      r.home_domain = home.domain;
       next_logical_ += RoundUpPage(bytes) + kPage;
       BumpVersion();
       return r.logical_base;
     }
   }
-  return InsertRegion(host, bytes);
+  return InsertRegion(host, bytes, home.domain);
 }
 
-uint64_t MemMap::RegisterKeyed(uint64_t key, const void* base, size_t bytes) {
+uint64_t MemMap::RegisterKeyed(uint64_t key, const void* base, size_t bytes,
+                               HomeDomain home) {
   const auto host = reinterpret_cast<uintptr_t>(base);
   auto it = keyed_.find(key);
   if (it != keyed_.end()) {
     if (it->second.host_base == host && bytes <= it->second.bytes &&
         RegionExists(it->second.host_base, it->second.logical_base)) {
+      if (home.authoritative) {
+        SetHomeDomain(base, home.domain);
+      }
       return it->second.logical_base;
     }
     // The array moved or grew: retire its old region (the old host range is
@@ -108,17 +119,31 @@ uint64_t MemMap::RegisterKeyed(uint64_t key, const void* base, size_t bytes) {
     // nondeterminism keyed registration exists to rule out).
     EraseRegion(it->second.host_base, it->second.logical_base);
   }
-  const uint64_t logical = InsertRegion(host, bytes);
+  const uint64_t logical = InsertRegion(host, bytes, home.domain);
   keyed_[key] = KeyedRecord{host, bytes, logical};
   return logical;
 }
 
-uint64_t MemMap::Translate(const void* p) {
+bool MemMap::SetHomeDomain(const void* p, int domain) {
+  const auto host = reinterpret_cast<uintptr_t>(p);
+  for (Region& r : regions_) {
+    if (host >= r.host_base && host < r.host_end) {
+      if (r.home_domain != domain) {
+        r.home_domain = domain;
+        BumpVersion();
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+MemLocation MemMap::TranslateEx(const void* p) {
   const auto host = reinterpret_cast<uintptr_t>(p);
   if (mru_ < regions_.size()) {
     const Region& r = regions_[mru_];
     if (host >= r.host_base && host < r.host_end) {
-      return r.logical_base + (host - r.host_base);
+      return MemLocation{r.logical_base + (host - r.host_base), r.home_domain};
     }
   }
   // Binary search for the region containing `host`.
@@ -136,11 +161,12 @@ uint64_t MemMap::Translate(const void* p) {
     const Region& r = regions_[lo - 1];
     if (host >= r.host_base && host < r.host_end) {
       mru_ = lo - 1;
-      return r.logical_base + (host - r.host_base);
+      return MemLocation{r.logical_base + (host - r.host_base), r.home_domain};
     }
   }
-  // Unregistered: identity-map into a far range.
-  return kUnmappedBase + (host & ((uint64_t{1} << 40) - 1));
+  // Unregistered: identity-map into a far range (home domain unknown; the
+  // cache model treats it as local).
+  return MemLocation{kUnmappedBase + (host & ((uint64_t{1} << 40) - 1)), -1};
 }
 
 void MemMap::Clear() {

@@ -41,6 +41,24 @@ inline uint64_t MemRegionKey(uint64_t owner, int tile, int stream) {
          static_cast<uint64_t>(stream);
 }
 
+// NUMA home-domain intent attached to a registration. `domain` is the home
+// assigned when the registration creates (or moves) a region — the model's
+// first-touch rule, supplied by the registering context from its own NUMA
+// domain. When `authoritative` is set (a placement decision, not a mere
+// touch: HwContext::ScopedHomeDomain), an already-registered region is
+// re-homed too, so a tile's pages follow its scheduled owner.
+struct HomeDomain {
+  int domain = 0;
+  bool authoritative = false;
+};
+
+// A translated address plus the home domain of the region it fell in
+// (-1 for unmapped pointers, which the cache model treats as local).
+struct MemLocation {
+  uint64_t addr = 0;
+  int home_domain = -1;
+};
+
 class MemMap {
  public:
   // Registers [base, base+bytes). Re-registering the same base with a size that
@@ -48,18 +66,27 @@ class MemMap {
   // Returns the logical base address. For arrays that may reallocate, use
   // RegisterKeyed instead — a freed region left behind here can alias a later
   // allocation at the same address.
-  uint64_t Register(const void* base, size_t bytes);
+  uint64_t Register(const void* base, size_t bytes, HomeDomain home = {});
 
   // Keyed registration: `key` names one logical array. While the array stays
   // at the same base (and fits its recorded size) this returns the existing
   // logical base; when it moved or grew, the key's old region is dropped and
   // a fresh logical range is assigned. Returns the logical base address.
-  uint64_t RegisterKeyed(uint64_t key, const void* base, size_t bytes);
+  uint64_t RegisterKeyed(uint64_t key, const void* base, size_t bytes,
+                         HomeDomain home = {});
+
+  // Re-homes the region containing `p` (no-op for unmapped pointers; the
+  // version stamp bumps only when the domain actually changes). Returns true
+  // when a region was found.
+  bool SetHomeDomain(const void* p, int domain);
 
   // Translates an interior pointer of a registered region. Pointers outside any
   // region are identity-mapped into a distinct high address range (so stray
   // accesses still behave sanely, just without cross-run determinism).
-  uint64_t Translate(const void* p);
+  uint64_t Translate(const void* p) { return TranslateEx(p).addr; }
+
+  // Translate plus the containing region's home domain (-1 when unmapped).
+  MemLocation TranslateEx(const void* p);
 
   // Drops all registrations (e.g. between bench configurations).
   void Clear();
@@ -76,6 +103,7 @@ class MemMap {
     uintptr_t host_base;
     uintptr_t host_end;
     uint64_t logical_base;
+    int home_domain;
   };
   struct KeyedRecord {
     uintptr_t host_base;
@@ -87,7 +115,7 @@ class MemMap {
   // Places a new region (staggered logical base, guard gap), evicting stale
   // regions whose host ranges the new allocation proves freed. Returns the
   // logical base.
-  uint64_t InsertRegion(uintptr_t host, size_t bytes);
+  uint64_t InsertRegion(uintptr_t host, size_t bytes, int home_domain);
   void EraseRegion(uintptr_t host_base, uint64_t logical_base);
   // True when the exact region is still present (a keyed record's region can
   // in principle be evicted by a later overlapping registration; the keyed

@@ -9,19 +9,24 @@ namespace {
 // One rank's (or the single-rank machine's) share of a fan-out: positions
 // [begin, end) of the region run on `node`'s cores. `worker_base` offsets the
 // worker index handed to the body so per-worker slots stay globally unique
-// across ranks (rank r core w -> slot r * num_cores + w). `est` points at the
-// node's slice of the region's cost estimates (null when unavailable);
-// `measured` (when non-null) is the region-global measured vector, written at
-// global positions. Serial inline on `node` when it has one core (no
-// fork/join charge).
+// across ranks (rank r core w -> slot r * num_cores + w). `est` and
+// `prev_owner` point at the node's slice of the region's cost estimates and
+// previous-owner ids (null when unavailable); `measured` / `owners` (when
+// non-null) are the region-global feedback vectors, written at global
+// positions. Serial inline on `node` when it has one core (no fork/join
+// charge).
 template <typename IndexOf>
 void RunRegionOnNode(HwContext& node, int begin, int end, int worker_base,
                      const TileBody& body, RegionMerge merge, const double* est,
-                     std::vector<double>* measured, const IndexOf& index_of) {
+                     std::vector<double>* measured, const int32_t* prev_owner,
+                     std::vector<int32_t>* owners, const IndexOf& index_of) {
   const int n_local = end - begin;
   const int num_workers = node.num_cores();
   if (num_workers <= 1) {
     for (int i = begin; i < end; ++i) {
+      if (owners != nullptr) {
+        (*owners)[static_cast<size_t>(i)] = static_cast<int32_t>(worker_base);
+      }
       if (measured != nullptr) {
         const double before = node.ledger().TotalCycles();
         body(node, worker_base, index_of(i));
@@ -55,9 +60,36 @@ void RunRegionOnNode(HwContext& node, int begin, int end, int worker_base,
     // Cost-guided schedule: the task lists (and the steal sequence) are
     // computed serially from the estimates before the fan-out, so they are
     // identical for every OpenMP thread count; real threads just execute the
-    // lists the model assigned.
-    const TileScheduleResult sched =
-        BuildTileSchedule(n_local, num_workers, est, node.cfg().steal_cost_cycles);
+    // lists the model assigned. Previous-owner ids arrive as global worker
+    // ids; the scheduler wants node-local ones (a position that last ran on
+    // another rank has no local affinity).
+    TileSchedulePlacement placement;
+    placement.num_domains = node.cfg().num_numa_domains;
+    placement.remote_steal_factor = node.cfg().remote_mem_latency_factor;
+    placement.remote_line_cost = node.cfg().remote_line_transfer_cycles;
+    placement.sticky = node.cfg().sticky_placement;
+    std::vector<int> prev_local;
+    if (prev_owner != nullptr) {
+      prev_local.resize(static_cast<size_t>(n_local));
+      for (int i = 0; i < n_local; ++i) {
+        const int local = static_cast<int>(prev_owner[i]) - worker_base;
+        prev_local[static_cast<size_t>(i)] =
+            (local >= 0 && local < num_workers) ? local : -1;
+      }
+      placement.prev_owner = prev_local.data();
+    }
+    const TileScheduleResult sched = BuildTileSchedule(
+        n_local, num_workers, est, node.cfg().steal_cost_cycles, placement);
+    if (owners != nullptr) {
+      // Record placements serially from the schedule (not from the execution
+      // loop) so the feedback is complete even if a worker list is empty.
+      for (int w = 0; w < num_workers; ++w) {
+        for (const TileTask& task : sched.worker_tasks[static_cast<size_t>(w)]) {
+          (*owners)[static_cast<size_t>(begin + task.pos)] =
+              static_cast<int32_t>(worker_base + w);
+        }
+      }
+    }
 #ifdef _OPENMP
 #pragma omp parallel for schedule(static, 1)
 #endif
@@ -66,7 +98,7 @@ void RunRegionOnNode(HwContext& node, int begin, int end, int worker_base,
       for (const TileTask& task : sched.worker_tasks[static_cast<size_t>(w)]) {
         // Steal overhead lands before the measurement window so the per-tile
         // probe records the tile's work, not where it ran.
-        if (task.stolen) ctx.ChargeSteal();
+        if (task.stolen) ctx.ChargeSteal(task.remote);
         const int pos = begin + task.pos;
         if (measured != nullptr) {
           const double before = ctx.ledger().TotalCycles();
@@ -90,6 +122,10 @@ void RunRegionOnNode(HwContext& node, int begin, int end, int worker_base,
       HwContext& ctx = node.worker(w);
       const TileRange range = WorkerTileRange(n_local, num_workers, w);
       for (int i = begin + range.begin; i < begin + range.end; ++i) {
+        if (owners != nullptr) {
+          (*owners)[static_cast<size_t>(i)] =
+              static_cast<int32_t>(worker_base + w);
+        }
         if (measured != nullptr) {
           const double before = ctx.ledger().TotalCycles();
           body(ctx, worker_base + w, index_of(i));
@@ -131,14 +167,23 @@ void RunRegion(HwContext& hw, int n, const TileBody& body, RegionMerge merge,
   if (costs.measured != nullptr) {
     costs.measured->assign(static_cast<size_t>(n), 0.0);
   }
+  if (costs.owners != nullptr) {
+    costs.owners->assign(static_cast<size_t>(n), -1);
+  }
   const double* est = nullptr;
   if (costs.estimates != nullptr &&
       costs.estimates->size() == static_cast<size_t>(n)) {
     est = costs.estimates->data();
   }
+  const int32_t* prev_own = nullptr;
+  if (costs.prev_owners != nullptr &&
+      costs.prev_owners->size() == static_cast<size_t>(n)) {
+    prev_own = costs.prev_owners->data();
+  }
   const int num_ranks = hw.num_ranks();
   if (num_ranks <= 1) {
-    RunRegionOnNode(hw, 0, n, 0, body, merge, est, costs.measured, index_of);
+    RunRegionOnNode(hw, 0, n, 0, body, merge, est, costs.measured, prev_own,
+                    costs.owners, index_of);
     return;
   }
 
@@ -158,7 +203,9 @@ void RunRegion(HwContext& hw, int n, const TileBody& body, RegionMerge merge,
     const TileRange range = WorkerTileRange(n, num_ranks, r);
     RunRegionOnNode(hw.rank(r), range.begin, range.end, r * hw.num_cores(),
                     body, merge, est != nullptr ? est + range.begin : nullptr,
-                    costs.measured, index_of);
+                    costs.measured,
+                    prev_own != nullptr ? prev_own + range.begin : nullptr,
+                    costs.owners, index_of);
   }
   switch (merge) {
     case RegionMerge::kPhaseMax:

@@ -34,6 +34,7 @@
 #ifndef MPIC_SRC_HW_PARALLEL_FOR_H_
 #define MPIC_SRC_HW_PARALLEL_FOR_H_
 
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -76,9 +77,20 @@ enum class RegionMerge {
 //    are excluded, so feeding `measured` back as next step's `estimates`
 //    estimates the work, not the scheduling overhead. The probe itself is
 //    free in the model.
+//  - `prev_owners`: per-position global worker id (rank * num_cores + core)
+//    that executed the position last time (typically last step's `owners`).
+//    Used only under kCostSteal with MachineConfig::sticky_placement, and
+//    only when its size matches the position count: the scheduler prefers
+//    re-placing each position on its previous owner (then the owner's NUMA
+//    domain) within one cost bucket of the balance optimum.
+//  - `owners`: filled (resized to n, -1 for positions no worker ran) with
+//    the global worker id that executed each position this region, the
+//    feedback source for the next step's `prev_owners`.
 struct RegionCosts {
   const std::vector<double>* estimates = nullptr;
   std::vector<double>* measured = nullptr;
+  const std::vector<int32_t>* prev_owners = nullptr;
+  std::vector<int32_t>* owners = nullptr;
 };
 
 // Runs body over [0, n). Under TileSchedulePolicy::kStatic positions are

@@ -4,11 +4,20 @@
 #include <cmath>
 #include <numeric>
 
+#include "src/hw/machine_config.h"
+
 namespace mpic {
 
 TileScheduleResult BuildTileSchedule(int n, int num_workers,
                                      const double* estimates,
                                      double steal_cost) {
+  return BuildTileSchedule(n, num_workers, estimates, steal_cost,
+                           TileSchedulePlacement{});
+}
+
+TileScheduleResult BuildTileSchedule(int n, int num_workers,
+                                     const double* estimates, double steal_cost,
+                                     const TileSchedulePlacement& placement) {
   if (num_workers < 1) num_workers = 1;
   TileScheduleResult result;
   result.worker_tasks.resize(static_cast<size_t>(num_workers));
@@ -80,6 +89,13 @@ TileScheduleResult BuildTileSchedule(int n, int num_workers,
     return planned[static_cast<size_t>(a)] > planned[static_cast<size_t>(b)];
   });
 
+  // NUMA domain of each worker (all 0 on a flat machine).
+  std::vector<int> domain(static_cast<size_t>(num_workers), 0);
+  for (int w = 0; w < num_workers; ++w) {
+    domain[static_cast<size_t>(w)] =
+        NumaDomainOfWorker(w, num_workers, placement.num_domains);
+  }
+
   std::vector<std::vector<int>> queue(static_cast<size_t>(num_workers));
   std::vector<double> planned_load(static_cast<size_t>(num_workers), 0.0);
   std::vector<double> queued(static_cast<size_t>(num_workers), 0.0);
@@ -91,9 +107,40 @@ TileScheduleResult BuildTileSchedule(int n, int num_workers,
         best = w;
       }
     }
-    queue[static_cast<size_t>(best)].push_back(pos);
-    planned_load[static_cast<size_t>(best)] += planned[static_cast<size_t>(pos)];
-    queued[static_cast<size_t>(best)] += cost[static_cast<size_t>(pos)];
+    int chosen = best;
+    // Sticky placement: the planner already tolerates one bucket of cost
+    // noise, so any worker whose planned load sits within one bucket ratio of
+    // the minimum is "as good as least-loaded". Inside that slack, prefer the
+    // position's previous owner (its pages and cached lines live there), then
+    // the least-loaded worker of the owner's domain (lowest id on ties) —
+    // crossing domains only when the whole domain is saturated. Tie-breaks
+    // are by worker id, so the choice is a pure function of the inputs.
+    if (placement.sticky && placement.prev_owner != nullptr) {
+      const int po = placement.prev_owner[pos];
+      if (po >= 0 && po < num_workers) {
+        const double slack =
+            planned_load[static_cast<size_t>(best)] * kCostBucketRatio;
+        if (planned_load[static_cast<size_t>(po)] <= slack) {
+          chosen = po;
+        } else {
+          int cand = -1;
+          for (int w = 0; w < num_workers; ++w) {
+            if (domain[static_cast<size_t>(w)] != domain[static_cast<size_t>(po)] ||
+                planned_load[static_cast<size_t>(w)] > slack) {
+              continue;
+            }
+            if (cand < 0 || planned_load[static_cast<size_t>(w)] <
+                                planned_load[static_cast<size_t>(cand)]) {
+              cand = w;
+            }
+          }
+          if (cand >= 0) chosen = cand;
+        }
+      }
+    }
+    queue[static_cast<size_t>(chosen)].push_back(pos);
+    planned_load[static_cast<size_t>(chosen)] += planned[static_cast<size_t>(pos)];
+    queued[static_cast<size_t>(chosen)] += cost[static_cast<size_t>(pos)];
   }
 
   // Deterministic event simulation. Advance the worker with the smallest
@@ -137,12 +184,20 @@ TileScheduleResult BuildTileSchedule(int n, int num_workers,
     }
     if (victim >= 0) {
       const size_t sv = static_cast<size_t>(victim);
-      if (t[sw] + steal_cost < t[sv] + queued[sv]) {
+      // Distance-dependent premium: a cross-domain steal's CAS round-trip
+      // crosses the interconnect and the task descriptor's line migrates once.
+      const bool remote = domain[sw] != domain[sv];
+      const double this_steal_cost =
+          remote ? steal_cost * placement.remote_steal_factor +
+                       placement.remote_line_cost
+                 : steal_cost;
+      if (t[sw] + this_steal_cost < t[sv] + queued[sv]) {
         const int pos = queue[sv][--back[sv]];
         queued[sv] -= cost[static_cast<size_t>(pos)];
-        result.worker_tasks[sw].push_back(TileTask{pos, true});
-        t[sw] += steal_cost + cost[static_cast<size_t>(pos)];
+        result.worker_tasks[sw].push_back(TileTask{pos, true, remote});
+        t[sw] += this_steal_cost + cost[static_cast<size_t>(pos)];
         ++result.total_steals;
+        if (remote) ++result.total_steals_remote;
         continue;
       }
     }

@@ -30,17 +30,38 @@ namespace mpic {
 struct TileTask {
   int pos = 0;          // position index in [0, n)
   bool stolen = false;  // true if this worker pulled it from another queue
+  bool remote = false;  // stolen across a NUMA domain boundary
 };
 
 struct TileScheduleResult {
   // worker_tasks[w] is worker w's execution list, in execution order.
   std::vector<std::vector<TileTask>> worker_tasks;
   int64_t total_steals = 0;
+  int64_t total_steals_remote = 0;
   // Modeled finish time of each worker and the resulting makespan, in the
   // same (estimate) units the caller supplied. Informational: the real cycle
   // charges come from each worker's ledger as it executes its list.
   std::vector<double> worker_finish;
   double makespan = 0.0;
+};
+
+// NUMA placement inputs for BuildTileSchedule. The defaults reproduce the
+// flat-memory, owner-oblivious schedule exactly.
+struct TileSchedulePlacement {
+  // Worker->domain split parameters (NumaDomainOfWorker semantics).
+  int num_domains = 1;
+  // Cross-domain steal premium: a steal whose thief and victim sit in
+  // different domains costs steal_cost * remote_steal_factor +
+  // remote_line_cost instead of steal_cost.
+  double remote_steal_factor = 1.0;
+  double remote_line_cost = 0.0;
+  // Bias the LPT assignment toward each position's previous owner (then the
+  // owner's domain) within one planner cost bucket of the least-loaded
+  // worker; false keeps the pure least-loaded choice.
+  bool sticky = true;
+  // Per-position previous owner (node-local worker id; -1 or out-of-range =
+  // unknown). May be null. Only consulted when `sticky`.
+  const int* prev_owner = nullptr;
 };
 
 // Cost-spread ratio (max/min over per-position costs) below which the
@@ -64,9 +85,22 @@ inline constexpr double kCostBucketRatio = 1.25;
 // 1.0 — with no estimates at all (or a cost spread under
 // kNearUniformCostRatio) the schedule is the contiguous block split with no
 // steals. `steal_cost` is in the same units as the estimates.
+//
+// With a TileSchedulePlacement the schedule becomes NUMA-aware: within one
+// ×kCostBucketRatio planner bucket of the least-loaded worker the LPT
+// assignment prefers a position's previous owner, then any worker in the
+// previous owner's domain (least load, lowest id), before falling back to
+// the global least-loaded worker — and the steal simulation charges the
+// distance-dependent premium above, tagging cross-domain tasks
+// TileTask::remote. All tie-breaks are by lowest worker id, so the schedule
+// stays a pure function of (estimates, prev_owner, parameters). The
+// placement-free overload is byte-identical to the PR 8 schedule.
 TileScheduleResult BuildTileSchedule(int n, int num_workers,
                                      const double* estimates,
                                      double steal_cost);
+TileScheduleResult BuildTileSchedule(int n, int num_workers,
+                                     const double* estimates, double steal_cost,
+                                     const TileSchedulePlacement& placement);
 
 }  // namespace mpic
 

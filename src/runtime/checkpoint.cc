@@ -15,9 +15,12 @@ constexpr char kMagic[8] = {'M', 'P', 'I', 'C', 'C', 'K', 'P', '\1'};
 // Version 2: the SPECIES tail gained the re-sort policy's adaptive throughput
 // baselines and the three kCostSteal per-tile estimate vectors, the LEDGER
 // counters gained the steal pair, and multi-rank machines write a RANKS
-// section. Version 1 images omitted state a bit-exact restart needs, so they
-// are rejected rather than half-restored.
-constexpr uint32_t kVersion = 2;
+// section. Version 3: the SPECIES tail gained the three committed per-tile
+// owner vectors (sticky placement replans from them) and the LEDGER counters
+// gained the NUMA trio (tasks_stolen_remote, remote_lines, remote_cycles).
+// Older images omit state a bit-exact restart needs, so they are rejected
+// rather than half-restored.
+constexpr uint32_t kVersion = 3;
 
 enum SectionId : uint32_t {
   kSectionMeta = 1,
@@ -138,6 +141,9 @@ struct StagedSpecies {
   int64_t total_global_sorts = 0;
   // Committed kCostSteal per-tile estimates (what the next step plans from).
   std::vector<double> pass1_est, deposit_est, reduce_est;
+  // v3: committed per-tile owners (global worker ids) — the sticky-placement
+  // preference and home-domain anchor for the next step's schedule.
+  std::vector<int32_t> pass1_own, deposit_own, reduce_own;
 };
 
 struct StagedLedger {
@@ -166,6 +172,10 @@ void WriteCounters(Writer* w, const LedgerCounters& c) {
   // steal accounting, not restart it from zero.
   w->Pod<uint64_t>(c.tasks_stolen);
   w->Pod<double>(c.steal_cycles);
+  // v3: the NUMA trio, same reasoning.
+  w->Pod<uint64_t>(c.tasks_stolen_remote);
+  w->Pod<uint64_t>(c.remote_lines);
+  w->Pod<double>(c.remote_cycles);
 }
 
 bool ReadCounters(Reader* r, LedgerCounters* c) {
@@ -177,7 +187,9 @@ bool ReadCounters(Reader* r, LedgerCounters* c) {
       return false;
     }
   }
-  return r->Pod(&c->tasks_stolen) && r->Pod(&c->steal_cycles);
+  return r->Pod(&c->tasks_stolen) && r->Pod(&c->steal_cycles) &&
+         r->Pod(&c->tasks_stolen_remote) && r->Pod(&c->remote_lines) &&
+         r->Pod(&c->remote_cycles);
 }
 
 CheckpointStatus ParseError(const std::string& what) {
@@ -287,6 +299,12 @@ CheckpointStatus SaveCheckpoint(Simulation& sim,
     w.Vec(b.pass1_costs.estimate);
     w.Vec(b.deposit_costs.estimate);
     w.Vec(b.reduce_costs.estimate);
+    // v3 tail: the committed owners alongside the estimates — sticky
+    // placement and the tiles' home domains replan from these, so a restored
+    // run places (and steals) exactly like a never-interrupted one.
+    w.Vec(b.pass1_costs.owner);
+    w.Vec(b.deposit_costs.owner);
+    w.Vec(b.reduce_costs.owner);
     AppendSection(out, kSectionSpecies, static_cast<uint32_t>(sid), sp);
   }
 
@@ -620,6 +638,9 @@ CheckpointStatus RestoreCheckpoint(Simulation* sim,
     r.Vec(&ss.pass1_est);
     r.Vec(&ss.deposit_est);
     r.Vec(&ss.reduce_est);
+    r.Vec(&ss.pass1_own);
+    r.Vec(&ss.deposit_own);
+    r.Vec(&ss.reduce_own);
     if (!r.ok()) {
       return ParseError("malformed SPECIES section tail");
     }
@@ -706,6 +727,9 @@ CheckpointStatus RestoreCheckpoint(Simulation* sim,
     b.pass1_costs.estimate = std::move(ss.pass1_est);
     b.deposit_costs.estimate = std::move(ss.deposit_est);
     b.reduce_costs.estimate = std::move(ss.reduce_est);
+    b.pass1_costs.owner = std::move(ss.pass1_own);
+    b.deposit_costs.owner = std::move(ss.deposit_own);
+    b.reduce_costs.owner = std::move(ss.reduce_own);
   }
   sim->RestoreClock(meta.step, meta.time);
   sim->set_injection_seed(meta.injection_seed);

@@ -69,9 +69,12 @@ struct HealthConfig {
   // performance faults the physics sentinels never see — a poisoned cost
   // estimate, a scheduler regression, a tile that suddenly re-sorts every
   // step — while staying deterministic (modeled cycles, not wall clock).
-  // Defaults off: workloads with legitimate step-cost cliffs (moving-window
-  // shifts, periodic global sorts) should either widen the factor or leave
-  // it disabled.
+  // Remote-memory (NUMA) surcharges are ordinary modeled cycles and feed the
+  // same EMA baseline, so a placement regression — a schedule that suddenly
+  // sends tiles across domains — trips this sentinel like any other cost
+  // fault. Defaults off: workloads with legitimate step-cost cliffs
+  // (moving-window shifts, periodic global sorts) should either widen the
+  // factor or leave it disabled.
   bool check_cycles = false;
 
   // Any field node with |value| above this trips the field sentinel. Flipping

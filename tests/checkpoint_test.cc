@@ -365,6 +365,61 @@ TEST(CheckpointCycleExact, StealCountersAreNonVacuous) {
   EXPECT_GT(hw.ledger().counters().tasks_stolen, 0u);
 }
 
+// NUMA cycle-exact restore: on a 2-domain machine with live remote steals,
+// the restored run must replan the same sticky placement — the committed
+// per-tile owner vectors ride the v3 SPECIES tail — and therefore accumulate
+// the same remote-line, remote-cycle, and remote-steal totals as the
+// uninterrupted run, to the last cycle.
+TEST(CheckpointCycleExact, NumaRestoreMatchesUninterruptedRun) {
+  BunchedBeamParams p;
+  p.nx = p.ny = p.nz = 16;
+  p.ppc_x = p.ppc_y = p.ppc_z = 4;
+
+  const MachineConfig mc = MachineConfig::Lx2MultiCoreNuma(4, 2);
+  HwContext ref_hw(mc);
+  auto ref = MakeBunchedBeamSimulation(ref_hw, p);
+  ref->Run(4);
+  std::vector<uint8_t> ckpt;
+  CheckpointWriteOptions wopts;
+  wopts.model_sync = true;
+  ASSERT_TRUE(SaveCheckpoint(*ref, &ckpt, wopts));
+  const std::vector<int32_t> own_at_save = ref->block(0).pass1_costs.owner;
+  ref->Run(4);
+  const uint64_t want = SimulationDigest(*ref);
+  // Non-vacuous: this workload/machine combination must exercise the remote
+  // paths, or the counter comparisons below prove nothing.
+  EXPECT_GT(ref_hw.ledger().counters().tasks_stolen_remote, 0u);
+  EXPECT_GT(ref_hw.ledger().counters().remote_lines, 0u);
+
+  HwContext twin_hw(mc);
+  auto twin = MakeBunchedBeamSimulation(twin_hw, p);
+  twin->Run(2);  // desynchronize; restore must overwrite everything
+  CheckpointReadOptions ropts;
+  ropts.restore_ledger = true;
+  ropts.model_sync = true;
+  const CheckpointStatus st = RestoreCheckpoint(twin.get(), ckpt, ropts);
+  ASSERT_TRUE(st) << st.error;
+  ASSERT_FALSE(own_at_save.empty());
+  EXPECT_EQ(twin->block(0).pass1_costs.owner, own_at_save)
+      << "committed owner vector not restored";
+  twin->Run(4);
+
+  EXPECT_EQ(SimulationDigest(*twin), want);
+  for (int ph = 0; ph < kNumPhases; ++ph) {
+    EXPECT_DOUBLE_EQ(twin_hw.ledger().PhaseCycles(static_cast<Phase>(ph)),
+                     ref_hw.ledger().PhaseCycles(static_cast<Phase>(ph)))
+        << "phase " << PhaseName(static_cast<Phase>(ph));
+  }
+  const LedgerCounters& a = ref_hw.ledger().counters();
+  const LedgerCounters& b = twin_hw.ledger().counters();
+  EXPECT_EQ(b.l2_misses, a.l2_misses);
+  EXPECT_EQ(b.tasks_stolen, a.tasks_stolen);
+  EXPECT_EQ(b.tasks_stolen_remote, a.tasks_stolen_remote);
+  EXPECT_EQ(b.remote_lines, a.remote_lines);
+  EXPECT_DOUBLE_EQ(b.remote_cycles, a.remote_cycles);
+  EXPECT_DOUBLE_EQ(b.steal_cycles, a.steal_cycles);
+}
+
 // ---- Rejection of damaged or incompatible checkpoints ------------------------
 
 // Version 1 images lack the adaptive-trigger baselines, the kCostSteal

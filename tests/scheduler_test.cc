@@ -190,6 +190,219 @@ TEST(TileScheduler, StealsFireOnWithinBucketSpread) {
   EXPECT_LT(r.makespan, StaticMakespan(cost, 2));
 }
 
+// ---- NUMA placement unit tests ----------------------------------------------
+
+TEST(NumaDomain, ContiguousSplitLikeRankOfTile) {
+  // 4 cores / 2 domains: two contiguous halves.
+  const int d42[] = {0, 0, 1, 1};
+  for (int w = 0; w < 4; ++w) {
+    EXPECT_EQ(NumaDomainOfWorker(w, 4, 2), d42[w]);
+  }
+  // 4 cores / 4 domains: one core per domain.
+  for (int w = 0; w < 4; ++w) {
+    EXPECT_EQ(NumaDomainOfWorker(w, 4, 4), w);
+  }
+  // 6 cores / 4 domains: remainder domains lead with the extra core
+  // (sizes 2, 2, 1, 1), mirroring RankOfTile's contiguous split.
+  const int d64[] = {0, 0, 1, 1, 2, 3};
+  for (int w = 0; w < 6; ++w) {
+    EXPECT_EQ(NumaDomainOfWorker(w, 6, 4), d64[w]);
+  }
+  // Flat machine and clamping edge cases.
+  EXPECT_EQ(NumaDomainOfWorker(3, 4, 1), 0);
+  EXPECT_EQ(NumaDomainOfWorker(0, 2, 8), 0);  // more domains than cores
+  EXPECT_EQ(NumaDomainOfWorker(1, 2, 8), 1);
+  EXPECT_EQ(NumaDomainOfWorker(9, 4, 2), 1);  // out-of-range worker clamps
+  EXPECT_EQ(NumaDomainOfWorker(-1, 4, 2), 0);
+}
+
+TEST(TileScheduler, PlacementFreeOverloadMatchesDefaultPlacement) {
+  // The 4-arg overload must stay byte-identical to the 5-arg call with a
+  // default placement (no previous owners, flat domains): the PR 8 schedule.
+  std::vector<double> cost(48);
+  for (int i = 0; i < 48; ++i) {
+    cost[static_cast<size_t>(i)] = 100.0 + 37.0 * ((i * 13) % 29);
+  }
+  const TileScheduleResult a = BuildTileSchedule(48, 4, cost.data(), 120.0);
+  const TileScheduleResult b =
+      BuildTileSchedule(48, 4, cost.data(), 120.0, TileSchedulePlacement{});
+  ASSERT_EQ(a.worker_tasks.size(), b.worker_tasks.size());
+  for (size_t w = 0; w < a.worker_tasks.size(); ++w) {
+    ASSERT_EQ(a.worker_tasks[w].size(), b.worker_tasks[w].size());
+    for (size_t k = 0; k < a.worker_tasks[w].size(); ++k) {
+      EXPECT_EQ(a.worker_tasks[w][k].pos, b.worker_tasks[w][k].pos);
+      EXPECT_EQ(a.worker_tasks[w][k].stolen, b.worker_tasks[w][k].stolen);
+      EXPECT_FALSE(b.worker_tasks[w][k].remote);
+    }
+  }
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(b.total_steals_remote, 0);
+}
+
+TEST(TileScheduler, StickyOwnerPreferredWithinBucket) {
+  // Four equal-bucket positions plus one heavier anchor. Previous owners are
+  // a permutation; sticky placement must honor every one of them because each
+  // owner sits within the LPT slack when its position is placed.
+  const std::vector<double> cost = {1000.0, 1000.0, 1000.0, 1600.0};
+  const std::vector<int> prev = {3, 2, 1, 0};
+  TileSchedulePlacement placement;
+  placement.prev_owner = prev.data();
+
+  const TileScheduleResult sticky =
+      BuildTileSchedule(4, 4, cost.data(), 120.0, placement);
+  ExpectCoversEveryPositionOnce(sticky, 4);
+  EXPECT_EQ(sticky.total_steals, 0);
+  for (int pos = 0; pos < 4; ++pos) {
+    const auto& tasks =
+        sticky.worker_tasks[static_cast<size_t>(prev[static_cast<size_t>(pos)])];
+    ASSERT_EQ(tasks.size(), 1u);
+    EXPECT_EQ(tasks[0].pos, pos);
+  }
+
+  // Owner-oblivious LPT scatters the same positions by descending-bucket
+  // order instead: pos3 (heaviest) to w0, then pos0/1/2 to w1/w2/w3.
+  const TileScheduleResult naive = BuildTileSchedule(4, 4, cost.data(), 120.0);
+  EXPECT_EQ(naive.worker_tasks[0][0].pos, 3);
+  EXPECT_EQ(naive.worker_tasks[1][0].pos, 0);
+  EXPECT_EQ(naive.worker_tasks[2][0].pos, 1);
+  EXPECT_EQ(naive.worker_tasks[3][0].pos, 2);
+}
+
+TEST(TileScheduler, DomainMatePreferredBeforeCrossingDomains) {
+  // All four positions previously ran on worker 3 (domain 1 of {0,1}|{2,3}).
+  // The heavy pos0 keeps its owner; pos1 finds the owner saturated and lands
+  // on the owner's domain-mate w2; pos2 finds the whole domain saturated and
+  // only then crosses to w0; pos3 crosses to w1. Deterministic tie-breaks:
+  // two identical calls agree exactly.
+  const std::vector<double> cost = {4000.0, 1000.0, 1000.0, 1000.0};
+  const std::vector<int> prev = {3, 3, 3, 3};
+  TileSchedulePlacement placement;
+  placement.num_domains = 2;
+  placement.prev_owner = prev.data();
+
+  const TileScheduleResult r =
+      BuildTileSchedule(4, 4, cost.data(), 120.0, placement);
+  ExpectCoversEveryPositionOnce(r, 4);
+  ASSERT_EQ(r.worker_tasks[3].size(), 1u);
+  EXPECT_EQ(r.worker_tasks[3][0].pos, 0);  // owner kept the heavy position
+  ASSERT_EQ(r.worker_tasks[2].size(), 1u);
+  EXPECT_EQ(r.worker_tasks[2][0].pos, 1);  // domain mate before crossing
+  ASSERT_EQ(r.worker_tasks[0].size(), 1u);
+  EXPECT_EQ(r.worker_tasks[0][0].pos, 2);  // domain full: cross to w0
+  ASSERT_EQ(r.worker_tasks[1].size(), 1u);
+  EXPECT_EQ(r.worker_tasks[1][0].pos, 3);
+
+  const TileScheduleResult again =
+      BuildTileSchedule(4, 4, cost.data(), 120.0, placement);
+  for (size_t w = 0; w < 4; ++w) {
+    ASSERT_EQ(r.worker_tasks[w].size(), again.worker_tasks[w].size());
+    for (size_t k = 0; k < r.worker_tasks[w].size(); ++k) {
+      EXPECT_EQ(r.worker_tasks[w][k].pos, again.worker_tasks[w][k].pos);
+    }
+  }
+}
+
+TEST(TileScheduler, RemoteStealPremiumArithmetic) {
+  // Two workers in separate domains, costs {3000, 2900, 100}: LPT queues
+  // {pos0, pos2} on w0 and {pos1} on w1, so w1 idles at t=2900 with pos2
+  // (cost 100) still queued behind w0's 3000-cycle front — the steal window
+  // is 3100 - 2900 = 200 cycles.
+  const std::vector<double> cost = {3000.0, 2900.0, 100.0};
+
+  // Flat machine, steal cost 120 < 200: the local steal fires.
+  const TileScheduleResult local = BuildTileSchedule(3, 2, cost.data(), 120.0);
+  EXPECT_EQ(local.total_steals, 1);
+  EXPECT_EQ(local.total_steals_remote, 0);
+  EXPECT_EQ(local.makespan, 2900.0 + 120.0 + 100.0);
+
+  // Two domains, remote premium 120 * 2 + 60 = 300 > 200: the same steal is
+  // no longer profitable, so w0 keeps pos2 and finishes at 3100.
+  TileSchedulePlacement placement;
+  placement.num_domains = 2;
+  placement.remote_steal_factor = 2.0;
+  placement.remote_line_cost = 60.0;
+  const TileScheduleResult suppressed =
+      BuildTileSchedule(3, 2, cost.data(), 120.0, placement);
+  EXPECT_EQ(suppressed.total_steals, 0);
+  EXPECT_EQ(suppressed.makespan, 3100.0);
+
+  // Milder premium 120 * 1.5 + 0 = 180 < 200: the steal fires, flagged
+  // remote, and the thief pays the premium in its finish time.
+  placement.remote_steal_factor = 1.5;
+  placement.remote_line_cost = 0.0;
+  const TileScheduleResult remote =
+      BuildTileSchedule(3, 2, cost.data(), 120.0, placement);
+  EXPECT_EQ(remote.total_steals, 1);
+  EXPECT_EQ(remote.total_steals_remote, 1);
+  bool found = false;
+  for (const auto& tasks : remote.worker_tasks) {
+    for (const TileTask& task : tasks) {
+      if (task.stolen) {
+        EXPECT_TRUE(task.remote);
+        found = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_EQ(remote.makespan, 2900.0 + 180.0 + 100.0);
+}
+
+TEST(SchedulerLedger, ChargeStealRemotePremiumAndCounters) {
+  MachineConfig cfg = MachineConfig::Lx2MultiCoreNuma(2, 2);
+  HwContext hw(cfg);
+  const double before = hw.ledger().TotalCycles();
+  hw.ChargeSteal(false);
+  const double local_cost =
+      cfg.steal_cost_cycles + cfg.dram_penalty_cycles;
+  EXPECT_DOUBLE_EQ(hw.ledger().TotalCycles() - before, local_cost);
+  EXPECT_EQ(hw.ledger().counters().tasks_stolen, 1u);
+  EXPECT_EQ(hw.ledger().counters().tasks_stolen_remote, 0u);
+
+  hw.ChargeSteal(true);
+  const double remote_cost =
+      cfg.steal_cost_cycles * cfg.remote_mem_latency_factor +
+      cfg.remote_line_transfer_cycles + cfg.dram_penalty_cycles;
+  EXPECT_DOUBLE_EQ(hw.ledger().TotalCycles() - before,
+                   local_cost + remote_cost);
+  EXPECT_EQ(hw.ledger().counters().tasks_stolen, 2u);
+  EXPECT_EQ(hw.ledger().counters().tasks_stolen_remote, 1u);
+  EXPECT_DOUBLE_EQ(hw.ledger().counters().steal_cycles,
+                   local_cost + remote_cost);
+}
+
+TEST(SchedulerNuma, PlacementKeepsPhysicsBitIdenticalAndCyclesDeterministic) {
+  UseManyThreads();
+  BunchedBeamParams p;
+  p.nx = p.ny = p.nz = 8;
+  p.tile = 4;
+  p.ppc_x = p.ppc_y = p.ppc_z = 2;
+
+  const auto run = [&](MachineConfig cfg) {
+    HwContext hw(cfg);
+    auto sim = MakeBunchedBeamSimulation(hw, p);
+    sim->Run(4);
+    return std::pair<uint64_t, double>(SimulationDigest(*sim),
+                                       hw.ledger().TotalCycles());
+  };
+
+  const auto flat = run(MachineConfig::Lx2MultiCore(4));
+  MachineConfig naive = MachineConfig::Lx2MultiCoreNuma(4, 2);
+  naive.sticky_placement = false;
+  const auto numa_naive = run(naive);
+  const auto numa_sticky = run(MachineConfig::Lx2MultiCoreNuma(4, 2));
+  const auto numa_per_core = run(MachineConfig::Lx2MultiCoreNuma(4, 4));
+
+  // NUMA charges and placement never touch the physics.
+  EXPECT_EQ(flat.first, numa_naive.first);
+  EXPECT_EQ(flat.first, numa_sticky.first);
+  EXPECT_EQ(flat.first, numa_per_core.first);
+
+  // The modeled cycle total is deterministic per configuration.
+  const auto sticky_again = run(MachineConfig::Lx2MultiCoreNuma(4, 2));
+  EXPECT_EQ(numa_sticky.first, sticky_again.first);
+  EXPECT_EQ(numa_sticky.second, sticky_again.second);
+}
+
 // ---- Physics bit-identity: static vs stealing -------------------------------
 
 uint64_t DigestAfterRun(std::unique_ptr<Simulation> sim, int steps) {
